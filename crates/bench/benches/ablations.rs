@@ -1,0 +1,227 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! These are *measurement* ablations, not just timings: each group also
+//! prints the metric being ablated so the effect is visible in the bench
+//! log.
+//!
+//! 1. **Matching**: flow-matrix + preferential attachment vs uniform random
+//!    partner choice — the hub structure (Figure 7) collapses without it.
+//! 2. **Normaliser**: categorisation with the full normaliser vs the
+//!    identity normaliser — synonym unification carries the recall.
+//! 3. **LCA k**: BIC across k (the paper's 12-class selection).
+//! 4. **Power-law estimator**: exact discrete MLE vs the continuous
+//!    approximation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_graph::{ContractGraph, DegreeKind};
+use dial_sim::{SimConfig, SybilAttack};
+use dial_stats::hierarchy::{adjusted_rand_index, agglomerative, Linkage};
+use dial_stats::kmeans::KMeans;
+use dial_stats::lca::LcaModel;
+use dial_text::{activity_lexicon, tokenize, Normalizer};
+use dial_time::Era;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn graph_of(dataset: &dial_model::Dataset) -> ContractGraph {
+    let mut g = ContractGraph::new(dataset.users().len());
+    for c in dataset.contracts() {
+        g.add_contract(c.maker.0, c.taker.0, c.contract_type.is_bidirectional());
+    }
+    g
+}
+
+/// Ablation 1: partner matching. Reports max inbound degree with and
+/// without flow-informed matching.
+fn ablate_matching(c: &mut Criterion) {
+    let flows_on = SimConfig::paper_default().with_seed(77).with_scale(0.05).simulate();
+    let flows_off = SimConfig::paper_default()
+        .with_seed(77)
+        .with_scale(0.05)
+        .with_uniform_matching(true)
+        .simulate();
+    let max_in = |ds: &dial_model::Dataset| {
+        graph_of(ds).degrees(DegreeKind::Inbound).into_iter().max().unwrap_or(0)
+    };
+    println!(
+        "[ablation:matching] max inbound degree — flows+PA: {}, uniform: {}",
+        max_in(&flows_on),
+        max_in(&flows_off)
+    );
+
+    let mut g = c.benchmark_group("ablation_matching");
+    g.sample_size(10);
+    g.bench_function("simulate_flows", |b| {
+        b.iter(|| {
+            black_box(SimConfig::paper_default().with_seed(1).with_scale(0.02).simulate())
+        })
+    });
+    g.bench_function("simulate_uniform", |b| {
+        b.iter(|| {
+            black_box(
+                SimConfig::paper_default()
+                    .with_seed(1)
+                    .with_scale(0.02)
+                    .with_uniform_matching(true)
+                    .simulate(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Ablation 2: the normaliser. Reports categorisation coverage with the
+/// full normaliser vs the identity pass-through.
+fn ablate_normalizer(c: &mut Criterion) {
+    let (dataset, _) = bench_market();
+    let lexicon = activity_lexicon();
+    let coverage = |norm: &Normalizer| {
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for contract in dataset.completed_public_contracts() {
+            total += 1;
+            let toks = norm.normalize(&tokenize(&contract.maker_obligation));
+            if !lexicon.matches(&toks).is_empty() {
+                matched += 1;
+            }
+        }
+        matched as f64 / total.max(1) as f64
+    };
+    println!(
+        "[ablation:normalizer] maker-side categorisation coverage — full: {:.1}%, identity: {:.1}%",
+        coverage(&Normalizer::default()) * 100.0,
+        coverage(&Normalizer::identity()) * 100.0
+    );
+
+    let mut g = c.benchmark_group("ablation_normalizer");
+    g.sample_size(10);
+    g.bench_function("classify_full_normalizer", |b| {
+        let n = Normalizer::default();
+        b.iter(|| black_box(coverage(&n)))
+    });
+    g.bench_function("classify_identity_normalizer", |b| {
+        let n = Normalizer::identity();
+        b.iter(|| black_box(coverage(&n)))
+    });
+    g.finish();
+}
+
+/// Ablation 3: LCA class count — prints the BIC curve over k.
+fn ablate_lca_k(c: &mut Criterion) {
+    let (dataset, _) = bench_market();
+    let (rows, _) = dial_core::ltm::user_month_features(dataset);
+    // Subsample for speed: the BIC ordering is stable on 4k user-months.
+    let sample: Vec<Vec<f64>> = rows.iter().take(4000).cloned().collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    print!("[ablation:lca-k] BIC by k:");
+    for k in [2usize, 4, 8, 12, 16] {
+        let fit = LcaModel { k }.fit(&sample, &mut rng);
+        print!(" k={k}: {:.0}", fit.bic());
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_lca_k");
+    g.sample_size(10);
+    for k in [4usize, 12] {
+        g.bench_function(format!("lca_fit_k{k}"), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                black_box(LcaModel { k }.fit(black_box(&sample), &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 4: clustering algorithm. Table 7's sub-clusters should not be
+/// a k-means artefact; re-cluster the same standardised cohort
+/// hierarchically and report the adjusted Rand agreement.
+fn ablate_clustering(c: &mut Criterion) {
+    let (dataset, _) = bench_market();
+    // Reuse the cold-start feature extraction by sampling the heaviest
+    // users' activity rows (a stand-in cohort of manageable size).
+    let mut rows: Vec<Vec<f64>> = dial_core::ltm::user_month_features(dataset)
+        .0
+        .into_iter()
+        .filter(|r| r.iter().sum::<f64>() > 3.0)
+        .take(300)
+        .collect();
+    dial_stats::descriptive::standardize_columns(&mut rows);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let km = KMeans::fit_best(&rows, 8, 8, &mut rng);
+    let mut best_ari = f64::NEG_INFINITY;
+    for linkage in [Linkage::Average, Linkage::Complete] {
+        let h = agglomerative(&rows, 8, linkage);
+        let ari = adjusted_rand_index(&km.assignments, &h);
+        best_ari = best_ari.max(ari);
+        println!("[ablation:clustering] k-means vs {linkage:?} linkage: ARI {ari:.3}");
+    }
+    println!("[ablation:clustering] best agreement ARI {best_ari:.3}");
+
+    let mut g = c.benchmark_group("ablation_clustering");
+    g.sample_size(10);
+    g.bench_function("kmeans_k8", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            black_box(KMeans::fit_best(black_box(&rows), 8, 2, &mut rng))
+        })
+    });
+    g.bench_function("agglomerative_average_k8", |b| {
+        b.iter(|| black_box(agglomerative(black_box(&rows), 8, Linkage::Average)))
+    });
+    g.finish();
+}
+
+/// Ablation 5: Sybil-attack timing (§7). Reports hub suppression when fake
+/// negatives land in SET-UP vs STABLE.
+fn ablate_sybil_timing(c: &mut Criterion) {
+    let max_inbound = |ds: &dial_model::Dataset| {
+        graph_of(ds).degrees(DegreeKind::Inbound).into_iter().max().unwrap_or(0)
+    };
+    let attack = |era| SybilAttack { era, targets_per_month: 40, fakes_per_target: 20 };
+    let base = SimConfig::paper_default().with_seed(1234).with_scale(0.05).simulate();
+    let early = SimConfig::paper_default()
+        .with_seed(1234)
+        .with_scale(0.05)
+        .with_sybil(attack(Era::SetUp))
+        .simulate();
+    let late = SimConfig::paper_default()
+        .with_seed(1234)
+        .with_scale(0.05)
+        .with_sybil(attack(Era::Stable))
+        .simulate();
+    println!(
+        "[ablation:sybil] max inbound — none {}, attack@SET-UP {}, attack@STABLE {}",
+        max_inbound(&base),
+        max_inbound(&early),
+        max_inbound(&late)
+    );
+
+    let mut g = c.benchmark_group("ablation_sybil");
+    g.sample_size(10);
+    g.bench_function("simulate_with_sybil", |b| {
+        b.iter(|| {
+            black_box(
+                SimConfig::paper_default()
+                    .with_seed(2)
+                    .with_scale(0.02)
+                    .with_sybil(attack(Era::SetUp))
+                    .simulate(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_matching,
+    ablate_normalizer,
+    ablate_lca_k,
+    ablate_clustering,
+    ablate_sybil_timing
+);
+criterion_main!(benches);

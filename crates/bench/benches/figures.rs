@@ -1,0 +1,50 @@
+//! Benchmarks for the figure-generating pipelines (Figures 1–11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_core::{activities, centralisation, completion, growth, network, payments, type_mix, values, visibility};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let (dataset, ledger) = bench_market();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+
+    g.bench_function("fig1_growth", |b| {
+        b.iter(|| black_box(growth::growth_series(black_box(dataset))))
+    });
+    g.bench_function("fig2_public_share", |b| {
+        b.iter(|| black_box(visibility::public_share_by_month(black_box(dataset))))
+    });
+    g.bench_function("fig3_type_mix", |b| {
+        b.iter(|| black_box(type_mix::type_mix_series(black_box(dataset))))
+    });
+    g.bench_function("fig4_completion_time", |b| {
+        b.iter(|| black_box(completion::completion_series(black_box(dataset))))
+    });
+    g.bench_function("fig5_concentration", |b| {
+        b.iter(|| black_box(centralisation::concentration_curves(black_box(dataset))))
+    });
+    g.bench_function("fig6_key_shares", |b| {
+        b.iter(|| black_box(centralisation::key_share_series(black_box(dataset))))
+    });
+    g.bench_function("fig7_degree_distributions", |b| {
+        b.iter(|| black_box(network::degree_distributions(black_box(dataset))))
+    });
+    g.bench_function("fig8_network_growth", |b| {
+        b.iter(|| black_box(network::network_growth(black_box(dataset))))
+    });
+    g.bench_function("fig9_product_evolution", |b| {
+        b.iter(|| black_box(activities::product_evolution(black_box(dataset))))
+    });
+    g.bench_function("fig10_payment_evolution", |b| {
+        b.iter(|| black_box(payments::payment_evolution(black_box(dataset))))
+    });
+    g.bench_function("fig11_value_evolution", |b| {
+        b.iter(|| black_box(values::value_evolution(black_box(dataset), black_box(ledger))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

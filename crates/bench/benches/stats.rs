@@ -1,0 +1,39 @@
+//! Benchmarks for the statistical-model pipelines (Tables 6–10,
+//! Figures 12–13).
+//!
+//! These are the heavy experiments — LCA EM over user-month vectors and
+//! zero-inflated Poisson fits with numerical Hessians — so a smaller k is
+//! used for the per-iteration benchmark; the harness binary runs the full
+//! 12-class model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_core::regression::{era_zip_model, UserSubset};
+use dial_core::{coldstart, ltm};
+use dial_time::Era;
+use std::hint::black_box;
+
+fn bench_stats(c: &mut Criterion) {
+    let (dataset, _) = bench_market();
+    let mut g = c.benchmark_group("stats");
+    g.sample_size(10);
+
+    g.bench_function("table6_lca_k6", |b| {
+        b.iter(|| black_box(ltm::ltm_analysis(black_box(dataset), 6, 42)))
+    });
+    g.bench_function("table7_cold_start", |b| {
+        b.iter(|| black_box(coldstart::cold_start_analysis(black_box(dataset), 42)))
+    });
+    g.bench_function("table9_zip_stable", |b| {
+        b.iter(|| black_box(era_zip_model(black_box(dataset), Era::Stable, UserSubset::All)))
+    });
+    g.bench_function("table10_zip_first_time", |b| {
+        b.iter(|| {
+            black_box(era_zip_model(black_box(dataset), Era::Stable, UserSubset::FirstTime))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks for the table-generating pipelines (Tables 1–5).
+//!
+//! Each benchmark regenerates one of the paper's tables from the shared
+//! ~19k-contract market; `cargo bench -p dial-bench --bench tables` prints
+//! per-table timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_core::{activities, payments, taxonomy, values, visibility};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let (dataset, ledger) = bench_market();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+
+    g.bench_function("table1_taxonomy", |b| {
+        b.iter(|| black_box(taxonomy::taxonomy_table(black_box(dataset))))
+    });
+    g.bench_function("table2_visibility", |b| {
+        b.iter(|| black_box(visibility::visibility_table(black_box(dataset))))
+    });
+    g.bench_function("table3_activities", |b| {
+        b.iter(|| black_box(activities::activity_table(black_box(dataset))))
+    });
+    g.bench_function("table4_payments", |b| {
+        b.iter(|| black_box(payments::payment_table(black_box(dataset))))
+    });
+    g.bench_function("table5_values", |b| {
+        b.iter(|| black_box(values::value_report(black_box(dataset), black_box(ledger))))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("simulate_scale_0.05", |b| {
+        b.iter(|| {
+            black_box(
+                dial_sim::SimConfig::paper_default()
+                    .with_seed(1)
+                    .with_scale(0.05)
+                    .simulate(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_simulation);
+criterion_main!(benches);

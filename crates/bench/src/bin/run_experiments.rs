@@ -1,0 +1,155 @@
+//! The experiment harness: regenerates every table and figure of the paper
+//! from a full-scale simulated market and prints them next to the paper's
+//! reference claims (the source of EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p dial-bench --bin run_experiments            # full scale
+//! cargo run --release -p dial-bench --bin run_experiments -- 0.1    # quick pass
+//! cargo run --release -p dial-bench --bin run_experiments -- 1.0 table5 fig7
+//! cargo run --release -p dial-bench --bin run_experiments -- 1.0 --csv results/figures
+//! ```
+//!
+//! With `--csv <dir>` the monthly series behind Figures 1–4, 6 and 10 are
+//! also written as plottable CSV files.
+
+use dial_core::experiments::{all_experiments, extension_experiments, ExperimentContext};
+use dial_sim::SimConfig;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.0);
+    let csv_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned());
+    let only: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| *a != "--csv" && csv_dir.as_ref() != Some(*a))
+        .collect();
+
+    eprintln!("simulating market at scale {scale}...");
+    let t0 = Instant::now();
+    let out = SimConfig::paper_default().with_seed(0xD1A1).with_scale(scale).simulate_full();
+    eprintln!(
+        "simulated {} + {} chain txs in {:.1?}\n",
+        out.dataset.summary(),
+        out.ledger.len(),
+        t0.elapsed()
+    );
+
+    let ctx = ExperimentContext::new(out.dataset, out.ledger, 0xD1A1, 12);
+
+    for e in all_experiments().into_iter().chain(extension_experiments()) {
+        if !only.is_empty() && !only.iter().any(|o| o.as_str() == e.id) {
+            continue;
+        }
+        let t = Instant::now();
+        let output = (e.run)(&ctx);
+        println!("================================================================");
+        println!("[{}] {}  ({:.1?})", e.id, e.title, t.elapsed());
+        println!("paper: {}", e.paper_claim);
+        println!("----------------------------------------------------------------");
+        println!("{output}\n");
+    }
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = write_figure_csvs(&ctx, &dir) {
+            eprintln!("csv export failed: {e}");
+        } else {
+            eprintln!("figure series written to {dir}/");
+        }
+    }
+}
+
+/// Writes the monthly series behind the longitudinal figures as CSV files.
+fn write_figure_csvs(ctx: &ExperimentContext, dir: &str) -> std::io::Result<()> {
+    use dial_core::{completion, growth, payments, type_mix, visibility};
+    use dial_model::ContractType;
+    std::fs::create_dir_all(dir)?;
+
+    let months: Vec<String> = dial_time::StudyWindow::months().map(|m| m.to_string()).collect();
+    let write =
+        |name: &str, columns: &[(&str, Vec<String>)]| -> std::io::Result<()> {
+            let mut out = String::from("month");
+            for (label, _) in columns {
+                out.push(',');
+                out.push_str(label);
+            }
+            out.push('\n');
+            for (i, month) in months.iter().enumerate() {
+                out.push_str(month);
+                for (_, values) in columns {
+                    out.push(',');
+                    out.push_str(values.get(i).map(String::as_str).unwrap_or(""));
+                }
+                out.push('\n');
+            }
+            std::fs::write(format!("{dir}/{name}"), out)
+        };
+
+    let g = growth::growth_series(&ctx.dataset);
+    let u = |s: &dial_time::MonthlySeries<u64>| -> Vec<String> {
+        s.values().iter().map(|v| v.to_string()).collect()
+    };
+    write(
+        "fig1_growth.csv",
+        &[
+            ("contracts_created", u(&g.contracts_created)),
+            ("contracts_completed", u(&g.contracts_completed)),
+            ("new_members_created", u(&g.new_members_created)),
+            ("new_members_completed", u(&g.new_members_completed)),
+        ],
+    )?;
+
+    let v = visibility::public_share_by_month(&ctx.dataset);
+    let f = |s: &dial_time::MonthlySeries<f64>| -> Vec<String> {
+        s.values().iter().map(|x| format!("{x:.4}")).collect()
+    };
+    write(
+        "fig2_public_share.csv",
+        &[("created", f(&v.created)), ("completed", f(&v.completed))],
+    )?;
+
+    let mix = type_mix::type_mix_series(&ctx.dataset);
+    let cols: Vec<(&str, Vec<String>)> = ContractType::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| {
+            let values = mix
+                .created
+                .values()
+                .iter()
+                .map(|row| format!("{:.4}", row[i]))
+                .collect();
+            (ty.label(), values)
+        })
+        .collect();
+    write("fig3_type_mix.csv", &cols)?;
+
+    let c = completion::completion_series(&ctx.dataset);
+    let cols: Vec<(&str, Vec<String>)> = ContractType::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| {
+            let values = c.mean_hours[i]
+                .values()
+                .iter()
+                .map(|v| v.map(|h| format!("{h:.2}")).unwrap_or_default())
+                .collect();
+            (ty.label(), values)
+        })
+        .collect();
+    write("fig4_completion_hours.csv", &cols)?;
+
+    let pe = payments::payment_evolution(&ctx.dataset);
+    let cols: Vec<(&str, Vec<String>)> =
+        pe.series.iter().map(|(m, s)| (m.label(), u(s))).collect();
+    write("fig10_payment_evolution.csv", &cols)?;
+
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the benchmark suite and the experiment harness.
+
+use dial_chain::Ledger;
+use dial_model::Dataset;
+use dial_sim::SimConfig;
+use std::sync::OnceLock;
+
+/// The scale used by the Criterion benchmarks: large enough that pipeline
+/// cost dominates, small enough to keep the suite quick (~19k contracts).
+pub const BENCH_SCALE: f64 = 0.1;
+
+/// A lazily simulated shared market for the benchmarks (the simulation cost
+/// itself is measured separately).
+pub fn bench_market() -> &'static (Dataset, Ledger) {
+    static MARKET: OnceLock<(Dataset, Ledger)> = OnceLock::new();
+    MARKET.get_or_init(|| {
+        let out = SimConfig::paper_default().with_seed(0xBE9C).with_scale(BENCH_SCALE).simulate_full();
+        (out.dataset, out.ledger)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_shared_and_nonempty() {
+        let a = bench_market();
+        let b = bench_market();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.0.contracts().len() > 10_000);
+    }
+}

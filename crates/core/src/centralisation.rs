@@ -1,0 +1,190 @@
+//! Figures 5–6: market centralisation around users and threads.
+
+use dial_graph::concentration::concentration_curve;
+use dial_model::{Contract, Dataset, ThreadId, UserId};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Figure 5: share of contracts carried by the top percentile of users and
+/// threads, for created and completed contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcentrationCurves {
+    /// `(fraction, share)` pairs over users, created contracts.
+    pub users_created: Vec<(f64, f64)>,
+    /// Over users, completed contracts.
+    pub users_completed: Vec<(f64, f64)>,
+    /// Over threads (thread-linked contracts only), created.
+    pub threads_created: Vec<(f64, f64)>,
+    /// Over threads, completed.
+    pub threads_completed: Vec<(f64, f64)>,
+}
+
+fn involvement_counts(
+    contracts: impl Iterator<Item = impl std::borrow::Borrow<Contract>>,
+) -> (HashMap<UserId, f64>, HashMap<ThreadId, f64>) {
+    let mut users: HashMap<UserId, f64> = HashMap::new();
+    let mut threads: HashMap<ThreadId, f64> = HashMap::new();
+    for c in contracts {
+        let c = c.borrow();
+        for p in c.parties() {
+            *users.entry(p).or_default() += 1.0;
+        }
+        if let Some(t) = c.thread {
+            *threads.entry(t).or_default() += 1.0;
+        }
+    }
+    (users, threads)
+}
+
+/// Computes Figure 5 at percentiles 1%..100%.
+pub fn concentration_curves(dataset: &Dataset) -> ConcentrationCurves {
+    let percentiles: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+    let curve = |values: Vec<f64>| concentration_curve(&values, &percentiles);
+    let (users_c, threads_c) = involvement_counts(dataset.contracts().iter());
+    let (users_d, threads_d) = involvement_counts(dataset.completed_contracts());
+    ConcentrationCurves {
+        users_created: curve(users_c.into_values().collect()),
+        users_completed: curve(users_d.into_values().collect()),
+        threads_created: curve(threads_c.into_values().collect()),
+        threads_completed: curve(threads_d.into_values().collect()),
+    }
+}
+
+impl ConcentrationCurves {
+    /// Share of created contracts involving the top `fraction` of users.
+    pub fn user_share_at(&self, fraction: f64) -> f64 {
+        self.users_created
+            .iter()
+            .find(|(p, _)| (*p - fraction).abs() < 1e-9)
+            .map_or(0.0, |(_, s)| *s)
+    }
+}
+
+/// Figure 6: monthly share of contracts carried by that month's key (top
+/// 5%) members and threads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyShareSeries {
+    /// Share of the month's created contracts involving a key member.
+    pub members_created: MonthlySeries<f64>,
+    /// Same over the month's completed contracts.
+    pub members_completed: MonthlySeries<f64>,
+    /// Share of the month's thread-linked created contracts in key threads.
+    pub threads_created: MonthlySeries<f64>,
+    /// Same over completed.
+    pub threads_completed: MonthlySeries<f64>,
+}
+
+/// The fraction of entities considered "key" each month.
+pub const KEY_FRACTION: f64 = 0.05;
+
+fn key_share<K: std::hash::Hash + Eq + Copy>(counts: &HashMap<K, f64>, total: f64) -> f64 {
+    if counts.is_empty() || total <= 0.0 {
+        return 0.0;
+    }
+    let mut values: Vec<(K, f64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+    values.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let k = ((values.len() as f64 * KEY_FRACTION).ceil() as usize).clamp(1, values.len());
+    // Share of activity carried by the key entities.
+    let covered: f64 = values[..k].iter().map(|(_, v)| v).sum();
+    (covered / total).min(1.0)
+}
+
+/// Gini coefficient of per-user contract involvement with a percentile
+/// bootstrap interval — an uncertainty-quantified summary of Figure 5's
+/// concentration finding.
+pub fn involvement_gini(
+    dataset: &Dataset,
+    replicates: usize,
+    seed: u64,
+) -> dial_stats::BootstrapInterval {
+    use rand::SeedableRng;
+    let (users, _) = involvement_counts(dataset.contracts().iter());
+    let counts: Vec<f64> = users.into_values().collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    dial_stats::bootstrap_ci(&counts, dial_stats::descriptive::gini, replicates, 0.95, &mut rng)
+}
+
+/// Computes Figure 6.
+pub fn key_share_series(dataset: &Dataset) -> KeyShareSeries {
+    let build = |completed_only: bool, over_threads: bool| {
+        MonthlySeries::tabulate(StudyWindow::first_month(), StudyWindow::last_month(), |ym| {
+            let contracts = dataset
+                .contracts_in_month(ym)
+                .filter(|c| !completed_only || c.is_complete());
+            let (users, threads) = involvement_counts(contracts);
+            if over_threads {
+                let total: f64 = threads.values().sum();
+                key_share(&threads, total)
+            } else {
+                let total: f64 = users.values().sum();
+                key_share(&users, total)
+            }
+        })
+    };
+    KeyShareSeries {
+        members_created: build(false, false),
+        members_completed: build(true, false),
+        threads_created: build(false, true),
+        threads_completed: build(true, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+    use dial_time::YearMonth;
+
+    #[test]
+    fn figure5_concentration() {
+        let ds = SimConfig::paper_default().with_seed(6).with_scale(0.05).simulate();
+        let c = concentration_curves(&ds);
+
+        // Top 5% of users carry well over half the contracts.
+        let top5 = c.user_share_at(0.05);
+        assert!(top5 > 0.5, "top-5% user share {top5}");
+
+        // Top 30% of threads carry most thread-linked contracts.
+        let thread30 = c
+            .threads_created
+            .iter()
+            .find(|(p, _)| (*p - 0.30).abs() < 1e-9)
+            .unwrap()
+            .1;
+        assert!(thread30 > 0.55, "top-30% thread share {thread30}");
+
+        // Curves are monotone and end at 1.
+        for curve in [&c.users_created, &c.users_completed, &c.threads_created] {
+            for w in curve.windows(2) {
+                assert!(w[0].1 <= w[1].1 + 1e-9);
+            }
+            assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn involvement_gini_is_high_and_tight() {
+        let ds = SimConfig::paper_default().with_seed(6).with_scale(0.05).simulate();
+        let ci = involvement_gini(&ds, 200, 9);
+        // Heavy concentration: Gini well above 0.5 with a narrow interval.
+        assert!(ci.point > 0.5, "gini {}", ci.point);
+        assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+        assert!(ci.upper - ci.lower < 0.25, "interval too wide: {ci:?}");
+    }
+
+    #[test]
+    fn figure6_key_shares() {
+        let ds = SimConfig::paper_default().with_seed(6).with_scale(0.05).simulate();
+        let k = key_share_series(&ds);
+        // Key members are a 5% slice but carry a large multiple of 5%.
+        let mid = *k.members_created.get(YearMonth::new(2019, 8)).unwrap();
+        assert!(mid > 0.2, "key member share {mid}");
+        // COVID-19 centralisation stays at (or above) the late-STABLE
+        // level — the influx of small users does not dilute the key
+        // members' share.
+        let feb20 = *k.members_created.get(YearMonth::new(2020, 2)).unwrap();
+        let apr20 = *k.members_created.get(YearMonth::new(2020, 4)).unwrap();
+        assert!(apr20 > feb20 * 0.8, "covid {apr20} vs stable {feb20}");
+    }
+}

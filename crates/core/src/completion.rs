@@ -1,0 +1,91 @@
+//! Figure 4: average completion time by contract type, per month.
+//!
+//! Only contracts that record a completion timestamp (~70% of completed
+//! contracts) contribute, as in the paper.
+
+use dial_model::{ContractType, Dataset};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+
+/// Mean completion hours per type per (creation) month; `None` where a type
+/// had no timed completions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionSeries {
+    /// One series per type in [`ContractType::ALL`] order.
+    pub mean_hours: [MonthlySeries<Option<f64>>; 5],
+    /// Share of completed contracts that recorded a completion time.
+    pub timed_share: f64,
+}
+
+fn type_idx(ty: ContractType) -> usize {
+    ContractType::ALL.iter().position(|t| *t == ty).unwrap()
+}
+
+/// Computes Figure 4.
+pub fn completion_series(dataset: &Dataset) -> CompletionSeries {
+    let first = StudyWindow::first_month();
+    let last = StudyWindow::last_month();
+    let n = StudyWindow::n_months();
+    let mut sums = vec![[0f64; 5]; n];
+    let mut counts = vec![[0u64; 5]; n];
+    let mut timed = 0u64;
+    let mut completed = 0u64;
+
+    for c in dataset.completed_contracts() {
+        completed += 1;
+        let Some(hours) = c.completion_hours() else { continue };
+        timed += 1;
+        let Some(mi) = StudyWindow::month_index(c.created_month()) else { continue };
+        sums[mi][type_idx(c.contract_type)] += hours;
+        counts[mi][type_idx(c.contract_type)] += 1;
+    }
+
+    let series = std::array::from_fn(|ti| {
+        MonthlySeries::tabulate(first, last, |ym| {
+            let mi = StudyWindow::month_index(ym).unwrap();
+            if counts[mi][ti] == 0 {
+                None
+            } else {
+                Some(sums[mi][ti] / counts[mi][ti] as f64)
+            }
+        })
+    });
+
+    CompletionSeries {
+        mean_hours: series,
+        timed_share: timed as f64 / completed.max(1) as f64,
+    }
+}
+
+impl CompletionSeries {
+    /// Mean completion hours for one type in one month.
+    pub fn at(&self, ym: dial_time::YearMonth, ty: ContractType) -> Option<f64> {
+        self.mean_hours[type_idx(ty)].get(ym).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+    use dial_time::YearMonth;
+
+    #[test]
+    fn figure4_shapes() {
+        let ds = SimConfig::paper_default().with_seed(5).with_scale(0.05).simulate();
+        let s = completion_series(&ds);
+
+        // ~70% of completed contracts carry a completion date.
+        assert!((0.6..0.8).contains(&s.timed_share), "timed share {}", s.timed_share);
+
+        // Contracts complete much faster by the end of the window.
+        for ty in [ContractType::Sale, ContractType::Exchange] {
+            let early = s.at(YearMonth::new(2018, 6), ty).unwrap();
+            let late = s.at(YearMonth::new(2020, 6), ty).unwrap();
+            assert!(early > 3.0 * late, "{ty:?}: {early}h -> {late}h");
+        }
+
+        // June 2020: under ~15 hours for the dominant types.
+        assert!(s.at(YearMonth::new(2020, 6), ContractType::Exchange).unwrap() < 15.0);
+    }
+}

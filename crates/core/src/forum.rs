@@ -1,0 +1,112 @@
+//! Threads-and-posts descriptives (§3, "Threads and Posts").
+//!
+//! The paper reports that 68.4% of public contracts (8.2% of all contracts)
+//! are associated with a thread, over a corpus of ~6,000 threads holding
+//! ~200,000 posts by ~30,000 members; not all linked threads are
+//! advertisements.
+
+use dial_model::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The §3 corpus summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForumStats {
+    /// Threads in the dataset.
+    pub threads: usize,
+    /// Posts in the dataset.
+    pub posts: usize,
+    /// Distinct posting members.
+    pub posters: usize,
+    /// Share of posts in the marketplace section.
+    pub marketplace_post_share: f64,
+    /// Share of threads that are advertisements.
+    pub advertisement_share: f64,
+    /// Share of *public* contracts associated with a thread.
+    pub public_thread_link_share: f64,
+    /// Share of *all* contracts associated with a thread.
+    pub overall_thread_link_share: f64,
+    /// Mean posts per thread.
+    pub posts_per_thread: f64,
+}
+
+/// Computes the corpus summary.
+pub fn forum_stats(dataset: &Dataset) -> ForumStats {
+    let posters: HashSet<_> = dataset.posts().iter().map(|p| p.author).collect();
+    let marketplace = dataset.posts().iter().filter(|p| p.in_marketplace).count();
+    let ads = dataset.threads().iter().filter(|t| t.is_advertisement).count();
+
+    let mut public = 0usize;
+    let mut public_linked = 0usize;
+    let mut linked = 0usize;
+    for c in dataset.contracts() {
+        if c.thread.is_some() {
+            linked += 1;
+        }
+        if c.is_public() {
+            public += 1;
+            if c.thread.is_some() {
+                public_linked += 1;
+            }
+        }
+    }
+
+    ForumStats {
+        threads: dataset.threads().len(),
+        posts: dataset.posts().len(),
+        posters: posters.len(),
+        marketplace_post_share: marketplace as f64 / dataset.posts().len().max(1) as f64,
+        advertisement_share: ads as f64 / dataset.threads().len().max(1) as f64,
+        public_thread_link_share: public_linked as f64 / public.max(1) as f64,
+        overall_thread_link_share: linked as f64 / dataset.contracts().len().max(1) as f64,
+        posts_per_thread: dataset.posts().len() as f64 / dataset.threads().len().max(1) as f64,
+    }
+}
+
+impl fmt::Display for ForumStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} threads ({:.0}% advertisements), {} posts ({:.0}% in the marketplace) by {} members",
+            self.threads,
+            self.advertisement_share * 100.0,
+            self.posts,
+            self.marketplace_post_share * 100.0,
+            self.posters
+        )?;
+        writeln!(
+            f,
+            "thread-linked contracts: {:.1}% of public ({:.1}% overall); {:.1} posts/thread",
+            self.public_thread_link_share * 100.0,
+            self.overall_thread_link_share * 100.0,
+            self.posts_per_thread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+
+    #[test]
+    fn forum_corpus_matches_section3() {
+        let ds = SimConfig::paper_default().with_seed(3).with_scale(0.1).simulate();
+        let s = forum_stats(&ds);
+
+        // ~68% of public contracts link a thread (paper: 68.4%).
+        assert!((0.55..0.8).contains(&s.public_thread_link_share),
+            "public link share {}", s.public_thread_link_share);
+        // Overall linkage is small (paper: 8.2%) since most contracts are
+        // private.
+        assert!(s.overall_thread_link_share < 0.2);
+        // Corpus magnitudes scale with the paper's 6k threads / 200k posts
+        // / 30k posters at scale 0.1.
+        assert!((300..1500).contains(&s.threads), "threads {}", s.threads);
+        assert!(s.posts > 3 * s.threads);
+        assert!(s.posters > 1000, "posters {}", s.posters);
+        assert!(s.advertisement_share > 0.5);
+        assert!(s.to_string().contains("threads"));
+    }
+}

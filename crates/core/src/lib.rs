@@ -1,0 +1,53 @@
+//! Analysis pipelines for the dial-market study.
+//!
+//! One module per experiment family; each consumes a [`dial_model::Dataset`]
+//! (plus, for value estimation, a [`dial_chain::Ledger`]) and produces a
+//! typed table/figure struct with a `Display` rendering that mirrors the
+//! paper's layout.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`taxonomy`] | Table 1 (contract type × status) |
+//! | [`visibility`] | Table 2 and Figure 2 (public/private) |
+//! | [`growth`] | Figure 1 (monthly members & contracts) |
+//! | [`type_mix`] | Figure 3 (type proportions per month) |
+//! | [`completion`] | Figure 4 (completion time by type) |
+//! | [`centralisation`] | Figures 5–6 (market concentration) |
+//! | [`network`] | Figures 7–8 (degree structure & growth) |
+//! | [`activities`] | Table 3 and Figure 9 (trading activities) |
+//! | [`payments`] | Table 4 and Figure 10 (payment methods) |
+//! | [`values`] | Table 5 and Figure 11 (trading values) |
+//! | [`ltm`] | Table 6, Table 8, Figures 12–13 (latent classes) |
+//! | [`coldstart`] | Table 7 and §5.2 (cold-start clustering) |
+//! | [`regression`] | Tables 9–10 (zero-inflated Poisson models) |
+//!
+//! [`experiments`] holds the registry mapping experiment ids to runners and
+//! the paper's reference values for side-by-side reporting.
+//!
+//! Four extension modules quantify claims the paper makes in prose:
+//! [`stimulus`] (the COVID-19 stimulus-vs-transformation test),
+//! [`disputes`] (the storming-phase dispute spike), [`repeat`]
+//! (one-off-user dominance and per-method repeat rates) and [`mixing`]
+//! (the peer-to-peer → business-to-customer assortativity shift).
+
+pub mod activities;
+pub mod centralisation;
+pub mod coldstart;
+pub mod completion;
+pub mod disputes;
+pub mod eras;
+pub mod experiments;
+pub mod forum;
+pub mod growth;
+pub mod ltm;
+pub mod mixing;
+pub mod network;
+pub mod payments;
+pub mod regression;
+pub mod render;
+pub mod repeat;
+pub mod stimulus;
+pub mod taxonomy;
+pub mod type_mix;
+pub mod values;
+pub mod visibility;

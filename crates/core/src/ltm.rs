@@ -1,0 +1,440 @@
+//! §5.1: Latent class / latent transition modelling (Table 6, Table 8,
+//! Figures 12–13).
+//!
+//! Each user-month with any contract activity becomes one observation: a
+//! 10-dimensional count vector (contracts made per type, contracts accepted
+//! per type). A 12-class Poisson mixture is fitted by EM; fitted classes
+//! are then matched to the paper's A–L labels by nearest rate profile, and
+//! the longitudinal outputs (per-class monthly volumes, maker→taker flows)
+//! are derived from the MAP assignments.
+
+use crate::render::TextTable;
+use dial_model::{ContractType, Dataset, UserId};
+use dial_stats::hmm::{HmmFit, HmmLtm};
+use dial_stats::lca::{LcaFit, LcaModel};
+use dial_stats::TransitionMatrix;
+use dial_time::{Era, StudyWindow};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Feature order: contracts made per [`ContractType::ALL`] then contracts
+/// accepted per [`ContractType::ALL`] (10 dims).
+pub const N_FEATURES: usize = 10;
+
+/// The paper's Table 6 rate matrix in feature order, used to label fitted
+/// classes. Rows are classes A–L.
+pub const PAPER_TABLE6: [[f64; N_FEATURES]; 12] = [
+    // make S, P, E, T, V | accept S, P, E, T, V
+    [0.5, 0.6, 0.5, 0.1, 0.0, 10.1, 0.2, 0.5, 0.2, 0.0],  // A
+    [0.6, 0.4, 2.3, 0.1, 0.0, 1.1, 0.6, 6.5, 0.1, 0.0],   // B
+    [1.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.0],   // C
+    [0.1, 0.0, 0.9, 0.0, 0.0, 0.0, 0.1, 0.9, 0.0, 0.0],   // D
+    [2.0, 0.7, 4.3, 0.2, 0.0, 3.8, 4.2, 22.3, 0.4, 0.0],  // E
+    [0.4, 0.2, 7.3, 0.0, 0.0, 0.3, 0.2, 1.3, 0.0, 0.0],   // F
+    [1.3, 0.6, 21.2, 0.1, 0.0, 1.3, 1.1, 8.1, 0.1, 0.0],  // G
+    [0.9, 10.0, 1.3, 0.2, 0.0, 3.2, 0.4, 1.0, 0.1, 0.0],  // H
+    [5.2, 0.7, 1.1, 0.2, 0.0, 1.0, 2.0, 1.6, 0.1, 0.0],   // I
+    [0.1, 0.7, 0.1, 0.0, 0.0, 1.1, 0.1, 0.1, 0.0, 0.0],   // J
+    [3.3, 0.9, 31.2, 0.3, 0.0, 12.8, 9.2, 54.9, 1.0, 0.0], // K
+    [1.2, 1.1, 1.3, 0.2, 0.1, 54.9, 0.6, 1.5, 0.2, 0.0],  // L
+];
+
+/// Class labels in PAPER_TABLE6 row order.
+pub const CLASS_LABELS: [char; 12] = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L'];
+
+fn type_idx(ty: ContractType) -> usize {
+    ContractType::ALL.iter().position(|t| *t == ty).unwrap()
+}
+
+/// One maker→taker flow row of Table 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRow {
+    /// The era.
+    pub era: Era,
+    /// The contract type.
+    pub contract_type: ContractType,
+    /// Maker class label (paper-style letter).
+    pub maker_label: char,
+    /// Taker class label.
+    pub taker_label: char,
+    /// Average transactions per month carried by this flow in this era.
+    pub avg_per_month: f64,
+    /// Share of the type's transactions within the era.
+    pub share: f64,
+}
+
+/// The full LTM analysis output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LtmAnalysis {
+    /// The fitted mixture.
+    pub fit: LcaFit,
+    /// Paper-style label assigned to each fitted class.
+    pub labels: Vec<char>,
+    /// Per-(type ∈ {Exchange, Purchase, Sale}) monthly transaction counts
+    /// *made* by each fitted class: `made[t][month][class]` (Figure 12).
+    pub made: [Vec<Vec<u64>>; 3],
+    /// Same for transactions *accepted* (Figure 13).
+    pub accepted: [Vec<Vec<u64>>; 3],
+    /// Top-3 flows per (type, era) (Table 8).
+    pub flows: Vec<FlowRow>,
+    /// Month-to-month class transition matrix over users active in
+    /// consecutive months (the latent *transition* layer).
+    pub transitions: TransitionMatrix,
+    /// Number of user-month observations.
+    pub n_observations: usize,
+}
+
+/// Figure-12/13 type order: Exchange, Purchase, Sale.
+pub const FIGURE_TYPES: [ContractType; 3] =
+    [ContractType::Exchange, ContractType::Purchase, ContractType::Sale];
+
+/// Builds the user-month activity matrix. Only user-months with at least
+/// one made or accepted contract become observations.
+pub fn user_month_features(dataset: &Dataset) -> (Vec<Vec<f64>>, Vec<(UserId, usize)>) {
+    let mut map: HashMap<(UserId, usize), [f64; N_FEATURES]> = HashMap::new();
+    for c in dataset.contracts() {
+        let Some(mi) = StudyWindow::month_index(c.created_month()) else { continue };
+        map.entry((c.maker, mi)).or_default()[type_idx(c.contract_type)] += 1.0;
+        if c.status.was_accepted() {
+            map.entry((c.taker, mi)).or_default()[5 + type_idx(c.contract_type)] += 1.0;
+        }
+    }
+    let mut keys: Vec<(UserId, usize)> = map.keys().copied().collect();
+    keys.sort();
+    let rows = keys.iter().map(|k| map[k].to_vec()).collect();
+    (rows, keys)
+}
+
+/// Matches fitted classes to paper labels by nearest `log1p` rate profile
+/// under cosine distance (greedy, without replacement). Cosine compares the
+/// *shape* of a profile rather than its magnitude, so e.g. a fitted class
+/// whose members accept thousands of SALEs a month still maps to the
+/// paper's SALE-taker power class L (54.9/month) — preferential attachment
+/// makes our hubs heavier than the paper's class means, but not differently
+/// shaped.
+#[allow(clippy::needless_range_loop)] // pairwise matching reads clearest with indices
+fn label_classes(fit: &LcaFit) -> Vec<char> {
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        let la: Vec<f64> = a.iter().map(|x| x.ln_1p()).collect();
+        let lb: Vec<f64> = b.iter().map(|x| x.ln_1p()).collect();
+        let dot: f64 = la.iter().zip(&lb).map(|(x, y)| x * y).sum();
+        let na: f64 = la.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = lb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 2.0;
+        }
+        1.0 - dot / (na * nb)
+    };
+    let mut taken = [false; 12];
+    let mut labels = vec!['?'; fit.k];
+    // Assign in order of best confidence: repeatedly take the globally
+    // closest (class, profile) pair.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for c in 0..fit.k {
+        for p in 0..12 {
+            pairs.push((c, p, dist(&fit.rates[c], &PAPER_TABLE6[p])));
+        }
+    }
+    pairs.sort_by(|a, b| a.2.total_cmp(&b.2));
+    let mut assigned = vec![false; fit.k];
+    for (c, p, _) in pairs {
+        if !assigned[c] && !taken[p] {
+            labels[c] = CLASS_LABELS[p];
+            assigned[c] = true;
+            taken[p] = true;
+        }
+    }
+    // More fitted classes than labels: reuse nearest label.
+    for c in 0..fit.k {
+        if labels[c] == '?' {
+            let best = (0..12)
+                .min_by(|&a, &b| {
+                    dist(&fit.rates[c], &PAPER_TABLE6[a])
+                        .total_cmp(&dist(&fit.rates[c], &PAPER_TABLE6[b]))
+                })
+                .unwrap();
+            labels[c] = CLASS_LABELS[best];
+        }
+    }
+    labels
+}
+
+/// Runs the LTM analysis with `k` classes (the paper's model selection
+/// chooses 12; see the bench ablation for the AIC/BIC sweep).
+pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
+    let (rows, keys) = user_month_features(dataset);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let fit = LcaModel { k }.fit_best(&rows, 2, &mut rng);
+    let labels = label_classes(&fit);
+
+    // MAP assignment per user-month.
+    let mut assignment: HashMap<(UserId, usize), usize> = HashMap::new();
+    for (row, key) in rows.iter().zip(&keys) {
+        assignment.insert(*key, fit.assign(row));
+    }
+
+    // Figures 12–13: per-class monthly volumes.
+    let n_months = StudyWindow::n_months();
+    let mut made: [Vec<Vec<u64>>; 3] = std::array::from_fn(|_| vec![vec![0; k]; n_months]);
+    let mut accepted: [Vec<Vec<u64>>; 3] = std::array::from_fn(|_| vec![vec![0; k]; n_months]);
+    // Table 8 accumulators: counts[(era, type, maker class, taker class)].
+    let mut flow_counts: HashMap<(Era, usize, usize, usize), u64> = HashMap::new();
+    let mut type_era_totals: HashMap<(Era, usize), u64> = HashMap::new();
+
+    for c in dataset.contracts() {
+        let Some(mi) = StudyWindow::month_index(c.created_month()) else { continue };
+        let maker_class = assignment.get(&(c.maker, mi)).copied();
+        let taker_class = assignment.get(&(c.taker, mi)).copied();
+        if let Some(fi) = FIGURE_TYPES.iter().position(|t| *t == c.contract_type) {
+            if let Some(mc) = maker_class {
+                made[fi][mi][mc] += 1;
+            }
+            if c.status.was_accepted() {
+                if let Some(tc) = taker_class {
+                    accepted[fi][mi][tc] += 1;
+                }
+            }
+        }
+        if let (Some(mc), Some(tc), Some(era)) = (maker_class, taker_class, c.created_era()) {
+            let ti = type_idx(c.contract_type);
+            *flow_counts.entry((era, ti, mc, tc)).or_default() += 1;
+            *type_era_totals.entry((era, ti)).or_default() += 1;
+        }
+    }
+
+    // Top-3 flows per (type, era).
+    let mut flows = Vec::new();
+    for era in Era::ALL {
+        let months_in_era = StudyWindow::months()
+            .filter(|ym| Era::of_month(*ym) == Some(era))
+            .count()
+            .max(1) as f64;
+        for ty in [ContractType::Exchange, ContractType::Purchase, ContractType::Sale] {
+            let ti = type_idx(ty);
+            let total = *type_era_totals.get(&(era, ti)).unwrap_or(&0);
+            if total == 0 {
+                continue;
+            }
+            #[allow(clippy::type_complexity)]
+            let mut entries: Vec<(&(Era, usize, usize, usize), &u64)> = flow_counts
+                .iter()
+                .filter(|((e, t, _, _), _)| *e == era && *t == ti)
+                .collect();
+            entries.sort_by(|a, b| b.1.cmp(a.1));
+            for (key, count) in entries.into_iter().take(3) {
+                let (_, _, mc, tc) = *key;
+                flows.push(FlowRow {
+                    era,
+                    contract_type: ty,
+                    maker_label: labels[mc],
+                    taker_label: labels[tc],
+                    avg_per_month: *count as f64 / months_in_era,
+                    share: *count as f64 / total as f64,
+                });
+            }
+        }
+    }
+
+    // Latent transitions over consecutive active months.
+    let mut pairs = Vec::new();
+    for ((user, mi), class) in &assignment {
+        if let Some(next) = assignment.get(&(*user, mi + 1)) {
+            pairs.push((*class, *next));
+        }
+    }
+    let transitions = TransitionMatrix::estimate(k, pairs);
+
+    LtmAnalysis {
+        fit,
+        labels,
+        made,
+        accepted,
+        flows,
+        transitions,
+        n_observations: rows.len(),
+    }
+}
+
+impl LtmAnalysis {
+    /// The fitted Table 6 analogue: per-class make/accept rates with the
+    /// matched paper labels, ordered by label.
+    pub fn class_profile_table(&self) -> TextTable {
+        let mut t = TextTable::new(&[
+            "", "mk S", "mk P", "mk E", "mk T", "mk V", "ac S", "ac P", "ac E", "ac T", "ac V",
+            "weight",
+        ]);
+        let mut order: Vec<usize> = (0..self.fit.k).collect();
+        order.sort_by_key(|&c| self.labels[c]);
+        for c in order {
+            let mut row = vec![self.labels[c].to_string()];
+            row.extend(self.fit.rates[c].iter().map(|r| format!("{r:.1}")));
+            row.push(format!("{:.3}", self.fit.weights[c]));
+            t.row(row);
+        }
+        t
+    }
+}
+
+impl fmt::Display for LtmAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 6: {}-class latent model over {} user-months (loglik {:.0}, BIC {:.0})",
+            self.fit.k,
+            self.n_observations,
+            self.fit.log_lik,
+            self.fit.bic()
+        )?;
+        writeln!(f, "{}", self.class_profile_table())?;
+        writeln!(f, "Table 8: top maker→taker flows per era")?;
+        let mut t = TextTable::new(&["Era", "Type", "Flow", "avg/mo", "share"]);
+        for fl in &self.flows {
+            t.row(vec![
+                fl.era.to_string(),
+                fl.contract_type.label().to_string(),
+                format!("{} -> {}", fl.maker_label, fl.taker_label),
+                format!("{:.1}", fl.avg_per_month),
+                format!("{:.0}%", fl.share * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// The full dynamics layer: a Baum–Welch HMM over per-user activity
+/// sequences, warm-started from the LCA emission rates. This is the joint
+/// latent *transition* model proper; the registry's Table 8 flows use the
+/// cheaper MAP-assignment estimate, and this refinement quantifies class
+/// persistence (expected holding times) on top.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LtmDynamics {
+    /// The fitted HMM.
+    pub hmm: HmmFit,
+    /// Paper-style labels for the HMM classes (inherited from the LCA fit
+    /// it was warm-started from).
+    pub labels: Vec<char>,
+    /// Expected holding time per class, in months, ordered by label.
+    pub holding_times: Vec<(char, f64)>,
+}
+
+/// Builds per-user sequences of consecutive active months and fits the HMM.
+/// Sequences break at inactivity gaps (a user absent for a month re-enters
+/// as a fresh sequence), which keeps the chain homogeneous.
+pub fn ltm_dynamics(dataset: &Dataset, analysis: &LtmAnalysis, seed: u64) -> LtmDynamics {
+    let (rows, keys) = user_month_features(dataset);
+    // Group rows by user, split on month gaps.
+    let mut sequences: Vec<Vec<Vec<f64>>> = Vec::new();
+    let mut current: Vec<Vec<f64>> = Vec::new();
+    let mut prev: Option<(UserId, usize)> = None;
+    for (row, key) in rows.into_iter().zip(keys) {
+        let contiguous = matches!(prev, Some((u, m)) if u == key.0 && key.1 == m + 1);
+        if !contiguous && !current.is_empty() {
+            sequences.push(std::mem::take(&mut current));
+        }
+        current.push(row);
+        prev = Some(key);
+    }
+    if !current.is_empty() {
+        sequences.push(current);
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x17A);
+    let hmm = HmmLtm { k: analysis.fit.k }.fit(&sequences, Some(&analysis.fit), &mut rng);
+    let mut holding_times: Vec<(char, f64)> = (0..hmm.k)
+        .map(|c| (analysis.labels[c], hmm.expected_holding_time(c)))
+        .collect();
+    holding_times.sort_by_key(|(label, _)| *label);
+    LtmDynamics { hmm, labels: analysis.labels.clone(), holding_times }
+}
+
+impl fmt::Display for LtmDynamics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Latent transition dynamics ({} sequences, loglik {:.0}, {} EM iterations)",
+            self.hmm.n_sequences, self.hmm.log_lik, self.hmm.iterations
+        )?;
+        write!(f, "expected holding times (months): ")?;
+        let parts: Vec<String> = self
+            .holding_times
+            .iter()
+            .map(|(label, h)| {
+                // Persistence beyond the 25-month window is indistinguishable
+                // from permanence.
+                if *h > 25.0 {
+                    format!("{label} >25")
+                } else {
+                    format!("{label} {h:.1}")
+                }
+            })
+            .collect();
+        writeln!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+
+    #[test]
+    fn dynamics_layer_fits_and_orders_persistence() {
+        let ds = SimConfig::paper_default().with_seed(12).with_scale(0.015).simulate();
+        let analysis = ltm_analysis(&ds, 6, 99);
+        let dyn_fit = ltm_dynamics(&ds, &analysis, 99);
+        assert_eq!(dyn_fit.hmm.k, 6);
+        assert!(dyn_fit.hmm.n_sequences > 100);
+        for row in &dyn_fit.hmm.transitions {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Holding times are finite and at least one month.
+        for (_, h) in &dyn_fit.holding_times {
+            assert!(*h >= 1.0 && h.is_finite());
+        }
+        assert!(dyn_fit.to_string().contains("holding times"));
+    }
+
+    #[test]
+    fn ltm_recovers_structure() {
+        let ds = SimConfig::paper_default().with_seed(12).with_scale(0.02).simulate();
+        let a = ltm_analysis(&ds, 12, 99);
+
+        assert!(a.n_observations > 500);
+        assert_eq!(a.fit.k, 12);
+        assert_eq!(a.labels.len(), 12);
+
+        // A SALE-taker power class must exist: some class accepts far more
+        // Sales than it makes.
+        let has_sale_taker_power = a
+            .fit
+            .rates
+            .iter()
+            .any(|r| r[5] > 8.0 && r[5] > 4.0 * r[0]);
+        assert!(has_sale_taker_power, "rates: {:?}", a.fit.rates);
+
+        // Figure 12: Sale transactions made are concentrated in classes
+        // labelled like C (single Sale makers) during STABLE.
+        let sale_made_stable: u64 = (10..20).map(|mi| a.made[2][mi].iter().sum::<u64>()).sum();
+        assert!(sale_made_stable > 0);
+
+        // Table 8 rows exist for each era and headline types.
+        assert!(a.flows.iter().any(|f| f.era == Era::Stable
+            && f.contract_type == ContractType::Sale));
+        // Shares are valid proportions and the top STABLE Sale flow is large.
+        let top_sale = a
+            .flows
+            .iter()
+            .filter(|f| f.era == Era::Stable && f.contract_type == ContractType::Sale)
+            .map(|f| f.share)
+            .fold(0.0, f64::max);
+        assert!(top_sale > 0.15, "top STABLE Sale flow share {top_sale}");
+
+        // Transition matrix is over the fitted classes.
+        assert_eq!(a.transitions.k(), 12);
+        let rendered = a.to_string();
+        assert!(rendered.contains("Table 6") && rendered.contains("Table 8"));
+    }
+}

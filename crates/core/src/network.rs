@@ -1,0 +1,158 @@
+//! Figures 7–8: the contractual social network.
+
+use dial_graph::{ContractGraph, DegreeKind, DegreeSummary};
+use dial_model::{Contract, Dataset};
+use dial_stats::PowerLawFit;
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+
+/// Figure 7: degree distributions over created and completed contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeDistributions {
+    /// Histograms (degree 0..=15) for raw/inbound/outbound over created
+    /// contracts.
+    pub created: [Vec<usize>; 3],
+    /// Same over completed contracts.
+    pub completed: [Vec<usize>; 3],
+    /// Maximum raw/inbound/outbound degrees over created contracts.
+    pub created_max: [u64; 3],
+    /// Maximum degrees over completed contracts.
+    pub completed_max: [u64; 3],
+    /// Discrete power-law fit of the created raw-degree distribution.
+    pub raw_power_law: Option<PowerLawFit>,
+    /// Power-law fit of the created inbound-degree distribution.
+    pub inbound_power_law: Option<PowerLawFit>,
+}
+
+/// The figure's histogram cutoff (the paper omits degrees above 15).
+pub const MAX_PLOTTED_DEGREE: usize = 15;
+
+fn build_graph<'a>(
+    dataset: &Dataset,
+    contracts: impl Iterator<Item = &'a Contract>,
+) -> ContractGraph {
+    let mut g = ContractGraph::new(dataset.users().len());
+    for c in contracts {
+        g.add_contract(c.maker.0, c.taker.0, c.contract_type.is_bidirectional());
+    }
+    g
+}
+
+/// Computes Figure 7.
+pub fn degree_distributions(dataset: &Dataset) -> DegreeDistributions {
+    let created = build_graph(dataset, dataset.contracts().iter());
+    let completed = build_graph(dataset, dataset.completed_contracts());
+    let kinds = [DegreeKind::Raw, DegreeKind::Inbound, DegreeKind::Outbound];
+
+    let hists = |g: &ContractGraph| {
+        std::array::from_fn(|i| g.degree_histogram(kinds[i], MAX_PLOTTED_DEGREE))
+    };
+    let maxes = |g: &ContractGraph| {
+        std::array::from_fn(|i| g.degrees(kinds[i]).into_iter().max().unwrap_or(0))
+    };
+
+    // Power laws are fitted over non-zero degrees (a zero-degree user has
+    // simply never traded).
+    let nonzero = |g: &ContractGraph, kind| {
+        let v: Vec<u64> = g.degrees(kind).into_iter().filter(|d| *d > 0).collect();
+        v
+    };
+
+    DegreeDistributions {
+        created_max: maxes(&created),
+        completed_max: maxes(&completed),
+        raw_power_law: PowerLawFit::fit_from_one(&nonzero(&created, DegreeKind::Raw)),
+        inbound_power_law: PowerLawFit::fit_from_one(&nonzero(&created, DegreeKind::Inbound)),
+        created: hists(&created),
+        completed: hists(&completed),
+    }
+}
+
+/// Figure 8: growth of the cumulative network's degree summary over time,
+/// for created and completed contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkGrowth {
+    /// Cumulative-network summary at each month end, over created
+    /// contracts.
+    pub created: MonthlySeries<DegreeSummary>,
+    /// Same over completed contracts.
+    pub completed: MonthlySeries<DegreeSummary>,
+}
+
+/// Computes Figure 8 with a single incremental pass per variant.
+pub fn network_growth(dataset: &Dataset) -> NetworkGrowth {
+    let build = |completed_only: bool| {
+        let mut g = ContractGraph::new(dataset.users().len());
+        let mut summaries = Vec::with_capacity(StudyWindow::n_months());
+        // Bucket contracts by month index first (contracts are stored in
+        // id order which follows the generation month, but completion
+        // filtering must not disturb bucketing).
+        let mut buckets: Vec<Vec<&Contract>> = vec![Vec::new(); StudyWindow::n_months()];
+        for c in dataset.contracts() {
+            if completed_only && !c.is_complete() {
+                continue;
+            }
+            if let Some(mi) = StudyWindow::month_index(c.created_month()) {
+                buckets[mi].push(c);
+            }
+        }
+        for bucket in &buckets {
+            for c in bucket {
+                g.add_contract(c.maker.0, c.taker.0, c.contract_type.is_bidirectional());
+            }
+            summaries.push(g.summary());
+        }
+        MonthlySeries::from_vec(StudyWindow::first_month(), summaries)
+    };
+    NetworkGrowth { created: build(false), completed: build(true) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+    use dial_time::YearMonth;
+
+    #[test]
+    fn figure7_power_law_with_hubs() {
+        let ds = SimConfig::paper_default().with_seed(7).with_scale(0.05).simulate();
+        let d = degree_distributions(&ds);
+
+        // Most users have very few connections; degree-1 dominates.
+        let raw = &d.created[0];
+        assert!(raw[1] > raw[5] * 4, "degree histogram not heavy at 1: {raw:?}");
+
+        // Extreme inbound hubs exist; outbound max is smaller. The paper's
+        // full-scale gap is ~8.5x and ours is ~4x at scale 1.0 (see
+        // EXPERIMENTS.md); at this 5% test scale the hubs are much smaller
+        // and only a clear ordering is asserted.
+        assert!(d.created_max[1] as f64 > 1.4 * d.created_max[2] as f64,
+            "inbound {} vs outbound {}", d.created_max[1], d.created_max[2]);
+        // Raw and inbound maxima nearly coincide (hubs are acceptors).
+        assert!(d.created_max[0] as f64 / d.created_max[1] as f64 <= 1.3);
+
+        // The fitted exponent is in the scale-free range.
+        let fit = d.raw_power_law.as_ref().expect("fit");
+        assert!((1.2..3.5).contains(&fit.alpha), "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn figure8_growth_monotone() {
+        let ds = SimConfig::paper_default().with_seed(7).with_scale(0.05).simulate();
+        let g = network_growth(&ds);
+        // Cumulative maxima can only grow.
+        let mut prev = 0u64;
+        for (_, s) in g.created.iter() {
+            assert!(s.max_raw >= prev);
+            prev = s.max_raw;
+        }
+        // Degrees rise substantially across the window.
+        let first = g.created.get(YearMonth::new(2018, 7)).unwrap().max_raw;
+        let last = g.created.get(YearMonth::new(2020, 6)).unwrap().max_raw;
+        assert!(last > 4 * first.max(1), "{first} -> {last}");
+        // Completed network is a subgraph: its maxima never exceed created.
+        for (ym, s) in g.completed.iter() {
+            assert!(s.max_raw <= g.created.get(ym).unwrap().max_raw);
+        }
+    }
+}

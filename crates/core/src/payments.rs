@@ -1,0 +1,245 @@
+//! Table 4 (payment methods) and Figure 10 (payment-method evolution).
+//!
+//! Following §4.4, the input set is the completed public contracts
+//! classified into *currency exchange*, *payments* or *giftcard*; a second
+//! lexicon pass then buckets the payment instruments quoted on each side.
+
+use crate::activities::{classify_completed_public, ClassifiedContract};
+use crate::render::{thousands, TextTable};
+use dial_model::{Dataset, UserId};
+use dial_text::{payment_lexicon, tokenize, Normalizer, PaymentMethod, TradeCategory};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaymentRow {
+    /// The payment method.
+    pub method: PaymentMethod,
+    /// Contracts whose maker side quoted it, and unique makers.
+    pub makers: (u64, u64),
+    /// Contracts whose taker side quoted it, and unique takers.
+    pub takers: (u64, u64),
+    /// Contracts where either side quoted it, and unique users.
+    pub both: (u64, u64),
+}
+
+/// The reproduced Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaymentTable {
+    /// Methods with non-zero volume, sorted by both-sides count.
+    pub rows: Vec<PaymentRow>,
+    /// The "all methods" summary row.
+    pub total: PaymentRow,
+}
+
+impl PaymentTable {
+    /// The row for one method, if present.
+    pub fn row(&self, method: PaymentMethod) -> Option<&PaymentRow> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+/// True if a classified contract falls in the money categories §4.4
+/// examines.
+fn is_money_contract(cc: &ClassifiedContract<'_>) -> bool {
+    const MONEY: [TradeCategory; 3] = [
+        TradeCategory::CurrencyExchange,
+        TradeCategory::Payments,
+        TradeCategory::Giftcard,
+    ];
+    MONEY
+        .iter()
+        .any(|m| cc.maker_cats.contains(m) || cc.taker_cats.contains(m))
+}
+
+/// Computes Table 4.
+pub fn payment_table(dataset: &Dataset) -> PaymentTable {
+    let classified = classify_completed_public(dataset);
+    let normalizer = Normalizer::default();
+    let lexicon = payment_lexicon();
+    let n = PaymentMethod::ALL.len();
+    let idx = |m: PaymentMethod| PaymentMethod::ALL.iter().position(|x| *x == m).unwrap();
+
+    let mut maker_count = vec![0u64; n];
+    let mut taker_count = vec![0u64; n];
+    let mut both_count = vec![0u64; n];
+    let mut maker_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
+    let mut taker_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
+    let mut both_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
+    let mut any = PaymentRow {
+        method: PaymentMethod::Bitcoin,
+        makers: (0, 0),
+        takers: (0, 0),
+        both: (0, 0),
+    };
+    let mut any_makers = HashSet::new();
+    let mut any_takers = HashSet::new();
+    let mut any_users = HashSet::new();
+
+    for cc in classified.iter().filter(|cc| is_money_contract(cc)) {
+        let c = cc.contract;
+        let maker_methods =
+            lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
+        let taker_methods =
+            lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation)));
+        let mut union: HashSet<usize> = HashSet::new();
+        for m in &maker_methods {
+            let i = idx(*m);
+            maker_count[i] += 1;
+            maker_users[i].insert(c.maker);
+            union.insert(i);
+        }
+        for m in &taker_methods {
+            let i = idx(*m);
+            taker_count[i] += 1;
+            taker_users[i].insert(c.taker);
+            union.insert(i);
+        }
+        for i in &union {
+            both_count[*i] += 1;
+            both_users[*i].insert(c.maker);
+            both_users[*i].insert(c.taker);
+        }
+        if !union.is_empty() {
+            any.both.0 += 1;
+            any_users.insert(c.maker);
+            any_users.insert(c.taker);
+        }
+        if !maker_methods.is_empty() {
+            any.makers.0 += 1;
+            any_makers.insert(c.maker);
+        }
+        if !taker_methods.is_empty() {
+            any.takers.0 += 1;
+            any_takers.insert(c.taker);
+        }
+    }
+    any.makers.1 = any_makers.len() as u64;
+    any.takers.1 = any_takers.len() as u64;
+    any.both.1 = any_users.len() as u64;
+
+    let mut rows: Vec<PaymentRow> = PaymentMethod::ALL
+        .iter()
+        .map(|m| {
+            let i = idx(*m);
+            PaymentRow {
+                method: *m,
+                makers: (maker_count[i], maker_users[i].len() as u64),
+                takers: (taker_count[i], taker_users[i].len() as u64),
+                both: (both_count[i], both_users[i].len() as u64),
+            }
+        })
+        .filter(|r| r.both.0 > 0)
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.both.0));
+    PaymentTable { rows, total: any }
+}
+
+impl fmt::Display for PaymentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 4: completed public contracts (and unique users) in top payment methods"
+        )?;
+        let mut t =
+            TextTable::new(&["Payment Methods", "Makers Side", "Takers Side", "Both Sides"]);
+        let cell = |(n, u): (u64, u64)| format!("{} ({})", thousands(n), thousands(u));
+        for r in self.rows.iter().take(10) {
+            t.row(vec![r.method.label().to_string(), cell(r.makers), cell(r.takers), cell(r.both)]);
+        }
+        t.row(vec![
+            "All Methods".to_string(),
+            cell(self.total.makers),
+            cell(self.total.takers),
+            cell(self.total.both),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+/// Figure 10: monthly volume of the top five payment methods among
+/// completed public money contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaymentEvolution {
+    /// `(method, monthly both-sides counts)` for the window's top five.
+    pub series: Vec<(PaymentMethod, MonthlySeries<u64>)>,
+}
+
+/// Computes Figure 10.
+pub fn payment_evolution(dataset: &Dataset) -> PaymentEvolution {
+    let classified = classify_completed_public(dataset);
+    let normalizer = Normalizer::default();
+    let lexicon = payment_lexicon();
+
+    // (method, month) counts in one pass.
+    let n = PaymentMethod::ALL.len();
+    let idx = |m: PaymentMethod| PaymentMethod::ALL.iter().position(|x| *x == m).unwrap();
+    let mut counts = vec![vec![0u64; StudyWindow::n_months()]; n];
+    for cc in classified.iter().filter(|cc| is_money_contract(cc)) {
+        let Some(mi) = StudyWindow::month_index(cc.contract.created_month()) else { continue };
+        let mut methods =
+            lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.maker_obligation)));
+        methods.extend(
+            lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.taker_obligation))),
+        );
+        methods.sort();
+        methods.dedup();
+        for m in methods {
+            counts[idx(m)][mi] += 1;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(counts[i].iter().sum::<u64>()));
+    let series = order
+        .into_iter()
+        .take(5)
+        .filter(|&i| counts[i].iter().sum::<u64>() > 0)
+        .map(|i| {
+            (
+                PaymentMethod::ALL[i],
+                MonthlySeries::from_vec(StudyWindow::first_month(), counts[i].clone()),
+            )
+        })
+        .collect();
+    PaymentEvolution { series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+
+    #[test]
+    fn table4_bitcoin_then_paypal() {
+        let ds = SimConfig::paper_default().with_seed(9).with_scale(0.05).simulate();
+        let t = payment_table(&ds);
+        assert_eq!(t.rows[0].method, PaymentMethod::Bitcoin);
+        assert_eq!(t.rows[1].method, PaymentMethod::PayPal);
+        // Amazon giftcards rank third.
+        assert_eq!(t.rows[2].method, PaymentMethod::AmazonGiftcards);
+        // Bitcoin appears on most money contracts (paper: 75%).
+        let share = t.rows[0].both.0 as f64 / t.total.both.0 as f64;
+        assert!(share > 0.5, "bitcoin share {share}");
+        assert!(t.to_string().contains("Bitcoin"));
+    }
+
+    #[test]
+    fn figure10_cashapp_rises_at_the_end() {
+        let ds = SimConfig::paper_default().with_seed(9).with_scale(0.05).simulate();
+        let ev = payment_evolution(&ds);
+        let cats: Vec<PaymentMethod> = ev.series.iter().map(|(m, _)| *m).collect();
+        assert!(cats.contains(&PaymentMethod::Bitcoin));
+        assert!(cats.contains(&PaymentMethod::Cashapp), "top-5: {cats:?}");
+        let cashapp = &ev.series.iter().find(|(m, _)| *m == PaymentMethod::Cashapp).unwrap().1;
+        let paypal = &ev.series.iter().find(|(m, _)| *m == PaymentMethod::PayPal).unwrap().1;
+        let last = dial_time::YearMonth::new(2020, 6);
+        assert!(
+            cashapp.get(last).unwrap() > paypal.get(last).unwrap(),
+            "June 2020: Cashapp must outpace PayPal"
+        );
+    }
+}

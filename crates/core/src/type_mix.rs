@@ -1,0 +1,89 @@
+//! Figure 3: monthly contract-type proportions (created and completed).
+
+use dial_model::{ContractType, Dataset};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+
+/// Per-month type shares, in [`ContractType::ALL`] order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeMixSeries {
+    /// Shares among created contracts.
+    pub created: MonthlySeries<[f64; 5]>,
+    /// Shares among completed contracts.
+    pub completed: MonthlySeries<[f64; 5]>,
+}
+
+fn type_idx(ty: ContractType) -> usize {
+    ContractType::ALL.iter().position(|t| *t == ty).unwrap()
+}
+
+/// Computes Figure 3.
+pub fn type_mix_series(dataset: &Dataset) -> TypeMixSeries {
+    let tabulate = |completed_only: bool| {
+        MonthlySeries::tabulate(StudyWindow::first_month(), StudyWindow::last_month(), |ym| {
+            let mut counts = [0f64; 5];
+            for c in dataset.contracts_in_month(ym) {
+                if completed_only && !c.is_complete() {
+                    continue;
+                }
+                counts[type_idx(c.contract_type)] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            if total > 0.0 {
+                counts.iter_mut().for_each(|v| *v /= total);
+            }
+            counts
+        })
+    };
+    TypeMixSeries { created: tabulate(false), completed: tabulate(true) }
+}
+
+impl TypeMixSeries {
+    /// Share of one type among created contracts in a month.
+    pub fn created_share(&self, ym: dial_time::YearMonth, ty: ContractType) -> f64 {
+        self.created.get(ym).map_or(0.0, |row| row[type_idx(ty)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+    use dial_time::YearMonth;
+
+    #[test]
+    fn figure3_shapes() {
+        let ds = SimConfig::paper_default().with_seed(4).with_scale(0.05).simulate();
+        let mix = type_mix_series(&ds);
+        let m = |y, mo| YearMonth::new(y, mo);
+
+        // Launch: Exchange leads (~50%), Sale second (~40%).
+        assert!(
+            mix.created_share(m(2018, 6), ContractType::Exchange)
+                > mix.created_share(m(2018, 6), ContractType::Sale)
+        );
+
+        // STABLE: Sale dominates created (>60%), Exchange under 25%.
+        assert!(mix.created_share(m(2019, 6), ContractType::Sale) > 0.6);
+        assert!(mix.created_share(m(2019, 6), ContractType::Exchange) < 0.25);
+
+        // Completed mix: Exchange completes disproportionately, so its
+        // completed share exceeds its created share in STABLE.
+        let created_ex = mix.created_share(m(2019, 6), ContractType::Exchange);
+        let completed_ex = mix.completed.get(m(2019, 6)).unwrap()[2];
+        assert!(completed_ex > created_ex);
+
+        // Vouch Copy emerges only from February 2020 and keeps growing.
+        assert_eq!(mix.created_share(m(2019, 12), ContractType::VouchCopy), 0.0);
+        assert!(
+            mix.created_share(m(2020, 6), ContractType::VouchCopy)
+                > mix.created_share(m(2020, 2), ContractType::VouchCopy)
+        );
+
+        // Every month's shares sum to 1 (where contracts exist).
+        for (_, row) in mix.created.iter() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Table 5, Figure 11 and the §4.5 trading-value estimation.
+//!
+//! The pipeline mirrors the paper:
+//!
+//! 1. extract quoted amounts and denominations from both obligation
+//!    sections of completed public contracts (Vouch Copy excluded);
+//! 2. default missing denominations to USD and convert everything at the
+//!    day's rate;
+//! 3. if one side quotes no value, assume it equals the other side; if
+//!    both sides quote values (e.g. currency exchange), average them; if
+//!    neither does, exclude the contract;
+//! 4. re-check high-value (> $1,000) contracts against the blockchain
+//!    where a chain reference exists, replacing mismatched claims with the
+//!    observed on-chain value and discarding unverifiable ones;
+//! 5. report totals by contract type, activity and payment method, and
+//!    extrapolate a lower bound over private contracts by assuming they
+//!    are at least as valuable on average as public ones.
+
+use crate::activities::{classify_completed_public, ClassifiedContract};
+use crate::render::{usd, TextTable};
+use dial_chain::{Ledger, Verdict};
+use dial_fx::{Currency, RateProvider, SyntheticRates};
+use dial_model::{ContractType, Dataset};
+use dial_text::{payment_lexicon, scan_money, tokenize, Normalizer, PaymentMethod, TradeCategory};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The high-value threshold the paper uses for manual verification.
+pub const HIGH_VALUE_USD: f64 = 1_000.0;
+
+/// Verification window around the completion time when scanning the ledger
+/// by address.
+const VERIFY_WINDOW_HOURS: f64 = 72.0;
+
+/// A contract with resolved per-side USD values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValuedContract {
+    /// Contract id in the dataset.
+    pub contract_index: usize,
+    /// Contract type.
+    pub contract_type: ContractType,
+    /// Resolved maker-side value (USD).
+    pub maker_usd: f64,
+    /// Resolved taker-side value (USD).
+    pub taker_usd: f64,
+    /// The single per-contract value (average of the two sides when both
+    /// were quoted, following the double-counting rule).
+    pub contract_usd: f64,
+    /// Verification verdict for high-value contracts with chain refs.
+    pub verdict: Option<Verdict>,
+}
+
+/// Aggregated §4.5 results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueReport {
+    /// Every valued contract.
+    pub contracts: Vec<ValuedContract>,
+    /// Total public trading value (USD).
+    pub total_usd: f64,
+    /// Mean per-contract value.
+    pub mean_usd: f64,
+    /// Maximum per-contract value.
+    pub max_usd: f64,
+    /// Totals per contract type (Sale, Purchase, Exchange, Trade).
+    pub by_type: HashMap<ContractType, TypeValue>,
+    /// Table 5 left half: top activities by value.
+    pub by_activity: Vec<(TradeCategory, f64, f64)>,
+    /// Table 5 right half: top payment methods by value.
+    pub by_payment: Vec<(PaymentMethod, f64, f64)>,
+    /// Verification outcome counts over checked high-value contracts
+    /// (confirmed, mismatch, not found).
+    pub verification: [usize; 3],
+    /// Lower-bound estimate over public *and* private contracts, by
+    /// per-type extrapolation.
+    pub extrapolated_total_usd: f64,
+}
+
+/// Per-type value summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TypeValue {
+    /// Sum of contract values.
+    pub total: f64,
+    /// Mean contract value.
+    pub mean: f64,
+    /// Maximum contract value.
+    pub max: f64,
+    /// Number of valued contracts.
+    pub count: usize,
+}
+
+/// Resolves the USD value quoted on one obligation side.
+///
+/// Obligations often quote *both* legs of a swap on one side ("selling
+/// 0.005 btc for $40 paypal"), so the side value is the mean of the quoted
+/// amounts — summing would double-count the trade, which is exactly the
+/// double-counting trap §4.5 warns about.
+fn side_value(text: &str, date: dial_time::Date, rates: &SyntheticRates) -> Option<f64> {
+    let mentions = scan_money(text);
+    if mentions.is_empty() {
+        return None;
+    }
+    let total: f64 = mentions
+        .iter()
+        .map(|m| m.amount * rates.usd_rate(m.currency.unwrap_or(Currency::Usd), date))
+        .sum();
+    Some(total / mentions.len() as f64)
+}
+
+/// Runs the full §4.5 value pipeline.
+pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
+    let rates = SyntheticRates;
+    let classified = classify_completed_public(dataset);
+    let normalizer = Normalizer::default();
+    let pay_lexicon = payment_lexicon();
+
+    let mut contracts = Vec::new();
+    let mut verification = [0usize; 3];
+    let mut by_activity: HashMap<TradeCategory, (f64, f64)> = HashMap::new();
+    let mut by_payment: HashMap<PaymentMethod, (f64, f64)> = HashMap::new();
+    let mut by_type: HashMap<ContractType, TypeValue> = HashMap::new();
+
+    for cc in &classified {
+        let c = cc.contract;
+        if c.contract_type == ContractType::VouchCopy {
+            continue; // reputation proof, not an economic trade
+        }
+        let date = c.created.date();
+        let maker = side_value(&c.maker_obligation, date, &rates);
+        let taker = side_value(&c.taker_obligation, date, &rates);
+        let (mut maker_usd, mut taker_usd) = match (maker, taker) {
+            (None, None) => continue, // neither side estimable: excluded
+            (Some(m), None) => (m, m),
+            (None, Some(t)) => (t, t),
+            (Some(m), Some(t)) => (m, t),
+        };
+        let mut value = (maker_usd + taker_usd) / 2.0;
+        let mut verdict = None;
+
+        // High-value verification against the chain.
+        if value > HIGH_VALUE_USD {
+            if c.chain_ref.is_none() && value > 10_000.0 {
+                // The manual check found claims above $10,000 are
+                // overwhelmingly typing errors; with no chain reference to
+                // correct against, the contract is excluded.
+                continue;
+            }
+            if let Some(chain_ref) = &c.chain_ref {
+                let completed = c.completed.unwrap_or_else(|| c.created.plus_hours(24.0));
+                let v = ledger.verify(
+                    value,
+                    chain_ref.tx_hash.as_deref(),
+                    &chain_ref.address,
+                    completed,
+                    VERIFY_WINDOW_HOURS,
+                );
+                verdict = Some(v);
+                match v {
+                    Verdict::Confirmed => verification[0] += 1,
+                    Verdict::Mismatch { observed_usd } => {
+                        verification[1] += 1;
+                        // Update the contract details per the observed value.
+                        value = observed_usd;
+                        maker_usd = observed_usd;
+                        taker_usd = observed_usd;
+                    }
+                    Verdict::NotFound => {
+                        verification[2] += 1;
+                        // Unverifiable high-value claim: excluded.
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Attribute side values to the activities matched on each side.
+        for cat in &cc.maker_cats {
+            by_activity.entry(*cat).or_default().0 += maker_usd;
+        }
+        for cat in &cc.taker_cats {
+            by_activity.entry(*cat).or_default().1 += taker_usd;
+        }
+        // And to payment methods quoted per side.
+        for m in pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation))) {
+            by_payment.entry(m).or_default().0 += maker_usd;
+        }
+        for m in pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation))) {
+            by_payment.entry(m).or_default().1 += taker_usd;
+        }
+
+        let tv = by_type.entry(c.contract_type).or_default();
+        tv.total += value;
+        tv.max = tv.max.max(value);
+        tv.count += 1;
+
+        contracts.push(ValuedContract {
+            contract_index: c.id.index(),
+            contract_type: c.contract_type,
+            maker_usd,
+            taker_usd,
+            contract_usd: value,
+            verdict,
+        });
+    }
+
+    for tv in by_type.values_mut() {
+        tv.mean = if tv.count > 0 { tv.total / tv.count as f64 } else { 0.0 };
+    }
+    let total_usd: f64 = contracts.iter().map(|c| c.contract_usd).sum();
+    let mean_usd = total_usd / contracts.len().max(1) as f64;
+    let max_usd = contracts.iter().map(|c| c.contract_usd).fold(0.0, f64::max);
+
+    // Extrapolate per type: private completed contracts are assumed at
+    // least as valuable on average as public ones.
+    let mut extrapolated = 0.0;
+    for (ty, tv) in &by_type {
+        let completed_total =
+            dataset.completed_contracts().filter(|c| c.contract_type == *ty).count();
+        if tv.count > 0 {
+            extrapolated += tv.mean * completed_total as f64;
+        }
+    }
+
+    let mut by_activity: Vec<(TradeCategory, f64, f64)> =
+        by_activity.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
+    by_activity.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)));
+    let mut by_payment: Vec<(PaymentMethod, f64, f64)> =
+        by_payment.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
+    by_payment.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)));
+
+    ValueReport {
+        contracts,
+        total_usd,
+        mean_usd,
+        max_usd,
+        by_type,
+        by_activity,
+        by_payment,
+        verification,
+        extrapolated_total_usd: extrapolated,
+    }
+}
+
+impl fmt::Display for ValueReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Trading values (public completed): total {}, mean {}, max {}",
+            usd(self.total_usd),
+            usd(self.mean_usd),
+            usd(self.max_usd)
+        )?;
+        writeln!(f, "Extrapolated lower bound (public+private): {}", usd(self.extrapolated_total_usd))?;
+        writeln!(
+            f,
+            "High-value verification: {} confirmed, {} mismatched, {} not found",
+            self.verification[0], self.verification[1], self.verification[2]
+        )?;
+        writeln!(f, "\nTable 5: top trading activities and payment methods by value")?;
+        let mut t = TextTable::new(&["Trading Activities", "Makers", "Takers", "Total"]);
+        for (cat, m, tk) in self.by_activity.iter().take(10) {
+            t.row(vec![cat.label().to_string(), usd(*m), usd(*tk), usd(m + tk)]);
+        }
+        writeln!(f, "{t}")?;
+        let mut t = TextTable::new(&["Payment Methods", "Makers", "Takers", "Total"]);
+        for (pm, m, tk) in self.by_payment.iter().take(10) {
+            t.row(vec![pm.label().to_string(), usd(*m), usd(*tk), usd(m + tk)]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Figure 11: monthly value by contract type, top payment methods and top
+/// products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueEvolution {
+    /// Monthly total value per contract type ([`ContractType::ALL`] order;
+    /// Vouch Copy always zero).
+    pub by_type: [MonthlySeries<f64>; 5],
+    /// Monthly value for the top five payment methods.
+    pub by_payment: Vec<(PaymentMethod, MonthlySeries<f64>)>,
+    /// Monthly value for the top five products (excl. currency exchange and
+    /// payments).
+    pub by_product: Vec<(TradeCategory, MonthlySeries<f64>)>,
+}
+
+/// Computes Figure 11. Reuses the classified pass internally.
+pub fn value_evolution(dataset: &Dataset, ledger: &Ledger) -> ValueEvolution {
+    let report = value_report(dataset, ledger);
+    let classified = classify_completed_public(dataset);
+    let class_by_index: HashMap<usize, &ClassifiedContract<'_>> =
+        classified.iter().map(|cc| (cc.contract.id.index(), cc)).collect();
+    let normalizer = Normalizer::default();
+    let pay_lexicon = payment_lexicon();
+    let n_months = StudyWindow::n_months();
+
+    let type_idx =
+        |ty: ContractType| ContractType::ALL.iter().position(|t| *t == ty).unwrap();
+    let mut by_type = vec![vec![0f64; n_months]; 5];
+    let mut by_payment: HashMap<PaymentMethod, Vec<f64>> = HashMap::new();
+    let mut by_product: HashMap<TradeCategory, Vec<f64>> = HashMap::new();
+
+    for vc in &report.contracts {
+        let cc = class_by_index[&vc.contract_index];
+        let Some(mi) = StudyWindow::month_index(cc.contract.created_month()) else { continue };
+        by_type[type_idx(vc.contract_type)][mi] += vc.contract_usd;
+
+        let mut methods =
+            pay_lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.maker_obligation)));
+        methods.extend(
+            pay_lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.taker_obligation))),
+        );
+        methods.sort();
+        methods.dedup();
+        for m in methods {
+            by_payment.entry(m).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
+        }
+
+        let mut cats = cc.maker_cats.clone();
+        cats.extend(cc.taker_cats.iter().copied());
+        cats.sort();
+        cats.dedup();
+        for cat in cats {
+            if cat == TradeCategory::CurrencyExchange || cat == TradeCategory::Payments {
+                continue;
+            }
+            by_product.entry(cat).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
+        }
+    }
+
+    fn top5<K>(map: HashMap<K, Vec<f64>>) -> Vec<(K, MonthlySeries<f64>)> {
+        let mut entries: Vec<_> = map.into_iter().collect();
+        entries.sort_by(|a, b| b.1.iter().sum::<f64>().total_cmp(&a.1.iter().sum::<f64>()));
+        entries
+            .into_iter()
+            .take(5)
+            .map(|(k, v)| (k, MonthlySeries::from_vec(StudyWindow::first_month(), v)))
+            .collect()
+    }
+
+    ValueEvolution {
+        by_type: std::array::from_fn(|i| {
+            MonthlySeries::from_vec(StudyWindow::first_month(), by_type[i].clone())
+        }),
+        by_payment: top5(by_payment),
+        by_product: top5(by_product),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+
+    #[test]
+    fn value_report_shapes() {
+        let out = SimConfig::paper_default().with_seed(10).with_scale(0.05).simulate_full();
+        let r = value_report(&out.dataset, &out.ledger);
+
+        assert!(!r.contracts.is_empty());
+        assert!(r.mean_usd > 30.0 && r.mean_usd < 300.0, "mean {}", r.mean_usd);
+        assert!(r.max_usd <= 15_000.0);
+
+        // Exchange has the highest mean value; Trade the lowest total.
+        let ex = r.by_type[&ContractType::Exchange];
+        let sale = r.by_type[&ContractType::Sale];
+        let trade = r.by_type[&ContractType::Trade];
+        assert!(ex.mean > sale.mean, "exchange {} vs sale {}", ex.mean, sale.mean);
+        assert!(trade.total < sale.total);
+
+        // Currency exchange tops Table 5's activity ranking; Bitcoin tops
+        // the payment ranking with roughly 2-3x PayPal.
+        assert_eq!(r.by_activity[0].0, TradeCategory::CurrencyExchange);
+        assert_eq!(r.by_payment[0].0, PaymentMethod::Bitcoin);
+        let btc = r.by_payment[0].1 + r.by_payment[0].2;
+        let paypal = r
+            .by_payment
+            .iter()
+            .find(|(m, _, _)| *m == PaymentMethod::PayPal)
+            .map(|(_, a, b)| a + b)
+            .unwrap();
+        assert!(btc > 1.5 * paypal, "btc {btc} vs paypal {paypal}");
+
+        // Extrapolation exceeds the public total by roughly the
+        // private/public completed ratio (~5-7x).
+        let factor = r.extrapolated_total_usd / r.total_usd;
+        assert!((3.0..10.0).contains(&factor), "extrapolation factor {factor}");
+
+        // Verification mix near the planted 50/43/7.
+        let total: usize = r.verification.iter().sum();
+        if total >= 10 {
+            let confirmed = r.verification[0] as f64 / total as f64;
+            assert!((0.25..0.75).contains(&confirmed), "confirmed share {confirmed}");
+        }
+        assert!(r.to_string().contains("Table 5"));
+    }
+
+    #[test]
+    fn figure11_exchange_leads_by_value() {
+        let out = SimConfig::paper_default().with_seed(10).with_scale(0.05).simulate_full();
+        let ev = value_evolution(&out.dataset, &out.ledger);
+        let sum = |s: &MonthlySeries<f64>| s.total();
+        // Exchange carries the most value overall (index 2 of ALL order).
+        assert!(sum(&ev.by_type[2]) > sum(&ev.by_type[1]));
+        assert!(sum(&ev.by_type[2]) > sum(&ev.by_type[3]));
+        assert!(!ev.by_payment.is_empty());
+        assert_eq!(ev.by_payment[0].0, PaymentMethod::Bitcoin);
+    }
+}

@@ -1,0 +1,154 @@
+//! Table 2 (visibility of contract types) and Figure 2 (monthly public
+//! proportions).
+
+use crate::render::{pct, thousands, TextTable};
+use dial_model::{ContractType, Dataset};
+use dial_time::{MonthlySeries, StudyWindow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The reproduced Table 2: public/private counts per type, for created and
+/// completed contracts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisibilityTable {
+    /// `(private, public)` per type over all created contracts.
+    pub created: [(u64, u64); 5],
+    /// `(private, public)` per type over completed contracts.
+    pub completed: [(u64, u64); 5],
+}
+
+impl VisibilityTable {
+    /// Overall public share among created contracts.
+    pub fn public_share_created(&self) -> f64 {
+        let public: u64 = self.created.iter().map(|(_, pu)| pu).sum();
+        let total: u64 = self.created.iter().map(|(pr, pu)| pr + pu).sum();
+        public as f64 / total.max(1) as f64
+    }
+
+    /// Overall public share among completed contracts.
+    pub fn public_share_completed(&self) -> f64 {
+        let public: u64 = self.completed.iter().map(|(_, pu)| pu).sum();
+        let total: u64 = self.completed.iter().map(|(pr, pu)| pr + pu).sum();
+        public as f64 / total.max(1) as f64
+    }
+
+    /// Public share of one type among created contracts.
+    pub fn type_public_share_created(&self, ty: ContractType) -> f64 {
+        let (pr, pu) = self.created[type_idx(ty)];
+        pu as f64 / (pr + pu).max(1) as f64
+    }
+}
+
+fn type_idx(ty: ContractType) -> usize {
+    ContractType::ALL.iter().position(|t| *t == ty).unwrap()
+}
+
+/// Computes Table 2.
+pub fn visibility_table(dataset: &Dataset) -> VisibilityTable {
+    let mut created = [(0u64, 0u64); 5];
+    let mut completed = [(0u64, 0u64); 5];
+    for c in dataset.contracts() {
+        let i = type_idx(c.contract_type);
+        let slot = if c.is_public() { &mut created[i].1 } else { &mut created[i].0 };
+        *slot += 1;
+        if c.is_complete() {
+            let slot = if c.is_public() { &mut completed[i].1 } else { &mut completed[i].0 };
+            *slot += 1;
+        }
+    }
+    VisibilityTable { created, completed }
+}
+
+impl fmt::Display for VisibilityTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: visibility of contract types")?;
+        let mut t = TextTable::new(&["Type\\Visibility", "Private", "Public", "Total"]);
+        let mut push = |label: String, pr: u64, pu: u64| {
+            let total = pr + pu;
+            t.row(vec![
+                label,
+                format!("{} ({})", thousands(pr), pct(pr as f64 / total.max(1) as f64)),
+                format!("{} ({})", thousands(pu), pct(pu as f64 / total.max(1) as f64)),
+                thousands(total),
+            ]);
+        };
+        for ty in ContractType::ALL {
+            let (pr, pu) = self.created[type_idx(ty)];
+            push(format!("{} Created", ty.label()), pr, pu);
+        }
+        for ty in ContractType::ALL {
+            let (pr, pu) = self.completed[type_idx(ty)];
+            push(format!("{} Completed", ty.label()), pr, pu);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Figure 2: monthly proportion of public contracts, for created and
+/// completed contracts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublicShareSeries {
+    /// Share of created contracts that are public, per month.
+    pub created: MonthlySeries<f64>,
+    /// Share of completed contracts that are public, per month.
+    pub completed: MonthlySeries<f64>,
+}
+
+/// Computes Figure 2.
+pub fn public_share_by_month(dataset: &Dataset) -> PublicShareSeries {
+    let share = |completed_only: bool| {
+        MonthlySeries::tabulate(StudyWindow::first_month(), StudyWindow::last_month(), |ym| {
+            let mut public = 0usize;
+            let mut total = 0usize;
+            for c in dataset.contracts_in_month(ym) {
+                if completed_only && !c.is_complete() {
+                    continue;
+                }
+                total += 1;
+                if c.is_public() {
+                    public += 1;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                public as f64 / total as f64
+            }
+        })
+    };
+    PublicShareSeries { created: share(false), completed: share(true) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+    use dial_time::YearMonth;
+
+    #[test]
+    fn table2_and_fig2_shapes() {
+        let ds = SimConfig::paper_default().with_seed(2).with_scale(0.05).simulate();
+        let t = visibility_table(&ds);
+
+        // ~88% of created contracts are private; completed contracts are
+        // more often public.
+        let pub_created = t.public_share_created();
+        assert!((0.08..0.20).contains(&pub_created), "created public {pub_created}");
+        assert!(t.public_share_completed() > pub_created);
+
+        // SALE is the most private type.
+        for ty in [ContractType::Purchase, ContractType::Exchange, ContractType::Trade] {
+            assert!(
+                t.type_public_share_created(ty) > t.type_public_share_created(ContractType::Sale)
+            );
+        }
+
+        // Figure 2: public share starts ~45-50% and falls to ~10%.
+        let s = public_share_by_month(&ds);
+        let first = *s.created.get(YearMonth::new(2018, 6)).unwrap();
+        let later = *s.created.get(YearMonth::new(2019, 8)).unwrap();
+        assert!(first > 0.35, "launch public share {first}");
+        assert!(later < 0.2, "stable public share {later}");
+        assert!(t.to_string().contains("SALE Created"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Block structure over the ledger (extension).
+//!
+//! The flat [`crate::Ledger`] answers the paper's verification query
+//! directly; this layer adds the chain's native packaging — transactions
+//! batched into timestamped blocks at a fixed cadence — so
+//! confirmation-depth semantics ("is this payment k blocks deep by time
+//! t?") are available, as a real verifier would require before treating a
+//! settlement as final.
+
+use crate::ledger::{ChainTx, Ledger};
+use dial_time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Target spacing between blocks, in minutes (Bitcoin's ~10 minutes).
+pub const BLOCK_SPACING_MINUTES: i64 = 10;
+
+/// A mined block: a height, a timestamp and the hashes of the transactions
+/// it confirms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Height (0-based, consecutive).
+    pub height: u64,
+    /// Mining time.
+    pub mined_at: Timestamp,
+    /// Confirmed transaction hashes, in ledger order.
+    pub tx_hashes: Vec<String>,
+}
+
+/// A blockchain view assembled over a ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    blocks: Vec<Block>,
+    /// Genesis timestamp the heights are anchored to.
+    genesis: Timestamp,
+}
+
+impl Chain {
+    /// Packs a ledger into blocks on the fixed cadence, anchored at the
+    /// earliest transaction (or `fallback_genesis` for an empty ledger).
+    /// A transaction confirmed at time `t` lands in the first block mined
+    /// at or after `t`.
+    pub fn assemble(ledger: &Ledger, fallback_genesis: Timestamp) -> Chain {
+        let mut txs: Vec<&ChainTx> = ledger.iter().collect();
+        txs.sort_by_key(|tx| (tx.confirmed_at, tx.hash.clone()));
+        let genesis = txs.first().map(|tx| tx.confirmed_at).unwrap_or(fallback_genesis);
+
+        let mut blocks: Vec<Block> = Vec::new();
+        for tx in txs {
+            let height = tx
+                .confirmed_at
+                .minutes()
+                .saturating_sub(genesis.minutes())
+                .div_euclid(BLOCK_SPACING_MINUTES) as u64;
+            let mined_at =
+                genesis.plus_minutes((height as i64 + 1) * BLOCK_SPACING_MINUTES);
+            match blocks.last_mut() {
+                Some(b) if b.height == height => b.tx_hashes.push(tx.hash.clone()),
+                _ => blocks.push(Block {
+                    height,
+                    mined_at,
+                    tx_hashes: vec![tx.hash.clone()],
+                }),
+            }
+        }
+        Chain { blocks, genesis }
+    }
+
+    /// All non-empty blocks, height-ascending.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing a transaction hash.
+    pub fn block_of(&self, tx_hash: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.tx_hashes.iter().any(|h| h == tx_hash))
+    }
+
+    /// Chain tip height implied by wall-clock time `now` (blocks arrive on
+    /// the cadence whether or not they hold our transactions).
+    pub fn tip_height_at(&self, now: Timestamp) -> u64 {
+        now.minutes()
+            .saturating_sub(self.genesis.minutes())
+            .div_euclid(BLOCK_SPACING_MINUTES)
+            .max(0) as u64
+    }
+
+    /// Number of confirmations a transaction has accumulated by `now`
+    /// (1 when its block is the tip), or `None` if unknown/not yet mined.
+    pub fn confirmations(&self, tx_hash: &str, now: Timestamp) -> Option<u64> {
+        let block = self.block_of(tx_hash)?;
+        if block.mined_at > now {
+            return None;
+        }
+        Some(self.tip_height_at(now).saturating_sub(block.height) + 1)
+    }
+
+    /// True once the transaction is at least `depth` confirmations deep —
+    /// the settlement-finality predicate a careful verifier would use.
+    pub fn is_final(&self, tx_hash: &str, now: Timestamp, depth: u64) -> bool {
+        self.confirmations(tx_hash, now).is_some_and(|c| c >= depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_time::Date;
+
+    fn ts(minute: i64) -> Timestamp {
+        Timestamp::at_midnight(Date::from_ymd(2020, 1, 1)).plus_minutes(minute)
+    }
+
+    fn ledger_with(times: &[i64]) -> Ledger {
+        let mut l = Ledger::new();
+        for (i, &m) in times.iter().enumerate() {
+            l.insert(ChainTx {
+                hash: format!("{i:064}"),
+                to_address: format!("1Addr{i}"),
+                value_usd: 100.0,
+                confirmed_at: ts(m),
+            });
+        }
+        l
+    }
+
+    #[test]
+    fn batching_follows_the_cadence() {
+        // Txs at minutes 0, 5, 12, 35 → blocks at heights 0, 0, 1, 3.
+        let chain = Chain::assemble(&ledger_with(&[0, 5, 12, 35]), ts(0));
+        let heights: Vec<u64> = chain.blocks().iter().map(|b| b.height).collect();
+        assert_eq!(heights, vec![0, 1, 3]);
+        assert_eq!(chain.blocks()[0].tx_hashes.len(), 2);
+        assert_eq!(chain.block_of(&format!("{:064}", 3)).unwrap().height, 3);
+    }
+
+    #[test]
+    fn confirmations_accumulate_with_time() {
+        let chain = Chain::assemble(&ledger_with(&[0, 25]), ts(0));
+        let tx0 = format!("{:064}", 0);
+        // Before its block is mined (block 0 mines at minute 10): unknown.
+        assert_eq!(chain.confirmations(&tx0, ts(5)), None);
+        // At minute 10 the tip is height 1 → 2 confirmations for height 0.
+        assert_eq!(chain.confirmations(&tx0, ts(10)), Some(2));
+        // An hour later the depth has grown by the cadence.
+        assert_eq!(chain.confirmations(&tx0, ts(70)), Some(8));
+        assert!(chain.is_final(&tx0, ts(70), 6));
+        assert!(!chain.is_final(&tx0, ts(10), 6));
+        // Unknown hashes are never final.
+        assert!(!chain.is_final("ffff", ts(1000), 1));
+    }
+
+    #[test]
+    fn empty_ledger_assembles_empty_chain() {
+        let chain = Chain::assemble(&Ledger::new(), ts(0));
+        assert!(chain.blocks().is_empty());
+        assert_eq!(chain.tip_height_at(ts(100)), 10);
+    }
+}

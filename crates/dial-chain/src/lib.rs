@@ -1,0 +1,24 @@
+//! A simulated Bitcoin-style ledger.
+//!
+//! §4.5 of the paper manually verifies the 163 highest-value contracts:
+//! where a contract quotes a Bitcoin address and/or transaction hash, the
+//! authors look up the transaction "recorded on the blockchain at the
+//! completion time" and compare the observed value against the contractual
+//! claim. Of those trades, 50% were confirmed, 43% had a different (usually
+//! lower) value — private renegotiations and typos — and 7% could not be
+//! confirmed.
+//!
+//! The real blockchain is unavailable offline, so this crate provides a
+//! deterministic append-only [`Ledger`] with the exact query surface the
+//! verification step needs: lookup by transaction hash, and scan of
+//! transactions paying an address inside a time window. The simulator plants
+//! transactions (matching, renegotiated, or absent) for contracts that quote
+//! chain references.
+
+pub mod blocks;
+pub mod hashgen;
+pub mod ledger;
+
+pub use blocks::{Block, Chain};
+pub use hashgen::HashGen;
+pub use ledger::{ChainTx, Ledger, Verdict};

@@ -1,0 +1,82 @@
+//! Property-based tests for the simulated ledger.
+
+use dial_chain::{ChainTx, HashGen, Ledger, Verdict};
+use dial_time::Timestamp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every inserted transaction is retrievable by hash and by address
+    /// within its own window.
+    #[test]
+    fn insert_lookup_round_trip(values in prop::collection::vec((1.0f64..1e5, 0i64..1_000_000), 1..60)) {
+        let mut gen = HashGen::new(7);
+        let mut ledger = Ledger::new();
+        let mut txs = Vec::new();
+        for (value, minutes) in &values {
+            let tx = ChainTx {
+                hash: gen.tx_hash(),
+                to_address: gen.address(),
+                value_usd: *value,
+                confirmed_at: Timestamp::from_minutes(*minutes),
+            };
+            ledger.insert(tx.clone());
+            txs.push(tx);
+        }
+        prop_assert_eq!(ledger.len(), txs.len());
+        for tx in &txs {
+            prop_assert_eq!(ledger.by_hash(&tx.hash), Some(tx));
+            let found = ledger.to_address_within(
+                &tx.to_address,
+                tx.confirmed_at.plus_minutes(-1),
+                tx.confirmed_at.plus_minutes(1),
+            );
+            prop_assert!(found.iter().any(|t| t.hash == tx.hash));
+        }
+    }
+
+    /// Verification verdicts are consistent with the tolerance band: a
+    /// claim equal to the on-chain value confirms, a claim 3x off
+    /// mismatches, and an unknown hash with an unknown address is NotFound.
+    #[test]
+    fn verdict_consistency(value in 1.0f64..1e5, minutes in 0i64..1_000_000) {
+        let mut gen = HashGen::new(9);
+        let mut ledger = Ledger::new();
+        let hash = gen.tx_hash();
+        let address = gen.address();
+        let at = Timestamp::from_minutes(minutes);
+        ledger.insert(ChainTx {
+            hash: hash.clone(),
+            to_address: address.clone(),
+            value_usd: value,
+            confirmed_at: at,
+        });
+        prop_assert_eq!(ledger.verify(value, Some(&hash), &address, at, 1.0), Verdict::Confirmed);
+        match ledger.verify(value * 3.0, Some(&hash), &address, at, 1.0) {
+            Verdict::Mismatch { observed_usd } => prop_assert!((observed_usd - value).abs() < 1e-9),
+            other => prop_assert!(false, "expected mismatch, got {other:?}"),
+        }
+        prop_assert_eq!(
+            ledger.verify(value, None, "1UnknownAddress", at, 1.0),
+            Verdict::NotFound
+        );
+    }
+
+    /// Serde round trip preserves the ledger after reindexing.
+    #[test]
+    fn serde_round_trip(n in 0usize..30) {
+        let mut gen = HashGen::new(3);
+        let mut ledger = Ledger::new();
+        for i in 0..n {
+            ledger.insert(ChainTx {
+                hash: gen.tx_hash(),
+                to_address: gen.address(),
+                value_usd: (i + 1) as f64,
+                confirmed_at: Timestamp::from_minutes(i as i64 * 60),
+            });
+        }
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: Ledger = serde_json::from_str(&json).unwrap();
+        let back = back.reindex();
+        prop_assert_eq!(back.len(), ledger.len());
+    }
+}

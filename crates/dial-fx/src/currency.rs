@@ -1,0 +1,170 @@
+//! Currency denominations observed in contract obligations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A currency or currency-like store of value quoted in contracts.
+///
+/// The paper observes fiat (USD dominant; GBP, CAD, EUR, AUD, INR, JPY
+/// minor), cryptocurrencies (Bitcoin dominant; Ethereum, Bitcoin Cash,
+/// Litecoin, Monero trivial), plus in-game/forum currencies (V-Bucks, HACK
+/// FORUMS "bytes") which trade at tiny effective USD rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Currency {
+    /// United States dollar — the default denomination when none is stated.
+    Usd,
+    /// Pound sterling.
+    Gbp,
+    /// Euro.
+    Eur,
+    /// Canadian dollar.
+    Cad,
+    /// Australian dollar.
+    Aud,
+    /// Indian rupee.
+    Inr,
+    /// Japanese yen.
+    Jpy,
+    /// Bitcoin.
+    Btc,
+    /// Ethereum.
+    Eth,
+    /// Bitcoin Cash.
+    Bch,
+    /// Litecoin.
+    Ltc,
+    /// Monero.
+    Xmr,
+    /// Fortnite V-Bucks (in-game currency).
+    VBucks,
+    /// HACK FORUMS internal "bytes" currency.
+    Bytes,
+}
+
+impl Currency {
+    /// All currencies.
+    pub const ALL: [Currency; 14] = [
+        Currency::Usd,
+        Currency::Gbp,
+        Currency::Eur,
+        Currency::Cad,
+        Currency::Aud,
+        Currency::Inr,
+        Currency::Jpy,
+        Currency::Btc,
+        Currency::Eth,
+        Currency::Bch,
+        Currency::Ltc,
+        Currency::Xmr,
+        Currency::VBucks,
+        Currency::Bytes,
+    ];
+
+    /// ISO-4217-style code (lower case; informal codes for non-ISO units).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Currency::Usd => "usd",
+            Currency::Gbp => "gbp",
+            Currency::Eur => "eur",
+            Currency::Cad => "cad",
+            Currency::Aud => "aud",
+            Currency::Inr => "inr",
+            Currency::Jpy => "jpy",
+            Currency::Btc => "btc",
+            Currency::Eth => "eth",
+            Currency::Bch => "bch",
+            Currency::Ltc => "ltc",
+            Currency::Xmr => "xmr",
+            Currency::VBucks => "vbucks",
+            Currency::Bytes => "bytes",
+        }
+    }
+
+    /// Parses a currency code (case-insensitive), accepting common aliases
+    /// seen in obligation text.
+    pub fn from_code(code: &str) -> Option<Currency> {
+        let lower = code.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "usd" | "$" | "dollar" | "dollars" => Currency::Usd,
+            "gbp" | "£" | "pound" | "pounds" | "quid" => Currency::Gbp,
+            "eur" | "€" | "euro" | "euros" => Currency::Eur,
+            "cad" => Currency::Cad,
+            "aud" => Currency::Aud,
+            "inr" | "rupee" | "rupees" => Currency::Inr,
+            "jpy" | "yen" => Currency::Jpy,
+            "btc" | "bitcoin" | "bitcoins" => Currency::Btc,
+            "eth" | "ethereum" | "ether" => Currency::Eth,
+            "bch" => Currency::Bch,
+            "ltc" | "litecoin" => Currency::Ltc,
+            "xmr" | "monero" => Currency::Xmr,
+            "vbucks" | "v-bucks" | "vbuck" => Currency::VBucks,
+            "bytes" => Currency::Bytes,
+            _ => return None,
+        })
+    }
+
+    /// True for cryptocurrencies.
+    pub fn is_crypto(&self) -> bool {
+        matches!(
+            self,
+            Currency::Btc | Currency::Eth | Currency::Bch | Currency::Ltc | Currency::Xmr
+        )
+    }
+
+    /// True for government-issued fiat.
+    pub fn is_fiat(&self) -> bool {
+        matches!(
+            self,
+            Currency::Usd
+                | Currency::Gbp
+                | Currency::Eur
+                | Currency::Cad
+                | Currency::Aud
+                | Currency::Inr
+                | Currency::Jpy
+        )
+    }
+}
+
+impl fmt::Display for Currency {
+    /// Displays the upper-cased code, e.g. `BTC`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.code().to_ascii_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trip() {
+        for c in Currency::ALL {
+            assert_eq!(Currency::from_code(c.code()), Some(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(Currency::from_code("Bitcoin"), Some(Currency::Btc));
+        assert_eq!(Currency::from_code("$"), Some(Currency::Usd));
+        assert_eq!(Currency::from_code("V-BUCKS"), Some(Currency::VBucks));
+        assert_eq!(Currency::from_code("doge"), None);
+    }
+
+    #[test]
+    fn class_partition() {
+        for c in Currency::ALL {
+            let classes = [c.is_crypto(), c.is_fiat()];
+            assert!(classes.iter().filter(|b| **b).count() <= 1, "{c:?} in two classes");
+        }
+        assert!(Currency::Btc.is_crypto());
+        assert!(Currency::Usd.is_fiat());
+        assert!(!Currency::VBucks.is_crypto() && !Currency::VBucks.is_fiat());
+    }
+
+    #[test]
+    fn display_upper() {
+        assert_eq!(Currency::Btc.to_string(), "BTC");
+    }
+}

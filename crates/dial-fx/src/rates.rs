@@ -1,0 +1,232 @@
+//! Date-dependent USD exchange rates.
+
+use crate::currency::Currency;
+use dial_time::Date;
+
+/// Provides the USD value of one unit of a currency on a given date.
+pub trait RateProvider {
+    /// USD per one unit of `currency` on `date`.
+    fn usd_rate(&self, currency: Currency, date: Date) -> f64;
+}
+
+/// A piecewise-linear rate curve over epoch days.
+#[derive(Debug, Clone)]
+struct Curve {
+    /// `(epoch_day, usd_rate)` anchors in strictly increasing day order.
+    anchors: &'static [(i64, f64)],
+}
+
+impl Curve {
+    fn at(&self, date: Date) -> f64 {
+        let day = date.to_epoch_days();
+        let a = self.anchors;
+        debug_assert!(!a.is_empty());
+        if day <= a[0].0 {
+            return a[0].1;
+        }
+        if day >= a[a.len() - 1].0 {
+            return a[a.len() - 1].1;
+        }
+        // Linear interpolation between the surrounding anchors.
+        let idx = a.partition_point(|(d, _)| *d <= day);
+        let (d0, r0) = a[idx - 1];
+        let (d1, r1) = a[idx];
+        let t = (day - d0) as f64 / (d1 - d0) as f64;
+        r0 + t * (r1 - r0)
+    }
+}
+
+/// Epoch-day constants for the anchor dates (see `dial_time::Date` tests for
+/// the conversion sanity checks).
+const fn d(y: i64, ord: i64) -> i64 {
+    // Days for the start of year `y` relative to 1970 plus ordinal offset.
+    // Only used with pre-computed year starts below.
+    y + ord
+}
+
+const Y2018: i64 = 17532; // 2018-01-01
+const Y2019: i64 = 17897; // 2019-01-01
+const Y2020: i64 = 18262; // 2020-01-01
+
+/// Deterministic synthetic rate history, anchored at the real 2018–2020
+/// magnitudes.
+///
+/// * **BTC** traces the decline from ~$7.5k (June 2018) to the ~$3.5k winter
+///   2018/19 trough, the 2019 rally to ~$12k, the drift back to ~$7.2k, the
+///   COVID crash to ~$5k (mid-March 2020) and the recovery to ~$9.4k.
+/// * **ETH/BCH/LTC/XMR** follow proportionally similar shapes.
+/// * Fiat curves drift gently around their real 2018–2020 means.
+/// * V-Bucks and forum bytes are pegged at their effective street value.
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticRates;
+
+impl SyntheticRates {
+    fn curve(currency: Currency) -> Curve {
+        // Anchor tables. Dates are (year-start epoch day + day-of-year).
+        const BTC: &[(i64, f64)] = &[
+            (d(Y2018, 151), 7500.0),  // 2018-06-01
+            (d(Y2018, 212), 7000.0),  // 2018-08-01
+            (d(Y2018, 318), 6300.0),  // 2018-11-15
+            (d(Y2018, 349), 3800.0),  // 2018-12-16
+            (d(Y2019, 59), 3500.0),   // 2019-03-01
+            (d(Y2019, 151), 8000.0),  // 2019-06-01
+            (d(Y2019, 177), 12000.0), // 2019-06-27
+            (d(Y2019, 273), 8300.0),  // 2019-10-01
+            (d(Y2019, 351), 7200.0),  // 2019-12-18
+            (d(Y2020, 44), 10300.0),  // 2020-02-14
+            (d(Y2020, 71), 7900.0),   // 2020-03-12
+            (d(Y2020, 75), 5000.0),   // 2020-03-16
+            (d(Y2020, 121), 8800.0),  // 2020-05-01
+            (d(Y2020, 181), 9400.0),  // 2020-06-30
+        ];
+        const ETH: &[(i64, f64)] = &[
+            (d(Y2018, 151), 580.0),
+            (d(Y2018, 244), 280.0),
+            (d(Y2018, 349), 85.0),
+            (d(Y2019, 59), 135.0),
+            (d(Y2019, 177), 310.0),
+            (d(Y2019, 351), 130.0),
+            (d(Y2020, 44), 265.0),
+            (d(Y2020, 75), 110.0),
+            (d(Y2020, 181), 230.0),
+        ];
+        const BCH: &[(i64, f64)] = &[
+            (d(Y2018, 151), 1000.0),
+            (d(Y2018, 349), 100.0),
+            (d(Y2019, 177), 420.0),
+            (d(Y2020, 75), 165.0),
+            (d(Y2020, 181), 225.0),
+        ];
+        const LTC: &[(i64, f64)] = &[
+            (d(Y2018, 151), 120.0),
+            (d(Y2018, 349), 24.0),
+            (d(Y2019, 177), 135.0),
+            (d(Y2020, 75), 31.0),
+            (d(Y2020, 181), 42.0),
+        ];
+        const XMR: &[(i64, f64)] = &[
+            (d(Y2018, 151), 160.0),
+            (d(Y2018, 349), 45.0),
+            (d(Y2019, 177), 95.0),
+            (d(Y2020, 75), 35.0),
+            (d(Y2020, 181), 64.0),
+        ];
+        const GBP: &[(i64, f64)] = &[
+            (d(Y2018, 151), 1.33),
+            (d(Y2019, 1), 1.27),
+            (d(Y2019, 244), 1.22),
+            (d(Y2020, 75), 1.16),
+            (d(Y2020, 181), 1.24),
+        ];
+        const EUR: &[(i64, f64)] = &[
+            (d(Y2018, 151), 1.17),
+            (d(Y2019, 151), 1.12),
+            (d(Y2020, 75), 1.09),
+            (d(Y2020, 181), 1.12),
+        ];
+        const CAD: &[(i64, f64)] = &[
+            (d(Y2018, 151), 0.77),
+            (d(Y2019, 151), 0.74),
+            (d(Y2020, 75), 0.70),
+            (d(Y2020, 181), 0.74),
+        ];
+        const AUD: &[(i64, f64)] = &[
+            (d(Y2018, 151), 0.76),
+            (d(Y2019, 151), 0.69),
+            (d(Y2020, 75), 0.58),
+            (d(Y2020, 181), 0.69),
+        ];
+        const INR: &[(i64, f64)] = &[(d(Y2018, 151), 0.0149), (d(Y2020, 181), 0.0132)];
+        const JPY: &[(i64, f64)] = &[(d(Y2018, 151), 0.0091), (d(Y2020, 181), 0.0093)];
+        const USD: &[(i64, f64)] = &[(0, 1.0)];
+        // 1,000 V-Bucks retail for $9.99; underground bulk rates run lower.
+        const VBUCKS: &[(i64, f64)] = &[(0, 0.007)];
+        // Forum bytes trade around $0.0004 each in-forum.
+        const BYTES: &[(i64, f64)] = &[(0, 0.0004)];
+
+        let anchors = match currency {
+            Currency::Usd => USD,
+            Currency::Gbp => GBP,
+            Currency::Eur => EUR,
+            Currency::Cad => CAD,
+            Currency::Aud => AUD,
+            Currency::Inr => INR,
+            Currency::Jpy => JPY,
+            Currency::Btc => BTC,
+            Currency::Eth => ETH,
+            Currency::Bch => BCH,
+            Currency::Ltc => LTC,
+            Currency::Xmr => XMR,
+            Currency::VBucks => VBUCKS,
+            Currency::Bytes => BYTES,
+        };
+        Curve { anchors }
+    }
+}
+
+impl RateProvider for SyntheticRates {
+    fn usd_rate(&self, currency: Currency, date: Date) -> f64 {
+        Self::curve(currency).at(date)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_strictly_increasing() {
+        for c in Currency::ALL {
+            let curve = SyntheticRates::curve(c);
+            for w in curve.anchors.windows(2) {
+                assert!(w[0].0 < w[1].0, "{c:?} anchors out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_positive_over_window() {
+        let r = SyntheticRates;
+        let mut day = Date::from_ymd(2018, 6, 1);
+        let end = Date::from_ymd(2020, 6, 30);
+        while day <= end {
+            for c in Currency::ALL {
+                let rate = r.usd_rate(c, day);
+                assert!(rate.is_finite() && rate > 0.0, "{c:?} on {day}: {rate}");
+            }
+            day = day.plus_days(7);
+        }
+    }
+
+    #[test]
+    fn btc_anchor_values() {
+        let r = SyntheticRates;
+        let at = |y, m, d| r.usd_rate(Currency::Btc, Date::from_ymd(y, m, d));
+        assert!((at(2018, 6, 1) - 7500.0).abs() < 1.0);
+        assert!((at(2019, 3, 1) - 3500.0).abs() < 1.0);
+        assert!(at(2019, 6, 27) > 11_000.0);
+        assert!(at(2020, 3, 16) < 5_100.0);
+        assert!(at(2020, 6, 30) > 9_000.0);
+    }
+
+    #[test]
+    fn interpolation_is_between_anchors() {
+        let r = SyntheticRates;
+        // Between 2018-12-16 ($3800) and 2019-03-01 ($3500).
+        let mid = r.usd_rate(Currency::Btc, Date::from_ymd(2019, 1, 20));
+        assert!(mid < 3800.0 && mid > 3500.0);
+    }
+
+    #[test]
+    fn clamps_outside_anchor_range() {
+        let r = SyntheticRates;
+        assert_eq!(
+            r.usd_rate(Currency::Btc, Date::from_ymd(2010, 1, 1)),
+            r.usd_rate(Currency::Btc, Date::from_ymd(2018, 6, 1))
+        );
+        assert_eq!(
+            r.usd_rate(Currency::Btc, Date::from_ymd(2025, 1, 1)),
+            r.usd_rate(Currency::Btc, Date::from_ymd(2020, 6, 30))
+        );
+    }
+}

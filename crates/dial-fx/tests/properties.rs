@@ -1,0 +1,47 @@
+//! Property-based tests for currency conversion.
+
+use dial_fx::{to_usd, Currency, RateProvider, SyntheticRates};
+use dial_time::Date;
+use proptest::prelude::*;
+
+fn arb_currency() -> impl Strategy<Value = Currency> {
+    prop::sample::select(Currency::ALL.to_vec())
+}
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (17_683i64..=18_443).prop_map(Date::from_epoch_days) // the study window
+}
+
+proptest! {
+    /// Conversion is linear in the amount and strictly positive for
+    /// positive amounts, for every currency and date in the window.
+    #[test]
+    fn conversion_linear_and_positive(
+        c in arb_currency(),
+        d in arb_date(),
+        amount in 0.0001f64..1e6,
+        k in 1.0f64..100.0,
+    ) {
+        let r = SyntheticRates;
+        let v = to_usd(amount, c, d, &r);
+        prop_assert!(v > 0.0 && v.is_finite());
+        let kv = to_usd(amount * k, c, d, &r);
+        prop_assert!((kv - k * v).abs() <= 1e-9 * kv.abs().max(1.0));
+    }
+
+    /// Rates vary continuously: consecutive days never jump more than 40%
+    /// (even across the March 2020 crash anchors).
+    #[test]
+    fn rates_have_no_teleports(c in arb_currency(), d in arb_date()) {
+        let r = SyntheticRates;
+        let today = r.usd_rate(c, d);
+        let tomorrow = r.usd_rate(c, d.plus_days(1));
+        prop_assert!((tomorrow / today - 1.0).abs() < 0.4, "{c} {d}: {today} -> {tomorrow}");
+    }
+
+    /// USD round trip: converting X USD to USD is the identity.
+    #[test]
+    fn usd_identity(amount in 0.0f64..1e9, d in arb_date()) {
+        prop_assert_eq!(to_usd(amount, Currency::Usd, d, &SyntheticRates), amount);
+    }
+}

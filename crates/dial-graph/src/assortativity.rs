@@ -1,0 +1,96 @@
+//! Degree assortativity (extension).
+//!
+//! §6 describes SET-UP as power-users trading *with one another* ("most
+//! flow volumes trading within their own class types") and STABLE as the
+//! growth of business-to-customer patterns — power-users cultivating large
+//! numbers of small-scale customers. In network terms that is a shift from
+//! degree-assortative mixing toward disassortative mixing, measured here by
+//! Newman's degree-assortativity coefficient (the Pearson correlation of
+//! endpoint degrees over edges).
+
+/// Newman's degree assortativity over an edge list, given the raw degree of
+/// every node. Returns `None` for fewer than 2 edges or zero variance.
+pub fn degree_assortativity(degrees: &[u64], edges: &[(u32, u32)]) -> Option<f64> {
+    if edges.len() < 2 {
+        return None;
+    }
+    // Pearson correlation over the edge-endpoint degree pairs, symmetrised
+    // (each edge contributes both orientations).
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    let mut n = 0.0;
+    for &(a, b) in edges {
+        let da = degrees[a as usize] as f64;
+        let db = degrees[b as usize] as f64;
+        for (x, y) in [(da, db), (db, da)] {
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+            n += 1.0;
+        }
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n).powi(2);
+    let vy = syy / n - (sy / n).powi(2);
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the raw-degree vector from an edge list.
+    fn degrees(n: usize, edges: &[(u32, u32)]) -> Vec<u64> {
+        let mut sets = vec![std::collections::HashSet::new(); n];
+        for &(a, b) in edges {
+            sets[a as usize].insert(b);
+            sets[b as usize].insert(a);
+        }
+        sets.iter().map(|s| s.len() as u64).collect()
+    }
+
+    #[test]
+    fn star_graph_is_disassortative() {
+        // A hub serving leaves: high-degree endpoints always pair with
+        // degree-1 endpoints.
+        let edges: Vec<(u32, u32)> = (1..20u32).map(|i| (0, i)).collect();
+        let d = degrees(20, &edges);
+        let r = degree_assortativity(&d, &edges).unwrap();
+        assert!(r < -0.9, "star graph r = {r}");
+    }
+
+    #[test]
+    fn segregated_cliques_are_assortative() {
+        // A clique of hubs plus disjoint dumbbell pairs: like mixes with
+        // like.
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        for i in 0..10u32 {
+            edges.push((6 + 2 * i, 7 + 2 * i));
+        }
+        let d = degrees(26, &edges);
+        let r = degree_assortativity(&d, &edges).unwrap();
+        assert!(r > 0.9, "segregated graph r = {r}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(degree_assortativity(&[1, 1], &[(0, 1)]), None);
+        // Regular ring: all degrees equal → zero variance.
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let d = degrees(4, &edges);
+        assert_eq!(degree_assortativity(&d, &edges), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! Market concentration curves (Figures 5–6).
+//!
+//! Figure 5 plots, for the top *p* percentile of users (or threads), the
+//! share of all contracts they account for. These helpers compute that
+//! curve from any per-entity activity count vector.
+
+use dial_stats::descriptive::top_share;
+
+/// Share of total activity carried by the top `fraction` of entities.
+/// Thin wrapper over [`dial_stats::descriptive::top_share`] to keep graph
+/// pipelines self-contained.
+pub fn share_of_top(counts: &[f64], fraction: f64) -> f64 {
+    top_share(counts, fraction)
+}
+
+/// The full concentration curve: for each percentile in `percentiles`
+/// (fractions in `[0,1]`), the share of total activity carried by that top
+/// slice. Output pairs are `(fraction, share)`.
+pub fn concentration_curve(counts: &[f64], percentiles: &[f64]) -> Vec<(f64, f64)> {
+    percentiles
+        .iter()
+        .map(|&p| (p, top_share(counts, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let counts = vec![100.0, 50.0, 10.0, 5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let ps: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let curve = concentration_curve(&counts, &ps);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_market_shows_high_top_share() {
+        // 5% of 100 users hold 70 of 100 contracts.
+        let mut counts = vec![70.0 / 5.0; 5];
+        counts.extend(vec![30.0 / 95.0; 95]);
+        assert!((share_of_top(&counts, 0.05) - 0.7).abs() < 1e-9);
+    }
+}

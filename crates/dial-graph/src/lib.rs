@@ -1,0 +1,18 @@
+//! The contractual social network (§4.2 of the paper).
+//!
+//! Two users share a **raw** connection if they share at least one contract.
+//! An **outbound** connection runs from the user who initiated (made) a
+//! contract to its counterparty; an **inbound** connection runs in the
+//! opposite direction (the counterparty accepts). For bidirectional contract
+//! types (Exchange/Trade) both directions are counted for both parties. A
+//! user's raw/inbound/outbound degree is the number of *distinct* users they
+//! are connected to in that sense — degree reflects breadth of
+//! counterparties, not contract volume.
+
+pub mod assortativity;
+pub mod concentration;
+pub mod network;
+
+pub use assortativity::degree_assortativity;
+pub use concentration::{concentration_curve, share_of_top};
+pub use network::{ContractGraph, DegreeKind, DegreeSummary};

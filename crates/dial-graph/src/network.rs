@@ -1,0 +1,201 @@
+//! The contract graph and its degree measures.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which degree notion to read from the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegreeKind {
+    /// Distinct users sharing at least one contract.
+    Raw,
+    /// Distinct users from whom contracts were received.
+    Inbound,
+    /// Distinct users to whom contracts were initiated.
+    Outbound,
+}
+
+/// An undirected/directed multigraph over dense user indices, tracking the
+/// distinct-counterparty sets that define raw/inbound/outbound degrees.
+#[derive(Debug, Clone, Default)]
+pub struct ContractGraph {
+    raw: Vec<HashSet<u32>>,
+    inbound: Vec<HashSet<u32>>,
+    outbound: Vec<HashSet<u32>>,
+    edges: usize,
+}
+
+impl ContractGraph {
+    /// Creates an empty graph over `n_users` nodes.
+    pub fn new(n_users: usize) -> Self {
+        Self {
+            raw: vec![HashSet::new(); n_users],
+            inbound: vec![HashSet::new(); n_users],
+            outbound: vec![HashSet::new(); n_users],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_users(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Number of contracts added.
+    pub fn n_contracts(&self) -> usize {
+        self.edges
+    }
+
+    /// Records one contract from `maker` to `taker`.
+    ///
+    /// For one-way types the maker gains an outbound connection and the
+    /// taker an inbound one. For bidirectional types (Exchange/Trade), both
+    /// inbound *and* outbound connections are counted for both parties, as
+    /// §4.2 specifies.
+    pub fn add_contract(&mut self, maker: u32, taker: u32, bidirectional: bool) {
+        let (m, t) = (maker as usize, taker as usize);
+        assert!(m < self.raw.len() && t < self.raw.len(), "user out of range");
+        assert_ne!(maker, taker, "self-contract");
+        self.edges += 1;
+        self.raw[m].insert(taker);
+        self.raw[t].insert(maker);
+        self.outbound[m].insert(taker);
+        self.inbound[t].insert(maker);
+        if bidirectional {
+            self.outbound[t].insert(maker);
+            self.inbound[m].insert(taker);
+        }
+    }
+
+    /// Degree of one user.
+    pub fn degree(&self, user: u32, kind: DegreeKind) -> usize {
+        let sets = match kind {
+            DegreeKind::Raw => &self.raw,
+            DegreeKind::Inbound => &self.inbound,
+            DegreeKind::Outbound => &self.outbound,
+        };
+        sets[user as usize].len()
+    }
+
+    /// All degrees of the chosen kind, indexed by user.
+    pub fn degrees(&self, kind: DegreeKind) -> Vec<u64> {
+        let sets = match kind {
+            DegreeKind::Raw => &self.raw,
+            DegreeKind::Inbound => &self.inbound,
+            DegreeKind::Outbound => &self.outbound,
+        };
+        sets.iter().map(|s| s.len() as u64).collect()
+    }
+
+    /// Histogram of degree values: `hist[d]` = number of users with degree
+    /// `d`, truncated at `max_degree` (the paper plots up to 15).
+    pub fn degree_histogram(&self, kind: DegreeKind, max_degree: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max_degree + 1];
+        for d in self.degrees(kind) {
+            if (d as usize) <= max_degree {
+                hist[d as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Summary statistics of the current network (one point of Figure 8).
+    pub fn summary(&self) -> DegreeSummary {
+        let raw = self.degrees(DegreeKind::Raw);
+        let inb = self.degrees(DegreeKind::Inbound);
+        let out = self.degrees(DegreeKind::Outbound);
+        let active = raw.iter().filter(|d| **d > 0).count();
+        let avg_raw = if active == 0 {
+            0.0
+        } else {
+            raw.iter().sum::<u64>() as f64 / active as f64
+        };
+        DegreeSummary {
+            max_raw: raw.iter().copied().max().unwrap_or(0),
+            max_inbound: inb.iter().copied().max().unwrap_or(0),
+            max_outbound: out.iter().copied().max().unwrap_or(0),
+            avg_raw_degree: avg_raw,
+            active_users: active,
+        }
+    }
+}
+
+/// Max/average degree summary for one network snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSummary {
+    /// Maximum raw degree.
+    pub max_raw: u64,
+    /// Maximum inbound degree.
+    pub max_inbound: u64,
+    /// Maximum outbound degree.
+    pub max_outbound: u64,
+    /// Mean raw degree over users with at least one connection.
+    pub avg_raw_degree: f64,
+    /// Users with at least one raw connection.
+    pub active_users: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_way_contract_directions() {
+        let mut g = ContractGraph::new(3);
+        g.add_contract(0, 1, false);
+        assert_eq!(g.degree(0, DegreeKind::Raw), 1);
+        assert_eq!(g.degree(0, DegreeKind::Outbound), 1);
+        assert_eq!(g.degree(0, DegreeKind::Inbound), 0);
+        assert_eq!(g.degree(1, DegreeKind::Inbound), 1);
+        assert_eq!(g.degree(1, DegreeKind::Outbound), 0);
+        assert_eq!(g.degree(2, DegreeKind::Raw), 0);
+    }
+
+    #[test]
+    fn bidirectional_counts_both_ways() {
+        let mut g = ContractGraph::new(2);
+        g.add_contract(0, 1, true);
+        for u in 0..2 {
+            assert_eq!(g.degree(u, DegreeKind::Inbound), 1);
+            assert_eq!(g.degree(u, DegreeKind::Outbound), 1);
+            assert_eq!(g.degree(u, DegreeKind::Raw), 1);
+        }
+    }
+
+    #[test]
+    fn repeat_contracts_do_not_inflate_degree() {
+        let mut g = ContractGraph::new(2);
+        for _ in 0..10 {
+            g.add_contract(0, 1, false);
+        }
+        assert_eq!(g.degree(0, DegreeKind::Raw), 1);
+        assert_eq!(g.n_contracts(), 10);
+    }
+
+    #[test]
+    fn hub_degree_and_histogram() {
+        // User 0 sells to everyone: a hub with inbound 0, outbound n-1.
+        let n = 20;
+        let mut g = ContractGraph::new(n);
+        for t in 1..n as u32 {
+            g.add_contract(0, t, false);
+        }
+        assert_eq!(g.degree(0, DegreeKind::Outbound), n - 1);
+        let hist = g.degree_histogram(DegreeKind::Raw, 15);
+        assert_eq!(hist[1], n - 1, "19 spokes with raw degree 1");
+        assert_eq!(hist[0], 0);
+        let s = g.summary();
+        assert_eq!(s.max_raw, (n - 1) as u64);
+        assert_eq!(s.max_outbound, (n - 1) as u64);
+        assert_eq!(s.max_inbound, 1);
+        assert_eq!(s.active_users, n);
+        let expect_avg = (2.0 * (n as f64 - 1.0)) / n as f64;
+        assert!((s.avg_raw_degree - expect_avg).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_contract_rejected() {
+        let mut g = ContractGraph::new(2);
+        g.add_contract(1, 1, false);
+    }
+}

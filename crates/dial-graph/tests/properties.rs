@@ -1,0 +1,85 @@
+//! Property-based tests of degree bookkeeping against a brute-force oracle.
+
+use dial_graph::{concentration_curve, ContractGraph, DegreeKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Degrees computed incrementally equal a brute-force recount of
+    /// distinct counterparties, for any edge multiset.
+    #[test]
+    fn degrees_match_brute_force(
+        edges in prop::collection::vec((0u32..12, 0u32..12, any::<bool>()), 0..200),
+    ) {
+        let mut g = ContractGraph::new(12);
+        let mut applied = Vec::new();
+        for (m, t, bi) in edges {
+            if m != t {
+                g.add_contract(m, t, bi);
+                applied.push((m, t, bi));
+            }
+        }
+        for u in 0..12u32 {
+            let mut raw = HashSet::new();
+            let mut inbound = HashSet::new();
+            let mut outbound = HashSet::new();
+            for &(m, t, bi) in &applied {
+                if m == u {
+                    raw.insert(t);
+                    outbound.insert(t);
+                    if bi {
+                        inbound.insert(t);
+                    }
+                }
+                if t == u {
+                    raw.insert(m);
+                    inbound.insert(m);
+                    if bi {
+                        outbound.insert(m);
+                    }
+                }
+            }
+            prop_assert_eq!(g.degree(u, DegreeKind::Raw), raw.len());
+            prop_assert_eq!(g.degree(u, DegreeKind::Inbound), inbound.len());
+            prop_assert_eq!(g.degree(u, DegreeKind::Outbound), outbound.len());
+        }
+        prop_assert_eq!(g.n_contracts(), applied.len());
+    }
+
+    /// Histogram mass equals the number of users within the cutoff, and the
+    /// summary maxima bound every histogram bucket index with mass.
+    #[test]
+    fn histogram_consistency(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 0..150),
+    ) {
+        let mut g = ContractGraph::new(10);
+        for (m, t) in edges {
+            if m != t {
+                g.add_contract(m, t, false);
+            }
+        }
+        let hist = g.degree_histogram(DegreeKind::Raw, 9);
+        let within: usize = hist.iter().sum();
+        let degrees = g.degrees(DegreeKind::Raw);
+        let expect = degrees.iter().filter(|d| **d <= 9).count();
+        prop_assert_eq!(within, expect);
+        let s = g.summary();
+        prop_assert_eq!(s.max_raw, degrees.iter().copied().max().unwrap_or(0));
+        prop_assert!(s.active_users <= 10);
+    }
+
+    /// Concentration curves are monotone, bounded, and reach 1.
+    #[test]
+    fn concentration_curve_valid(counts in prop::collection::vec(0.0f64..1e4, 1..100)) {
+        prop_assume!(counts.iter().sum::<f64>() > 0.0);
+        let ps: Vec<f64> = (1..=20).map(|i| f64::from(i) / 20.0).collect();
+        let curve = concentration_curve(&counts, &ps);
+        for w in curve.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+        for (_, share) in &curve {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(share));
+        }
+        prop_assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,337 @@
+//! Contracts: the transactional unit of the marketplace.
+
+use crate::ids::{ContractId, ThreadId, UserId};
+use dial_time::{Era, Timestamp, YearMonth};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five contract types observed on the marketplace (§3, "Contract
+/// Taxonomy"). `Sale`, `Purchase` and `VouchCopy` are one-way; `Exchange`
+/// and `Trade` are bidirectional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ContractType {
+    /// Maker sells goods/services to the taker.
+    Sale,
+    /// Maker buys goods/services from the taker (reverse of Sale).
+    Purchase,
+    /// Both sides exchange items (typically currency for currency).
+    Exchange,
+    /// Both sides trade items (goods for goods).
+    Trade,
+    /// Seller gives goods away in exchange for vouches; a proof of
+    /// reputation, not an economic trade. Introduced February 2020.
+    VouchCopy,
+}
+
+impl ContractType {
+    /// All types in the paper's table ordering.
+    pub const ALL: [ContractType; 5] = [
+        ContractType::Sale,
+        ContractType::Purchase,
+        ContractType::Exchange,
+        ContractType::Trade,
+        ContractType::VouchCopy,
+    ];
+
+    /// True for Exchange and Trade, where both sides owe an item and both
+    /// inbound and outbound network connections are counted for both parties.
+    pub fn is_bidirectional(&self) -> bool {
+        matches!(self, ContractType::Exchange | ContractType::Trade)
+    }
+
+    /// True for Vouch Copy, which is excluded from all economic analyses.
+    pub fn is_reputation_only(&self) -> bool {
+        matches!(self, ContractType::VouchCopy)
+    }
+
+    /// The month the type became available on the forum. Everything except
+    /// Vouch Copy existed from the launch of the contract system.
+    pub fn introduced(&self) -> YearMonth {
+        match self {
+            ContractType::VouchCopy => YearMonth::new(2020, 2),
+            _ => YearMonth::new(2018, 6),
+        }
+    }
+
+    /// Paper-style label (small caps rendered as upper case).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContractType::Sale => "SALE",
+            ContractType::Purchase => "PURCHASE",
+            ContractType::Exchange => "EXCHANGE",
+            ContractType::Trade => "TRADE",
+            ContractType::VouchCopy => "VOUCH COPY",
+        }
+    }
+}
+
+impl fmt::Display for ContractType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Reported contract status, matching the columns of Table 1.
+///
+/// The detailed process (appendix Figure 14) has nine states; the analysis
+/// simplifies 'Complete'/'Completed' into [`ContractStatus::Complete`] and
+/// reports the seven statuses below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ContractStatus {
+    /// Both parties fulfilled their obligations and marked it complete.
+    Complete,
+    /// Accepted by the taker, obligations still in progress.
+    ActiveDeal,
+    /// A party opened a dispute; the contract becomes public.
+    Disputed,
+    /// Accepted but never carried through.
+    Incomplete,
+    /// Cancelled by agreement after acceptance.
+    Cancelled,
+    /// The receiving party refused the proposed contract.
+    Denied,
+    /// No decision within 72 hours of creation.
+    Expired,
+}
+
+impl ContractStatus {
+    /// All statuses in the paper's table ordering.
+    pub const ALL: [ContractStatus; 7] = [
+        ContractStatus::Complete,
+        ContractStatus::ActiveDeal,
+        ContractStatus::Disputed,
+        ContractStatus::Incomplete,
+        ContractStatus::Cancelled,
+        ContractStatus::Denied,
+        ContractStatus::Expired,
+    ];
+
+    /// True if the contract was ever accepted by the taker. Denied and
+    /// Expired contracts never had an accepting counterparty.
+    pub fn was_accepted(&self) -> bool {
+        !matches!(self, ContractStatus::Denied | ContractStatus::Expired)
+    }
+
+    /// Paper-style column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContractStatus::Complete => "Complete",
+            ContractStatus::ActiveDeal => "Active Deal",
+            ContractStatus::Disputed => "Disputed",
+            ContractStatus::Incomplete => "Incomplete",
+            ContractStatus::Cancelled => "Cancelled",
+            ContractStatus::Denied => "Denied",
+            ContractStatus::Expired => "Expired",
+        }
+    }
+}
+
+impl fmt::Display for ContractStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Contract visibility. Public contracts expose obligations, terms, goods
+/// and ratings to (upgraded) forum members; private contracts expose only
+/// the parties, type and dates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Visibility {
+    /// Full details visible.
+    Public,
+    /// Details restricted to the involved parties.
+    Private,
+}
+
+/// A blockchain reference attached to a contract (a payout address and/or
+/// transaction hash quoted in the obligations), used to cross-check
+/// high-value trades against the ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainRef {
+    /// Receiving address quoted by a party.
+    pub address: String,
+    /// Transaction hash quoted by a party, if any.
+    pub tx_hash: Option<String>,
+}
+
+/// A single contract record, the unit of observation of the whole study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// Identifier, dense over the dataset.
+    pub id: ContractId,
+    /// Taxonomy type.
+    pub contract_type: ContractType,
+    /// Terminal/reported status.
+    pub status: ContractStatus,
+    /// Public or private.
+    pub visibility: Visibility,
+    /// The member who created (proposed) the contract.
+    pub maker: UserId,
+    /// The member the contract was proposed to. For Denied/Expired contracts
+    /// this member never became an active counterparty.
+    pub taker: UserId,
+    /// Creation instant.
+    pub created: Timestamp,
+    /// Completion instant. Present for ~70% of completed contracts (the rest
+    /// completed without a recorded completion date, §4.1).
+    pub completed: Option<Timestamp>,
+    /// Maker's obligation text. Only observable when public; empty string on
+    /// private contracts.
+    pub maker_obligation: String,
+    /// Taker's obligation text. Only observable when public.
+    pub taker_obligation: String,
+    /// Advertising/discussion thread associated with the contract, if any.
+    pub thread: Option<ThreadId>,
+    /// B-rating left by the maker about the taker (+1 positive, -1 negative).
+    pub maker_rating: Option<i8>,
+    /// B-rating left by the taker about the maker.
+    pub taker_rating: Option<i8>,
+    /// Blockchain reference quoted in the contract, if any.
+    pub chain_ref: Option<ChainRef>,
+}
+
+impl Contract {
+    /// True if this contract reached `Complete` status.
+    pub fn is_complete(&self) -> bool {
+        self.status == ContractStatus::Complete
+    }
+
+    /// True if the full details (obligations etc.) are observable.
+    pub fn is_public(&self) -> bool {
+        self.visibility == Visibility::Public
+    }
+
+    /// True if a dispute was opened.
+    pub fn is_disputed(&self) -> bool {
+        self.status == ContractStatus::Disputed
+    }
+
+    /// Calendar month of creation.
+    pub fn created_month(&self) -> YearMonth {
+        YearMonth::of(self.created.date())
+    }
+
+    /// Era of creation, if inside the study window.
+    pub fn created_era(&self) -> Option<Era> {
+        Era::of(self.created.date())
+    }
+
+    /// Completion time in hours, when a completion timestamp is recorded.
+    pub fn completion_hours(&self) -> Option<f64> {
+        self.completed.map(|done| done.hours_since(self.created))
+    }
+
+    /// Both parties of the contract.
+    pub fn parties(&self) -> [UserId; 2] {
+        [self.maker, self.taker]
+    }
+
+    /// Checks the structural invariants the contract system guarantees.
+    /// Returns a description of the first violation, if any. Used by tests
+    /// and by the simulator's self-checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.maker == self.taker {
+            return Err(format!("{}: maker and taker are the same user", self.id));
+        }
+        if self.is_disputed() && !self.is_public() {
+            return Err(format!("{}: disputed contracts must be public", self.id));
+        }
+        if let Some(done) = self.completed {
+            if self.status != ContractStatus::Complete {
+                return Err(format!("{}: completion time on a non-complete contract", self.id));
+            }
+            if done < self.created {
+                return Err(format!("{}: completed before creation", self.id));
+            }
+        }
+        if self.status == ContractStatus::Complete
+            && self.contract_type == ContractType::VouchCopy
+            && self.created_month() < ContractType::VouchCopy.introduced()
+        {
+            return Err(format!("{}: vouch copy before its introduction", self.id));
+        }
+        if !self.is_public() && (!self.maker_obligation.is_empty() || !self.taker_obligation.is_empty()) {
+            return Err(format!("{}: private contract exposes obligations", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_time::Date;
+
+    fn sample() -> Contract {
+        Contract {
+            id: ContractId(0),
+            contract_type: ContractType::Exchange,
+            status: ContractStatus::Complete,
+            visibility: Visibility::Public,
+            maker: UserId(1),
+            taker: UserId(2),
+            created: Timestamp::at(Date::from_ymd(2019, 5, 1), 10, 0),
+            completed: Some(Timestamp::at(Date::from_ymd(2019, 5, 1), 16, 30)),
+            maker_obligation: "$50 paypal".into(),
+            taker_obligation: "$50 bitcoin".into(),
+            thread: None,
+            maker_rating: Some(1),
+            taker_rating: Some(1),
+            chain_ref: None,
+        }
+    }
+
+    #[test]
+    fn completion_hours() {
+        assert_eq!(sample().completion_hours(), Some(6.5));
+    }
+
+    #[test]
+    fn era_and_month() {
+        let c = sample();
+        assert_eq!(c.created_month(), YearMonth::new(2019, 5));
+        assert_eq!(c.created_era(), Some(Era::Stable));
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let mut c = sample();
+        assert!(c.validate().is_ok());
+
+        c.taker = c.maker;
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.status = ContractStatus::Disputed;
+        c.visibility = Visibility::Private;
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.status = ContractStatus::Incomplete; // completion time retained
+        assert!(c.validate().is_err());
+
+        let mut c = sample();
+        c.visibility = Visibility::Private;
+        assert!(c.validate().is_err(), "obligations must be hidden when private");
+        c.maker_obligation.clear();
+        c.taker_obligation.clear();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn type_properties() {
+        assert!(ContractType::Exchange.is_bidirectional());
+        assert!(ContractType::Trade.is_bidirectional());
+        assert!(!ContractType::Sale.is_bidirectional());
+        assert!(ContractType::VouchCopy.is_reputation_only());
+        assert_eq!(ContractType::VouchCopy.introduced(), YearMonth::new(2020, 2));
+    }
+
+    #[test]
+    fn status_acceptance() {
+        assert!(ContractStatus::Complete.was_accepted());
+        assert!(ContractStatus::Disputed.was_accepted());
+        assert!(!ContractStatus::Denied.was_accepted());
+        assert!(!ContractStatus::Expired.was_accepted());
+    }
+}

@@ -1,0 +1,265 @@
+//! The dataset container and its query API.
+
+use crate::contract::{Contract, ContractStatus, ContractType};
+use crate::ids::{ContractId, ThreadId, UserId};
+use crate::social::{Post, Thread, User};
+use dial_time::{Era, YearMonth};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete marketplace dataset: the synthetic analogue of the CrimeBB
+/// HACK FORUMS contract dump.
+///
+/// Entities are stored densely (entity `i` has id `i`), which the
+/// constructor verifies. Secondary indexes (per-user contract lists,
+/// per-month buckets) are built once at construction and shared by all
+/// pipelines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    users: Vec<User>,
+    contracts: Vec<Contract>,
+    threads: Vec<Thread>,
+    posts: Vec<Post>,
+    /// contracts made by each user, in id order.
+    #[serde(skip)]
+    by_maker: HashMap<UserId, Vec<ContractId>>,
+    /// contracts offered to each user, in id order.
+    #[serde(skip)]
+    by_taker: HashMap<UserId, Vec<ContractId>>,
+}
+
+impl Dataset {
+    /// Assembles a dataset and builds the secondary indexes.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense (`entity[i].id != i`) or if a contract
+    /// references a missing user/thread — these indicate a broken producer.
+    pub fn new(
+        users: Vec<User>,
+        contracts: Vec<Contract>,
+        threads: Vec<Thread>,
+        posts: Vec<Post>,
+    ) -> Self {
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.id.index(), i, "user ids must be dense");
+        }
+        for (i, c) in contracts.iter().enumerate() {
+            assert_eq!(c.id.index(), i, "contract ids must be dense");
+            assert!(c.maker.index() < users.len(), "maker out of range");
+            assert!(c.taker.index() < users.len(), "taker out of range");
+            if let Some(t) = c.thread {
+                assert!(t.index() < threads.len(), "thread out of range");
+            }
+        }
+        for (i, t) in threads.iter().enumerate() {
+            assert_eq!(t.id.index(), i, "thread ids must be dense");
+        }
+        for (i, p) in posts.iter().enumerate() {
+            assert_eq!(p.id.index(), i, "post ids must be dense");
+            assert!(p.thread.index() < threads.len(), "post thread out of range");
+            assert!(p.author.index() < users.len(), "post author out of range");
+        }
+
+        let mut by_maker: HashMap<UserId, Vec<ContractId>> = HashMap::new();
+        let mut by_taker: HashMap<UserId, Vec<ContractId>> = HashMap::new();
+        for c in &contracts {
+            by_maker.entry(c.maker).or_default().push(c.id);
+            by_taker.entry(c.taker).or_default().push(c.id);
+        }
+
+        Self { users, contracts, threads, posts, by_maker, by_taker }
+    }
+
+    /// Rebuilds the (non-serialised) secondary indexes after deserialising.
+    pub fn reindex(self) -> Self {
+        Self::new(self.users, self.contracts, self.threads, self.posts)
+    }
+
+    /// All members.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// All contracts in id (creation) order.
+    pub fn contracts(&self) -> &[Contract] {
+        &self.contracts
+    }
+
+    /// All threads.
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// All posts.
+    pub fn posts(&self) -> &[Post] {
+        &self.posts
+    }
+
+    /// Looks up a user by id.
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.index()]
+    }
+
+    /// Looks up a contract by id.
+    pub fn contract(&self, id: ContractId) -> &Contract {
+        &self.contracts[id.index()]
+    }
+
+    /// Looks up a thread by id.
+    pub fn thread(&self, id: ThreadId) -> &Thread {
+        &self.threads[id.index()]
+    }
+
+    /// Contracts created by `user`, in creation order.
+    pub fn contracts_made_by(&self, user: UserId) -> impl Iterator<Item = &Contract> {
+        self.by_maker
+            .get(&user)
+            .into_iter()
+            .flatten()
+            .map(move |id| self.contract(*id))
+    }
+
+    /// Contracts offered to `user` (whether or not accepted), in creation order.
+    pub fn contracts_offered_to(&self, user: UserId) -> impl Iterator<Item = &Contract> {
+        self.by_taker
+            .get(&user)
+            .into_iter()
+            .flatten()
+            .map(move |id| self.contract(*id))
+    }
+
+    /// Contracts created in the given month.
+    pub fn contracts_in_month(&self, ym: YearMonth) -> impl Iterator<Item = &Contract> {
+        self.contracts.iter().filter(move |c| c.created_month() == ym)
+    }
+
+    /// Contracts created in the given era.
+    pub fn contracts_in_era(&self, era: Era) -> impl Iterator<Item = &Contract> {
+        self.contracts.iter().filter(move |c| c.created_era() == Some(era))
+    }
+
+    /// Completed contracts.
+    pub fn completed_contracts(&self) -> impl Iterator<Item = &Contract> {
+        self.contracts.iter().filter(|c| c.is_complete())
+    }
+
+    /// Completed *public* contracts: the subset with observable obligations
+    /// used by all content analyses (activities, payments, values).
+    pub fn completed_public_contracts(&self) -> impl Iterator<Item = &Contract> {
+        self.contracts.iter().filter(|c| c.is_complete() && c.is_public())
+    }
+
+    /// Count of contracts of a given type and status (a Table 1 cell).
+    pub fn count_by_type_status(&self, ty: ContractType, status: ContractStatus) -> usize {
+        self.contracts
+            .iter()
+            .filter(|c| c.contract_type == ty && c.status == status)
+            .count()
+    }
+
+    /// Marketplace post count per user (a cold-start control variable).
+    pub fn marketplace_post_counts(&self) -> HashMap<UserId, usize> {
+        let mut out: HashMap<UserId, usize> = HashMap::new();
+        for p in &self.posts {
+            if p.in_marketplace {
+                *out.entry(p.author).or_default() += 1;
+            }
+        }
+        out
+    }
+
+    /// Total post count per user.
+    pub fn post_counts(&self) -> HashMap<UserId, usize> {
+        let mut out: HashMap<UserId, usize> = HashMap::new();
+        for p in &self.posts {
+            *out.entry(p.author).or_default() += 1;
+        }
+        out
+    }
+
+    /// Validates every contract's structural invariants; returns all
+    /// violations (empty ⇒ dataset is well-formed).
+    pub fn validate(&self) -> Vec<String> {
+        self.contracts
+            .iter()
+            .filter_map(|c| c.validate().err())
+            .collect()
+    }
+
+    /// Summary line used in logs and example output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} contracts, {} users, {} threads, {} posts",
+            self.contracts.len(),
+            self.users.len(),
+            self.threads.len(),
+            self.posts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::Visibility;
+    use dial_time::{Date, Timestamp};
+
+    fn tiny_dataset() -> Dataset {
+        let users = vec![
+            User { id: UserId(0), joined: Date::from_ymd(2018, 1, 1), first_post: None, reputation: 0 },
+            User { id: UserId(1), joined: Date::from_ymd(2018, 2, 1), first_post: None, reputation: 5 },
+        ];
+        let contracts = vec![Contract {
+            id: ContractId(0),
+            contract_type: ContractType::Sale,
+            status: ContractStatus::Complete,
+            visibility: Visibility::Private,
+            maker: UserId(0),
+            taker: UserId(1),
+            created: Timestamp::at(Date::from_ymd(2018, 7, 2), 12, 0),
+            completed: Some(Timestamp::at(Date::from_ymd(2018, 7, 3), 12, 0)),
+            maker_obligation: String::new(),
+            taker_obligation: String::new(),
+            thread: None,
+            maker_rating: Some(1),
+            taker_rating: None,
+            chain_ref: None,
+        }];
+        Dataset::new(users, contracts, vec![], vec![])
+    }
+
+    #[test]
+    fn indexes_work() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.contracts_made_by(UserId(0)).count(), 1);
+        assert_eq!(ds.contracts_made_by(UserId(1)).count(), 0);
+        assert_eq!(ds.contracts_offered_to(UserId(1)).count(), 1);
+        assert_eq!(ds.contracts_in_month(YearMonth::new(2018, 7)).count(), 1);
+        assert_eq!(ds.contracts_in_month(YearMonth::new(2018, 8)).count(), 0);
+        assert_eq!(ds.contracts_in_era(Era::SetUp).count(), 1);
+        assert_eq!(ds.count_by_type_status(ContractType::Sale, ContractStatus::Complete), 1);
+        assert!(ds.validate().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_sparse_ids() {
+        let users = vec![User {
+            id: UserId(3),
+            joined: Date::from_ymd(2018, 1, 1),
+            first_post: None,
+            reputation: 0,
+        }];
+        let _ = Dataset::new(users, vec![], vec![], vec![]);
+    }
+
+    #[test]
+    fn serde_reindex_round_trip() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        let back = back.reindex();
+        assert_eq!(back.contracts().len(), ds.contracts().len());
+        assert_eq!(back.contracts_made_by(UserId(0)).count(), 1);
+    }
+}

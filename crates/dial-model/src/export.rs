@@ -1,0 +1,179 @@
+//! CSV export of datasets.
+//!
+//! The paper's dataset circulates under data-sharing agreements as flat
+//! tables; this module writes the synthetic analogue in the same spirit so
+//! downstream R/Python/Stata users can consume it without Rust.
+
+use crate::contract::Contract;
+use crate::dataset::Dataset;
+use std::fmt::Write as _;
+
+/// Escapes one CSV field (RFC-4180: quote when the field contains commas,
+/// quotes or newlines; double embedded quotes).
+pub fn escape_csv(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+fn contract_row(c: &Contract) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        c.id.index(),
+        c.contract_type.label(),
+        c.status.label(),
+        if c.is_public() { "public" } else { "private" },
+        c.maker.index(),
+        c.taker.index(),
+        c.created,
+        c.completed.map(|t| t.to_string()).unwrap_or_default(),
+        c.thread.map(|t| t.index().to_string()).unwrap_or_default(),
+        c.maker_rating.map(|r| r.to_string()).unwrap_or_default(),
+        c.taker_rating.map(|r| r.to_string()).unwrap_or_default(),
+        escape_csv(&c.maker_obligation),
+        escape_csv(&c.taker_obligation),
+    );
+    row
+}
+
+/// Renders the contracts table as CSV (header included).
+pub fn contracts_csv(dataset: &Dataset) -> String {
+    let mut out = String::from(
+        "id,type,status,visibility,maker,taker,created,completed,thread,maker_rating,taker_rating,maker_obligation,taker_obligation\n",
+    );
+    for c in dataset.contracts() {
+        out.push_str(&contract_row(c));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the users table as CSV.
+pub fn users_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("id,joined,first_post,reputation\n");
+    for u in dataset.users() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            u.id.index(),
+            u.joined,
+            u.first_post.map(|t| t.to_string()).unwrap_or_default(),
+            u.reputation
+        );
+    }
+    out
+}
+
+/// Renders the threads table as CSV.
+pub fn threads_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("id,author,created,is_advertisement,title\n");
+    for t in dataset.threads() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            t.id.index(),
+            t.author.index(),
+            t.created,
+            t.is_advertisement,
+            escape_csv(&t.title)
+        );
+    }
+    out
+}
+
+/// Renders the posts table as CSV.
+pub fn posts_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("id,thread,author,at,in_marketplace\n");
+    for p in dataset.posts() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            p.id.index(),
+            p.thread.index(),
+            p.author.index(),
+            p.at,
+            p.in_marketplace
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{ContractStatus, ContractType, Visibility};
+    use crate::ids::{ContractId, UserId};
+    use crate::social::User;
+    use dial_time::{Date, Timestamp};
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_csv("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn csv_round_trip_field_count() {
+        let users = vec![
+            User { id: UserId(0), joined: Date::from_ymd(2018, 1, 1), first_post: None, reputation: 1 },
+            User { id: UserId(1), joined: Date::from_ymd(2018, 2, 1), first_post: None, reputation: 2 },
+        ];
+        let contracts = vec![Contract {
+            id: ContractId(0),
+            contract_type: ContractType::Sale,
+            status: ContractStatus::Complete,
+            visibility: Visibility::Public,
+            maker: UserId(0),
+            taker: UserId(1),
+            created: Timestamp::at(Date::from_ymd(2018, 7, 1), 9, 30),
+            completed: Some(Timestamp::at(Date::from_ymd(2018, 7, 2), 10, 0)),
+            maker_obligation: "selling \"rare\" item, cheap".into(),
+            taker_obligation: "$10 paypal".into(),
+            thread: None,
+            maker_rating: Some(1),
+            taker_rating: None,
+            chain_ref: None,
+        }];
+        let ds = Dataset::new(users, contracts, vec![], vec![]);
+
+        let csv = contracts_csv(&ds);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("id,type,status"));
+        // The quoted comma does not split the field: counting unquoted
+        // commas yields exactly the header's field count.
+        let header_fields = lines[0].split(',').count();
+        let mut in_quotes = false;
+        let data_fields = lines[1]
+            .chars()
+            .fold(1usize, |acc, c| match c {
+                '"' => {
+                    in_quotes = !in_quotes;
+                    acc
+                }
+                ',' if !in_quotes => acc + 1,
+                _ => acc,
+            });
+        assert_eq!(data_fields, header_fields);
+        assert!(csv.contains("\"\"rare\"\""), "embedded quotes doubled");
+
+        assert_eq!(users_csv(&ds).lines().count(), 3);
+        assert_eq!(threads_csv(&ds).lines().count(), 1);
+        assert_eq!(posts_csv(&ds).lines().count(), 1);
+    }
+}

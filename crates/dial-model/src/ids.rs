@@ -1,0 +1,77 @@
+//! Typed identifiers.
+//!
+//! All entities are identified by dense `u32` indices assigned at creation
+//! time. Newtypes keep user/contract/thread/post id spaces from being mixed
+//! up and make the query API self-documenting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index backing this id.
+            pub fn index(&self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a forum member.
+    UserId,
+    "u"
+);
+id_type!(
+    /// Identifier of a contract.
+    ContractId,
+    "c"
+);
+id_type!(
+    /// Identifier of a forum thread.
+    ThreadId,
+    "t"
+);
+id_type!(
+    /// Identifier of a forum post.
+    PostId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ContractId(7).to_string(), "c7");
+        assert_eq!(ThreadId(1).to_string(), "t1");
+        assert_eq!(PostId(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = UserId::from(42);
+        assert_eq!(id.index(), 42);
+    }
+}

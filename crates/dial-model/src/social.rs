@@ -1,0 +1,77 @@
+//! Forum members, threads and posts.
+
+use crate::ids::{PostId, ThreadId, UserId};
+use dial_time::{Date, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A forum member.
+///
+/// Only registration metadata is stored here; activity measures (posts,
+/// ratings, contracts made/accepted, disputes) are *derived* by the
+/// pipelines from the contract and post records, exactly as the paper
+/// derives its cold-start variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Identifier, dense over the dataset.
+    pub id: UserId,
+    /// Forum registration date. May precede the contract system: many
+    /// SET-UP-era participants had long-standing accounts.
+    pub joined: Date,
+    /// Timestamp of the member's first active post anywhere on the forum,
+    /// if they ever posted. The "length of participation" cold-start
+    /// variable measures from this instant.
+    pub first_post: Option<Timestamp>,
+    /// Forum reputation score from the reputation-voting system (distinct
+    /// from contract B-ratings).
+    pub reputation: i32,
+}
+
+/// An advertising or discussion thread that contracts may link to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Thread {
+    /// Identifier, dense over the dataset.
+    pub id: ThreadId,
+    /// The member who opened the thread.
+    pub author: UserId,
+    /// When the thread was opened.
+    pub created: Timestamp,
+    /// Thread title (used by qualitative product analyses).
+    pub title: String,
+    /// True if the thread advertises goods/services in the marketplace
+    /// section; false for general discussion threads linked from elsewhere.
+    pub is_advertisement: bool,
+}
+
+/// A single post inside a thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Identifier, dense over the dataset.
+    pub id: PostId,
+    /// The thread this post belongs to.
+    pub thread: ThreadId,
+    /// The posting member.
+    pub author: UserId,
+    /// When the post was made.
+    pub at: Timestamp,
+    /// True if the post is in the marketplace section (the "marketplace
+    /// post count" control variable counts only these).
+    pub in_marketplace: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let u = User {
+            id: UserId(5),
+            joined: Date::from_ymd(2017, 1, 15),
+            first_post: Some(Timestamp::at(Date::from_ymd(2017, 2, 1), 9, 0)),
+            reputation: 42,
+        };
+        let json = serde_json::to_string(&u).unwrap();
+        let back: User = serde_json::from_str(&json).unwrap();
+        assert_eq!(u, back);
+    }
+}

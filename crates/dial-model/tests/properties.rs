@@ -1,0 +1,112 @@
+//! Property-based tests for the data model's structural guarantees.
+
+use dial_model::{
+    Contract, ContractId, ContractStatus, ContractType, Dataset, User, UserId, Visibility,
+};
+use dial_time::{Date, Timestamp};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = ContractType> {
+    prop::sample::select(ContractType::ALL.to_vec())
+}
+
+fn arb_status() -> impl Strategy<Value = ContractStatus> {
+    prop::sample::select(ContractStatus::ALL.to_vec())
+}
+
+/// Builds a minimal valid contract between users 0 and 1.
+fn contract(ty: ContractType, status: ContractStatus, minutes: i64, public: bool) -> Contract {
+    let created = Timestamp::from_minutes(minutes);
+    Contract {
+        id: ContractId(0),
+        contract_type: ty,
+        status,
+        visibility: if public || status == ContractStatus::Disputed {
+            Visibility::Public
+        } else {
+            Visibility::Private
+        },
+        maker: UserId(0),
+        taker: UserId(1),
+        created,
+        completed: (status == ContractStatus::Complete).then(|| created.plus_hours(5.0)),
+        maker_obligation: String::new(),
+        taker_obligation: String::new(),
+        thread: None,
+        maker_rating: None,
+        taker_rating: None,
+        chain_ref: None,
+    }
+}
+
+proptest! {
+    /// Any contract built by the canonical constructor validates, except
+    /// for the vouch-copy introduction rule which depends on the date.
+    #[test]
+    fn canonical_contracts_validate(
+        ty in arb_type(),
+        status in arb_status(),
+        public in any::<bool>(),
+        // Minutes across the study window (June 2018 .. June 2020).
+        minutes in 25_500_000i64..26_500_000,
+    ) {
+        let c = contract(ty, status, minutes, public);
+        let vouch_early = ty == ContractType::VouchCopy
+            && status == ContractStatus::Complete
+            && c.created_month() < ContractType::VouchCopy.introduced();
+        prop_assert_eq!(c.validate().is_ok(), !vouch_early, "{:?}", c.validate());
+    }
+
+    /// Completion hours are exactly recoverable and positive.
+    #[test]
+    fn completion_hours_positive(minutes in 0i64..30_000_000, hours in 1u32..2_000) {
+        let mut c = contract(ContractType::Sale, ContractStatus::Complete, minutes, true);
+        c.completed = Some(c.created.plus_hours(f64::from(hours)));
+        prop_assert_eq!(c.completion_hours(), Some(f64::from(hours)));
+    }
+
+    /// Dataset indexes are consistent with a linear scan for any random
+    /// contract multiset.
+    #[test]
+    fn dataset_indexes_match_scan(
+        pairs in prop::collection::vec((0u32..6, 0u32..6), 1..60),
+    ) {
+        let users: Vec<User> = (0..6)
+            .map(|i| User {
+                id: UserId(i),
+                joined: Date::from_ymd(2018, 1, 1),
+                first_post: None,
+                reputation: 0,
+            })
+            .collect();
+        let contracts: Vec<Contract> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, t))| m != t)
+            .enumerate()
+            .map(|(dense, (_, (m, t)))| {
+                let mut c = contract(
+                    ContractType::Sale,
+                    ContractStatus::Complete,
+                    25_600_000 + dense as i64,
+                    false,
+                );
+                c.id = ContractId(dense as u32);
+                c.maker = UserId(*m);
+                c.taker = UserId(*t);
+                c
+            })
+            .collect();
+        let n = contracts.len();
+        let ds = Dataset::new(users, contracts, vec![], vec![]);
+        prop_assert_eq!(ds.contracts().len(), n);
+        for u in 0..6u32 {
+            let made = ds.contracts_made_by(UserId(u)).count();
+            let scan = ds.contracts().iter().filter(|c| c.maker == UserId(u)).count();
+            prop_assert_eq!(made, scan);
+            let offered = ds.contracts_offered_to(UserId(u)).count();
+            let scan = ds.contracts().iter().filter(|c| c.taker == UserId(u)).count();
+            prop_assert_eq!(offered, scan);
+        }
+    }
+}

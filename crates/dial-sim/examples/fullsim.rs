@@ -1,0 +1,12 @@
+//! Smoke test: run the full-scale simulation and print its size and the
+//! planted verification mix.
+//!
+//! ```sh
+//! cargo run --release -p dial-sim --example fullsim
+//! ```
+fn main() {
+    let t = std::time::Instant::now();
+    let out = dial_sim::SimConfig::paper_default().simulate_full();
+    println!("{} in {:?}", out.dataset.summary(), t.elapsed());
+    println!("planted: {:?}, ledger {}", out.truth.planted_verdicts, out.ledger.len());
+}

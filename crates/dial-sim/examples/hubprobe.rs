@@ -1,0 +1,28 @@
+//! Probe of how the Figure 7 hub structure scales: max inbound/outbound
+//! degrees grow super-linearly with market scale under preferential
+//! attachment.
+//!
+//! ```sh
+//! cargo run --release -p dial-sim --example hubprobe
+//! ```
+use dial_model::UserId;
+use std::collections::HashMap;
+
+fn main() {
+    for scale in [0.1f64, 0.3] {
+        let ds = dial_sim::SimConfig::paper_default().with_seed(0xD1A1).with_scale(scale).simulate();
+        let mut inb: HashMap<UserId, std::collections::HashSet<UserId>> = HashMap::new();
+        let mut out: HashMap<UserId, std::collections::HashSet<UserId>> = HashMap::new();
+        for c in ds.contracts() {
+            out.entry(c.maker).or_default().insert(c.taker);
+            inb.entry(c.taker).or_default().insert(c.maker);
+            if c.contract_type.is_bidirectional() {
+                out.entry(c.taker).or_default().insert(c.maker);
+                inb.entry(c.maker).or_default().insert(c.taker);
+            }
+        }
+        let maxi = inb.values().map(|s| s.len()).max().unwrap_or(0);
+        let maxo = out.values().map(|s| s.len()).max().unwrap_or(0);
+        println!("scale {scale}: max inbound {maxi}, max outbound {maxo}, ratio {:.1}", maxi as f64 / maxo as f64);
+    }
+}

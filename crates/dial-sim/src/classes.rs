@@ -1,0 +1,194 @@
+//! The 12 latent behaviour classes of Table 6.
+//!
+//! Each class is characterised by mean monthly transaction rates — five
+//! "make" rates and five "accept" rates, one per contract type — taken
+//! directly from the paper's Table 6. The simulator assigns every user a
+//! class at arrival and draws their monthly activity from these rates; the
+//! LCA pipeline in `dial-core` must then *re-discover* this structure.
+
+use dial_model::ContractType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A latent behaviour class (A–L), in the paper's Table 6 ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BehaviourClass {
+    /// Mid-level SALE taker.
+    A,
+    /// Exchanger & Sale taker.
+    B,
+    /// Single SALE maker.
+    C,
+    /// Single Exchanger.
+    D,
+    /// Exchanger power-user.
+    E,
+    /// Mid-level Exchanger.
+    F,
+    /// Exchanger power-user.
+    G,
+    /// Mid-level PURCHASE maker.
+    H,
+    /// Mid-level SALE maker.
+    I,
+    /// Single SALE taker.
+    J,
+    /// Exchanger power-user (the heaviest).
+    K,
+    /// SALE taker power-user.
+    L,
+}
+
+/// Per-class mean monthly rates: `make[t]` and `accept[t]` indexed by
+/// [`ContractType::ALL`] order (Sale, Purchase, Exchange, Trade, VouchCopy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassRates {
+    /// Mean monthly contracts made, by type.
+    pub make: [f64; 5],
+    /// Mean monthly contracts accepted, by type.
+    pub accept: [f64; 5],
+}
+
+impl BehaviourClass {
+    /// All classes in Table 6 order.
+    pub const ALL: [BehaviourClass; 12] = [
+        BehaviourClass::A,
+        BehaviourClass::B,
+        BehaviourClass::C,
+        BehaviourClass::D,
+        BehaviourClass::E,
+        BehaviourClass::F,
+        BehaviourClass::G,
+        BehaviourClass::H,
+        BehaviourClass::I,
+        BehaviourClass::J,
+        BehaviourClass::K,
+        BehaviourClass::L,
+    ];
+
+    /// Dense index (A = 0 … L = 11).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// Class from a dense index.
+    pub fn from_index(i: usize) -> BehaviourClass {
+        Self::ALL[i]
+    }
+
+    /// The paper's behaviour-type description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            BehaviourClass::A => "Mid-level SALE taker",
+            BehaviourClass::B => "Exchanger & Sale taker",
+            BehaviourClass::C => "Single SALE maker",
+            BehaviourClass::D => "Single Exchanger",
+            BehaviourClass::E => "Exchanger power-user",
+            BehaviourClass::F => "Mid-level Exchanger",
+            BehaviourClass::G => "Exchanger power-user",
+            BehaviourClass::H => "Mid-level PURCHASE maker",
+            BehaviourClass::I => "Mid-level SALE maker",
+            BehaviourClass::J => "Single SALE taker",
+            BehaviourClass::K => "Exchanger power-user",
+            BehaviourClass::L => "SALE taker power-user",
+        }
+    }
+
+    /// Table 6 rate matrix. Order within arrays follows
+    /// [`ContractType::ALL`]: Sale, Purchase, Exchange, Trade, VouchCopy.
+    /// (The paper's table lists Exchange first; values are transcribed
+    /// accordingly.)
+    pub fn rates(&self) -> ClassRates {
+        // Table 6 columns: make E, P, S, T, V | accept E, P, S, T, V.
+        let (me, mp, ms, mt, mv, ae, ap, aws, at, av) = match self {
+            BehaviourClass::A => (0.5, 0.6, 0.5, 0.1, 0.0, 0.5, 0.2, 10.1, 0.2, 0.0),
+            BehaviourClass::B => (2.3, 0.4, 0.6, 0.1, 0.0, 6.5, 0.6, 1.1, 0.1, 0.0),
+            BehaviourClass::C => (0.0, 0.0, 1.1, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.0),
+            BehaviourClass::D => (0.9, 0.0, 0.1, 0.0, 0.0, 0.9, 0.1, 0.0, 0.0, 0.0),
+            BehaviourClass::E => (4.3, 0.7, 2.0, 0.2, 0.0, 22.3, 4.2, 3.8, 0.4, 0.0),
+            BehaviourClass::F => (7.3, 0.2, 0.4, 0.0, 0.0, 1.3, 0.2, 0.3, 0.0, 0.0),
+            BehaviourClass::G => (21.2, 0.6, 1.3, 0.1, 0.0, 8.1, 1.1, 1.3, 0.1, 0.0),
+            BehaviourClass::H => (1.3, 10.0, 0.9, 0.2, 0.0, 1.0, 0.4, 3.2, 0.1, 0.0),
+            BehaviourClass::I => (1.1, 0.7, 5.2, 0.2, 0.0, 1.6, 2.0, 1.0, 0.1, 0.0),
+            BehaviourClass::J => (0.1, 0.7, 0.1, 0.0, 0.0, 0.1, 0.1, 1.1, 0.0, 0.0),
+            BehaviourClass::K => (31.2, 0.9, 3.3, 0.3, 0.0, 54.9, 9.2, 12.8, 1.0, 0.0),
+            BehaviourClass::L => (1.3, 1.1, 1.2, 0.2, 0.1, 1.5, 0.6, 54.9, 0.2, 0.0),
+        };
+        ClassRates {
+            make: [ms, mp, me, mt, mv],
+            accept: [aws, ap, ae, at, av],
+        }
+    }
+
+    /// Mean monthly contracts made of one type.
+    pub fn make_rate(&self, ty: ContractType) -> f64 {
+        self.rates().make[type_index(ty)]
+    }
+
+    /// Mean monthly contracts accepted of one type.
+    pub fn accept_rate(&self, ty: ContractType) -> f64 {
+        self.rates().accept[type_index(ty)]
+    }
+
+    /// True for the low-volume classes whose members typically appear for a
+    /// single transaction (drives churn in the population model).
+    pub fn is_single_shot(&self) -> bool {
+        matches!(self, BehaviourClass::C | BehaviourClass::D | BehaviourClass::J)
+    }
+
+    /// True for power-user classes (persist across the study).
+    pub fn is_power_user(&self) -> bool {
+        matches!(
+            self,
+            BehaviourClass::E | BehaviourClass::G | BehaviourClass::K | BehaviourClass::L
+        )
+    }
+}
+
+impl fmt::Display for BehaviourClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// Index of a contract type in [`ContractType::ALL`] order.
+pub fn type_index(ty: ContractType) -> usize {
+    ContractType::ALL.iter().position(|t| *t == ty).expect("known type")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_spot_checks() {
+        // Class K makes 31.2 Exchange and accepts 54.9 Exchange per month.
+        assert_eq!(BehaviourClass::K.make_rate(ContractType::Exchange), 31.2);
+        assert_eq!(BehaviourClass::K.accept_rate(ContractType::Exchange), 54.9);
+        // Class L accepts 54.9 Sale per month.
+        assert_eq!(BehaviourClass::L.accept_rate(ContractType::Sale), 54.9);
+        // Class C makes 1.1 Sale and nothing else.
+        assert_eq!(BehaviourClass::C.make_rate(ContractType::Sale), 1.1);
+        assert_eq!(BehaviourClass::C.make_rate(ContractType::Exchange), 0.0);
+        // Class H makes 10 Purchase per month.
+        assert_eq!(BehaviourClass::H.make_rate(ContractType::Purchase), 10.0);
+        // Only class L makes Vouch Copies in Table 6.
+        assert_eq!(BehaviourClass::L.make_rate(ContractType::VouchCopy), 0.1);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, c) in BehaviourClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(BehaviourClass::from_index(i), c);
+        }
+    }
+
+    #[test]
+    fn class_roles() {
+        assert!(BehaviourClass::C.is_single_shot());
+        assert!(BehaviourClass::K.is_power_user());
+        assert!(!BehaviourClass::K.is_single_shot());
+        assert!(!BehaviourClass::A.is_power_user());
+    }
+}

@@ -1,0 +1,490 @@
+//! Simulation configuration and the calibration constants distilled from
+//! the paper's published aggregates.
+
+use crate::classes::BehaviourClass;
+use dial_model::ContractType;
+use dial_time::{Era, StudyWindow, YearMonth};
+use serde::{Deserialize, Serialize};
+
+/// A simulated Sybil attack on the market's trust signals.
+///
+/// §7 of the paper suggests interventions that confuse trust signals
+/// (spurious negative reviews) "are best targeted in the early days of
+/// market formation, before this concentration effect takes root". The
+/// attack injects fake negative reputation against the era's most
+/// successful emerging takers each month; reputation-aware matching then
+/// steers custom away from them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SybilAttack {
+    /// The era during which fake negatives are injected.
+    pub era: Era,
+    /// How many top takers are targeted each month.
+    pub targets_per_month: usize,
+    /// Fake negative signals injected per target per month.
+    pub fakes_per_target: u32,
+}
+
+/// Top-level simulator configuration.
+///
+/// `paper_default()` encodes the full calibration; `scale` shrinks every
+/// volume target proportionally (useful for tests: `scale = 0.02` yields a
+/// ~4k-contract market in milliseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// PRNG seed; equal seeds give bit-identical datasets.
+    pub seed: u64,
+    /// Volume scale factor (1.0 = the paper's ~190k contracts).
+    pub scale: f64,
+    /// Ablation switch: match makers to takers uniformly at random instead
+    /// of via flow preferences + preferential attachment. Destroys the hub
+    /// structure of Figure 7.
+    pub uniform_matching: bool,
+    /// Optional Sybil attack on trust signals (§7 intervention study).
+    pub sybil: Option<SybilAttack>,
+    /// Counterfactual switch: continue the late-STABLE trends through the
+    /// COVID-19 months instead of applying the pandemic stimulus. The
+    /// difference between a factual and counterfactual run isolates the
+    /// uplift attributable to the pandemic ("turning up the dial").
+    pub no_covid: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SimConfig {
+    /// The calibration used throughout the reproduction.
+    pub fn paper_default() -> Self {
+        Self { seed: 0xD1A1, scale: 1.0, uniform_matching: false, sybil: None, no_covid: false }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different volume scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns the config with uniform (ablation) matching.
+    pub fn with_uniform_matching(mut self, on: bool) -> Self {
+        self.uniform_matching = on;
+        self
+    }
+
+    /// Returns the config with a Sybil attack enabled.
+    pub fn with_sybil(mut self, attack: SybilAttack) -> Self {
+        self.sybil = Some(attack);
+        self
+    }
+
+    /// Returns the no-COVID counterfactual configuration.
+    pub fn without_covid(mut self) -> Self {
+        self.no_covid = true;
+        self
+    }
+
+    /// Convenience: run the simulation and return just the dataset.
+    pub fn simulate(&self) -> dial_model::Dataset {
+        crate::market::simulate(self).dataset
+    }
+
+    /// Run the simulation and return dataset + ledger + ground truth.
+    pub fn simulate_full(&self) -> crate::market::SimOutput {
+        crate::market::simulate(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Volume calibration (Figure 1).
+// ---------------------------------------------------------------------------
+
+/// Target created contracts per study month (25 entries, June 2018 →
+/// June 2020). Shape: slow SET-UP growth; a 172% jump at the March 2019
+/// mandate peaking in April 2019; slow decline with a Christmas bump; the
+/// short sharp COVID spike peaking in April 2020 above the 2019 peak.
+pub const MONTHLY_CREATED: [f64; 25] = [
+    // SET-UP: Jun 2018 .. Feb 2019
+    2400.0, 2600.0, 2800.0, 3000.0, 3200.0, 3500.0, 3800.0, 4100.0, 4400.0,
+    // STABLE: Mar 2019 .. Feb 2020
+    11950.0, 12400.0, 11300.0, 10600.0, 10000.0, 9600.0, 9200.0, 8800.0, 8500.0, 9000.0, 8300.0,
+    7800.0,
+    // COVID-19: Mar 2020 .. Jun 2020
+    10400.0, 13100.0, 9900.0, 8200.0,
+];
+
+/// Target new members becoming party to a contract per month. SET-UP
+/// decline, the March-2019 rush (+276% on February), decline to ~1,500, and
+/// a moderate COVID bump that does *not* outpace the 2019 peak.
+pub const MONTHLY_NEW_MEMBERS: [f64; 25] = [
+    1900.0, 1850.0, 1800.0, 1750.0, 1650.0, 1550.0, 1450.0, 1400.0, 1330.0, // SET-UP
+    5000.0, 4200.0, 3400.0, 2900.0, 2600.0, 2400.0, 2200.0, 2000.0, 1850.0, 1750.0, 1600.0,
+    1500.0, // STABLE
+    2100.0, 2600.0, 1900.0, 1500.0, // COVID-19
+];
+
+/// Initial (month-0) population multiple of month-0 arrivals: established
+/// forum members who adopt the contract system at launch.
+pub const INITIAL_POPULATION_FACTOR: f64 = 1.5;
+
+/// Counterfactual COVID-19-era volumes: the late-STABLE linear decline
+/// (~-400 created/month, ~-100 new members/month) extended through
+/// March–June 2020, replacing the pandemic stimulus.
+pub const COUNTERFACTUAL_CREATED: [f64; 4] = [7500.0, 7200.0, 6900.0, 6600.0];
+
+/// Counterfactual monthly new members under the same trend extension.
+pub const COUNTERFACTUAL_NEW_MEMBERS: [f64; 4] = [1420.0, 1350.0, 1280.0, 1210.0];
+
+/// Monthly created-contract target, honouring the counterfactual switch.
+pub fn monthly_created(month_index: usize, no_covid: bool) -> f64 {
+    if no_covid && month_index >= 21 {
+        COUNTERFACTUAL_CREATED[month_index - 21]
+    } else {
+        MONTHLY_CREATED[month_index]
+    }
+}
+
+/// Monthly new-member target, honouring the counterfactual switch.
+pub fn monthly_new_members(month_index: usize, no_covid: bool) -> f64 {
+    if no_covid && month_index >= 21 {
+        COUNTERFACTUAL_NEW_MEMBERS[month_index - 21]
+    } else {
+        MONTHLY_NEW_MEMBERS[month_index]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract-type mix (Figure 3, Table 1 totals).
+// ---------------------------------------------------------------------------
+
+/// Created-contract type mix for a given month, in [`ContractType::ALL`]
+/// order (Sale, Purchase, Exchange, Trade, VouchCopy).
+///
+/// SET-UP starts Exchange-dominated (~50%) with SALE ~40%; the mandate
+/// flips the market to SALE-dominated (>70% created). Vouch Copy appears in
+/// February 2020 and grows through COVID-19.
+pub fn type_mix(month_index: usize) -> [f64; 5] {
+    let m = month_index as f64;
+    let vouch = match month_index {
+        0..=19 => 0.0,                        // before Feb 2020
+        20 => 0.004,                          // Feb 2020 introduction
+        _ => 0.006 + 0.002 * (m - 20.0),      // grows through COVID-19
+    };
+    let (sale, purchase, exchange, trade) = if month_index < 9 {
+        // Drift across SET-UP: Exchange 50→41%, Sale 40→45%, Purchase 9→12%.
+        let t = m / 8.0;
+        (
+            0.40 + 0.05 * t,
+            0.09 + 0.03 * t,
+            0.50 - 0.09 * t,
+            0.01 + 0.003 * t,
+        )
+    } else {
+        // STABLE / COVID-19 plateau.
+        (0.715, 0.105, 0.163, 0.013)
+    };
+    // Normalise the four economic types to share `1 − vouch` exactly.
+    let econ = sale + purchase + exchange + trade;
+    let rest = (1.0 - vouch) / econ;
+    [sale * rest, purchase * rest, exchange * rest, trade * rest, vouch]
+}
+
+// ---------------------------------------------------------------------------
+// Status distribution (Table 1, conditioned on type).
+// ---------------------------------------------------------------------------
+
+/// Conditional status distribution per type, in
+/// [`dial_model::ContractStatus::ALL`] order (Complete, ActiveDeal,
+/// Disputed, Incomplete, Cancelled, Denied, Expired). Derived from Table 1
+/// row proportions.
+pub fn status_mix(ty: ContractType) -> [f64; 7] {
+    match ty {
+        ContractType::Sale => [0.3267, 0.0158, 0.0083, 0.5432, 0.0556, 0.0005, 0.0498],
+        ContractType::Purchase => [0.5309, 0.0004, 0.0281, 0.2099, 0.1061, 0.0013, 0.1232],
+        ContractType::Exchange => [0.6975, 0.0001, 0.0113, 0.0828, 0.1426, 0.0016, 0.0641],
+        ContractType::Trade => [0.5638, 0.0004, 0.0089, 0.2328, 0.0838, 0.0013, 0.1089],
+        ContractType::VouchCopy => [0.5769, 0.0, 0.0031, 0.2324, 0.0571, 0.0, 0.1305],
+    }
+}
+
+/// Era modulation of the dispute rate: "low levels of disputed transactions
+/// (around 1%) ... peak to 2-3% for the last six months of SET-UP", then
+/// drop to "around half or a third" at the start of STABLE.
+pub fn dispute_multiplier(month_index: usize) -> f64 {
+    match month_index {
+        0..=2 => 1.0,
+        3..=8 => 2.6,  // late SET-UP spike
+        _ => 0.8,      // STABLE / COVID-19
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Visibility (Table 2, Figure 2).
+// ---------------------------------------------------------------------------
+
+/// Baseline probability that a contract created in `month_index` is public.
+/// ~45% at launch, peaking just over 50% in August 2018, falling to ~20% by
+/// the end of SET-UP and ~10% once contracts become mandatory.
+pub fn public_base(month_index: usize) -> f64 {
+    match month_index {
+        0 => 0.45,
+        1 => 0.48,
+        2 => 0.51, // August 2018 peak
+        3 => 0.44,
+        4 => 0.38,
+        5 => 0.32,
+        6 => 0.27,
+        7 => 0.23,
+        8 => 0.20,
+        _ => 0.10,
+    }
+}
+
+/// Per-type multiplier on the public baseline. Sellers prefer privacy
+/// (SALE public share ≈ 8% of SALE overall); the other types run ~20%.
+pub fn public_type_factor(ty: ContractType) -> f64 {
+    match ty {
+        ContractType::Sale => 0.56,
+        ContractType::Purchase => 1.16,
+        ContractType::Exchange => 0.76,
+        ContractType::Trade => 1.55,
+        ContractType::VouchCopy => 1.43,
+    }
+}
+
+/// Visibility is correlated with settlement: "public contracts are more
+/// likely to be settled, with 57.0% of transactions completed compared to
+/// 41.7% in private contracts" (§3). Applied as a multiplier on the public
+/// probability by eventual status.
+pub fn public_status_factor(complete: bool) -> f64 {
+    if complete {
+        1.45
+    } else {
+        0.85
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completion times (Figure 4).
+// ---------------------------------------------------------------------------
+
+/// Mean completion time in hours for contracts created in `month_index`.
+/// Declines from ~150h at launch to under 10h by June 2020.
+pub fn completion_mean_hours(month_index: usize, ty: ContractType) -> f64 {
+    let m = month_index as f64;
+    let base = 150.0 * (-m / 7.0).exp() + 9.0 - 0.1 * m;
+    let factor = match ty {
+        ContractType::Sale => 1.0,
+        ContractType::Purchase => 0.9,
+        ContractType::Exchange => 0.6, // currency swaps settle fast
+        // TRADE is tiny and noisy, with short-lived spikes in Feb/Apr 2020.
+        ContractType::Trade => match month_index {
+            20 | 22 => 6.0,
+            _ => 1.2,
+        },
+        ContractType::VouchCopy => 0.8,
+    };
+    (base * factor).max(1.0)
+}
+
+/// Fraction of completed contracts that record a completion timestamp
+/// (§4.1: "around 70% of all completed contracts").
+pub const COMPLETION_DATE_RECORDED: f64 = 0.70;
+
+// ---------------------------------------------------------------------------
+// Population / class model (Table 6, §5.1–5.2).
+// ---------------------------------------------------------------------------
+
+/// Class arrival mix by era, indexed by [`BehaviourClass::ALL`] order
+/// (A B C D E F G H I J K L). The mid-level SALE taker class (A) and the
+/// SALE power-taker class (L) only emerge meaningfully in STABLE, matching
+/// the narrative of §5.1.
+pub fn class_arrival_mix(era: Era) -> [f64; 12] {
+    let mut mix = raw_class_arrival_mix(era);
+    let total: f64 = mix.iter().sum();
+    mix.iter_mut().for_each(|w| *w /= total);
+    mix
+}
+
+fn raw_class_arrival_mix(era: Era) -> [f64; 12] {
+    match era {
+        Era::SetUp => [
+            0.015, 0.050, 0.260, 0.160, 0.012, 0.050, 0.008, 0.040, 0.060, 0.330, 0.004, 0.001,
+        ],
+        Era::Stable => [
+            0.050, 0.050, 0.330, 0.115, 0.010, 0.040, 0.007, 0.035, 0.050, 0.300, 0.004, 0.005,
+        ],
+        Era::Covid19 => [
+            0.050, 0.060, 0.370, 0.115, 0.010, 0.040, 0.007, 0.040, 0.050, 0.245, 0.004, 0.005,
+        ],
+    }
+}
+
+/// Share of members who are structural "never-completers": window-shoppers
+/// and flakes whose deals overwhelmingly fall through regardless of
+/// activity. This is the behavioural source of the zero inflation the
+/// paper's ZIP models detect (Vuong tests prefer ZIP for every model).
+pub const NON_COMPLETER_SHARE: f64 = 0.15;
+
+/// Probability that a would-be completion involving a never-completer is
+/// downgraded to Incomplete.
+pub const NON_COMPLETER_KILL: f64 = 0.80;
+
+/// Boost applied to the Complete weight of [`status_mix`] to compensate for
+/// never-completer downgrades, keeping the aggregate Table 1 completion
+/// rates at the paper's levels. The effective kill rate differs by type
+/// because power users (who are never flakes) dominate some party roles —
+/// Exchange/Sale takers are mostly power classes, Purchase parties mostly
+/// are not — so the boost is type-specific, tuned against the realised
+/// completion rates.
+pub fn complete_boost(ty: ContractType) -> f64 {
+    match ty {
+        ContractType::Sale => 1.24,
+        ContractType::Purchase => 1.25,
+        ContractType::Exchange => 1.10,
+        ContractType::Trade => 1.08,
+        ContractType::VouchCopy => 1.14,
+    }
+}
+
+/// Monthly churn probability by class: one-shot classes leave fast, power
+/// users persist for the whole study.
+pub fn churn_probability(class: BehaviourClass) -> f64 {
+    if class.is_single_shot() {
+        0.75
+    } else if class.is_power_user() {
+        0.03
+    } else {
+        0.30
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content / value calibration (Tables 3–5).
+// ---------------------------------------------------------------------------
+
+/// Probability that a *public* contract is associated with a thread
+/// (§3: 68.4% of public contracts).
+pub const THREAD_LINK_PROBABILITY: f64 = 0.684;
+
+/// Log-normal σ of contract USD values.
+pub const VALUE_SIGMA: f64 = 1.25;
+
+/// Mean USD value of the *body* of the value distribution per contract
+/// type. The paper's per-type averages (Exchange $104, Purchase $78, Sale
+/// $71, Trade $58) include the heavy >$1,000 tail, which the simulator
+/// plants separately at [`HIGH_VALUE_PROBABILITY`]; the body means are set
+/// ~35% below the reported averages so the tail-inclusive averages land on
+/// the paper's numbers.
+pub fn value_mean_usd(ty: ContractType) -> f64 {
+    match ty {
+        ContractType::Sale => 46.0,
+        ContractType::Purchase => 51.0,
+        ContractType::Exchange => 68.0,
+        ContractType::Trade => 38.0,
+        ContractType::VouchCopy => 0.0, // reputation only
+    }
+}
+
+/// Probability a valued public completed contract is a "high-value" trade
+/// (> $1,000; the paper manually checks 163 of them).
+pub const HIGH_VALUE_PROBABILITY: f64 = 0.014;
+
+/// Verification-outcome mix for planted high-value chain references
+/// (§4.5: 50% confirmed, 43% different value, 7% unconfirmed).
+pub const VERDICT_MIX: [f64; 3] = [0.50, 0.43, 0.07];
+
+/// The study window, re-exported for the engine's month loop.
+pub fn months() -> Vec<YearMonth> {
+    StudyWindow::months().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_tables_cover_window_and_sum_to_paper_scale() {
+        assert_eq!(MONTHLY_CREATED.len(), StudyWindow::n_months());
+        assert_eq!(MONTHLY_NEW_MEMBERS.len(), StudyWindow::n_months());
+        let total: f64 = MONTHLY_CREATED.iter().sum();
+        assert!((150_000.0..230_000.0).contains(&total), "total {total} vs paper 188,236");
+    }
+
+    #[test]
+    fn type_mix_is_a_distribution_every_month() {
+        for m in 0..25 {
+            let mix = type_mix(m);
+            assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-9, "month {m}");
+            assert!(mix.iter().all(|p| *p >= 0.0));
+        }
+        // Exchange leads at launch, Sale leads after the mandate.
+        assert!(type_mix(0)[2] > type_mix(0)[0]);
+        assert!(type_mix(12)[0] > 0.6);
+        // Vouch Copy absent before Feb 2020, present after.
+        assert_eq!(type_mix(19)[4], 0.0);
+        assert!(type_mix(24)[4] > type_mix(20)[4]);
+    }
+
+    #[test]
+    fn status_mixes_are_distributions() {
+        for ty in ContractType::ALL {
+            let mix = status_mix(ty);
+            let s: f64 = mix.iter().sum();
+            assert!((s - 1.0).abs() < 5e-3, "{ty:?} sums to {s}");
+        }
+        // Exchange completes best, Sale worst (Table 1).
+        assert!(status_mix(ContractType::Exchange)[0] > status_mix(ContractType::Sale)[0] * 2.0);
+    }
+
+    #[test]
+    fn visibility_declines_and_sale_is_most_private() {
+        assert!(public_base(2) > public_base(0));
+        assert!(public_base(8) > public_base(9));
+        assert_eq!(public_base(12), 0.10);
+        for ty in ContractType::ALL {
+            if ty != ContractType::Sale {
+                assert!(public_type_factor(ty) > public_type_factor(ContractType::Sale));
+            }
+        }
+    }
+
+    #[test]
+    fn completion_times_decline() {
+        for ty in ContractType::ALL {
+            assert!(
+                completion_mean_hours(0, ty) > completion_mean_hours(24, ty),
+                "{ty:?} must speed up over the window"
+            );
+            assert!(completion_mean_hours(24, ty) >= 1.0);
+        }
+        // June 2020: under 10 hours for the dominant types.
+        assert!(completion_mean_hours(24, ContractType::Exchange) < 10.0);
+    }
+
+    #[test]
+    fn class_mixes_are_distributions() {
+        for era in Era::ALL {
+            let mix = class_arrival_mix(era);
+            assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{era}");
+        }
+        // L arrives more in STABLE than SET-UP (the new taker power class).
+        let l = BehaviourClass::L.index();
+        assert!(class_arrival_mix(Era::Stable)[l] > class_arrival_mix(Era::SetUp)[l]);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SimConfig::paper_default().with_seed(9).with_scale(0.5).with_uniform_matching(true);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scale, 0.5);
+        assert!(c.uniform_matching);
+    }
+}

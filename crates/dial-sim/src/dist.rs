@@ -1,0 +1,153 @@
+//! Random-variate samplers built on `rand::Rng`.
+//!
+//! The approved offline crate set has no `rand_distr`, so the handful of
+//! distributions the simulator needs are implemented here.
+
+use rand::Rng;
+
+/// Draws from `Poisson(λ)`.
+///
+/// Knuth's multiplication method for small λ; for λ ≥ 30 a normal
+/// approximation with continuity correction (ample for volume counts).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "λ must be finite and ≥ 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random_range(0.0..1.0f64);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 1_000_000 {
+                return k; // unreachable in practice; guards λ near the cutoff
+            }
+        }
+    }
+    let z = standard_normal(rng);
+    let v = lambda + lambda.sqrt() * z + 0.5;
+    if v < 0.0 {
+        0
+    } else {
+        v.floor() as u64
+    }
+}
+
+/// Draws a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws from `LogNormal(μ, σ)` (parameters of the underlying normal).
+pub fn log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Draws an index from a discrete distribution given non-negative weights.
+/// Falls back to uniform if all weights are zero.
+///
+/// # Panics
+/// Panics on an empty weight slice.
+pub fn categorical(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty categorical");
+    debug_assert!(weights.iter().all(|w| *w >= 0.0));
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw.
+pub fn bernoulli(rng: &mut impl Rng, p: f64) -> bool {
+    debug_assert!((0.0..=1.0 + 1e-12).contains(&p), "p out of range: {p}");
+    rng.random_range(0.0..1.0) < p
+}
+
+/// Exponential draw with the given mean.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &lambda in &[0.5, 3.0, 12.0, 80.0] {
+            let n = 20_000;
+            let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < lambda.sqrt() * 0.08 + 0.05, "λ={lambda} mean={mean}");
+            assert!((var - lambda).abs() < lambda * 0.15 + 0.1, "λ={lambda} var={var}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 3.0, 1.0)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        assert!((median - 3.0f64.exp()).abs() < 1.5, "median {median}");
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &w)] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_all_zero_is_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let w = [0.0, 0.0];
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[categorical(&mut rng, &w)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2);
+    }
+}

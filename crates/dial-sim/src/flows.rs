@@ -1,0 +1,101 @@
+//! Maker→taker class flow preferences per era (Table 8).
+//!
+//! Table 8 reports, for each contract type and era, the three maker→taker
+//! class pairs carrying the largest share of that type's volume. The
+//! simulator honours those shares directly: with probability equal to the
+//! summed share, a contract's (maker class, taker class) pair is drawn from
+//! the listed flows; otherwise both classes are drawn independently from
+//! the rate-weighted population.
+
+use crate::classes::BehaviourClass;
+use dial_model::ContractType;
+use dial_time::Era;
+
+/// One preferred flow: maker class, taker class, and the share of the
+/// type's volume it carries within the era.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Class initiating the contract.
+    pub maker: BehaviourClass,
+    /// Class accepting the contract.
+    pub taker: BehaviourClass,
+    /// Fraction of all contracts of this type in this era.
+    pub share: f64,
+}
+
+/// Table 8: the top-3 flows for each (type, era). Exchange/Purchase/Sale
+/// only — Trade and Vouch Copy are too small for the paper to report flows.
+pub fn flows(ty: ContractType, era: Era) -> &'static [Flow] {
+    use BehaviourClass::*;
+    const fn f(maker: BehaviourClass, taker: BehaviourClass, share: f64) -> Flow {
+        Flow { maker, taker, share }
+    }
+    match (ty, era) {
+        (ContractType::Exchange, Era::SetUp) => {
+            const T: [Flow; 3] = [f(F, E, 0.07), f(F, K, 0.06), f(D, B, 0.06)];
+            &T
+        }
+        (ContractType::Exchange, Era::Stable) => {
+            const T: [Flow; 3] = [f(F, K, 0.07), f(F, E, 0.05), f(G, D, 0.05)];
+            &T
+        }
+        (ContractType::Exchange, Era::Covid19) => {
+            const T: [Flow; 3] = [f(F, K, 0.10), f(F, E, 0.06), f(G, D, 0.05)];
+            &T
+        }
+        (ContractType::Purchase, Era::SetUp) => {
+            const T: [Flow; 3] = [f(H, C, 0.22), f(J, C, 0.20), f(H, E, 0.07)];
+            &T
+        }
+        (ContractType::Purchase, Era::Stable) => {
+            const T: [Flow; 3] = [f(H, C, 0.23), f(J, C, 0.19), f(H, K, 0.06)];
+            &T
+        }
+        (ContractType::Purchase, Era::Covid19) => {
+            const T: [Flow; 3] = [f(H, C, 0.26), f(J, C, 0.18), f(H, I, 0.06)];
+            &T
+        }
+        (ContractType::Sale, Era::SetUp) => {
+            const T: [Flow; 3] = [f(C, J, 0.22), f(C, A, 0.13), f(I, J, 0.06)];
+            &T
+        }
+        (ContractType::Sale, Era::Stable) => {
+            const T: [Flow; 3] = [f(C, L, 0.47), f(C, A, 0.20), f(C, J, 0.09)];
+            &T
+        }
+        (ContractType::Sale, Era::Covid19) => {
+            const T: [Flow; 3] = [f(C, L, 0.42), f(C, A, 0.18), f(C, J, 0.09)];
+            &T
+        }
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_never_exceed_one() {
+        for ty in ContractType::ALL {
+            for era in Era::ALL {
+                let total: f64 = flows(ty, era).iter().map(|f| f.share).sum();
+                assert!(total < 1.0, "{ty:?}/{era}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn table8_headline_flows() {
+        // STABLE SALE is dominated by C→L at 47%.
+        let sale_stable = flows(ContractType::Sale, Era::Stable);
+        assert_eq!(sale_stable[0].maker, BehaviourClass::C);
+        assert_eq!(sale_stable[0].taker, BehaviourClass::L);
+        assert!((sale_stable[0].share - 0.47).abs() < 1e-12);
+        // SET-UP SALE instead flows C→J.
+        assert_eq!(flows(ContractType::Sale, Era::SetUp)[0].taker, BehaviourClass::J);
+        // Trade/Vouch have no reported flows.
+        assert!(flows(ContractType::Trade, Era::Stable).is_empty());
+        assert!(flows(ContractType::VouchCopy, Era::Covid19).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! A calibrated generative simulator of the HACK FORUMS contract
+//! marketplace.
+//!
+//! The real CrimeBB dataset is restricted, so this crate *is* the dataset:
+//! it generates users, contracts, threads, posts and an accompanying
+//! simulated blockchain whose aggregate behaviour is parameterised by every
+//! marginal the paper publishes —
+//!
+//! * monthly created/completed volumes and new-member arrivals (Figure 1),
+//! * the contract-type mix per era and its era transitions (Figure 3,
+//!   Table 1 row totals),
+//! * per-type status and visibility distributions (Tables 1–2, Figure 2),
+//! * completion-time decay across the window (Figure 4),
+//! * the 12 latent behaviour classes and their make/accept rate matrix
+//!   (Table 6), with era-specific arrival mixes and churn,
+//! * maker→taker flow preferences per era (Table 8) plus preferential
+//!   attachment, which together produce the hub-dominated power-law degree
+//!   structure of Figure 7,
+//! * category/payment/value distributions for obligation text
+//!   (Tables 3–5), rendered through templates that the `dial-text`
+//!   pipeline can re-mine,
+//! * blockchain planting at the paper's observed verification-outcome rates
+//!   (§4.5: 50% confirmed / 43% mismatch / 7% not found).
+//!
+//! Everything is driven by a seeded ChaCha PRNG: the same [`SimConfig`]
+//! always yields the same dataset, bit for bit.
+
+pub mod classes;
+pub mod config;
+pub mod dist;
+pub mod flows;
+pub mod market;
+pub mod textgen;
+
+pub use classes::BehaviourClass;
+pub use config::{SimConfig, SybilAttack};
+pub use market::SimOutput;

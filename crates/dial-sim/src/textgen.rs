@@ -1,0 +1,612 @@
+//! Obligation-text generation.
+//!
+//! Public contracts carry free-text maker/taker obligation sections; the
+//! analysis pipelines re-mine them with `dial-text`. This module renders
+//! those sections from per-category phrase banks and payment-method
+//! templates whose mixes are calibrated to Tables 3–5, with era modulation
+//! matching the product-evolution shapes of Figure 9 and the payment-method
+//! evolution of Figure 10.
+
+use crate::dist::{bernoulli, categorical};
+use dial_fx::{Currency, RateProvider, SyntheticRates};
+use dial_time::Date;
+use rand::Rng;
+
+/// Product families used to build obligation text. These deliberately
+/// mirror the paper's activity buckets — the simulator writes in the same
+/// vocabulary the miners must parse, exactly as real traders do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductKind {
+    Giftcard,
+    Accounts,
+    Gaming,
+    Hackforums,
+    Multimedia,
+    Hacking,
+    SocialBoost,
+    Tutorials,
+    Tools,
+    Marketing,
+    Ewhoring,
+    Delivery,
+    Academic,
+    Contest,
+    Misc,
+}
+
+impl ProductKind {
+    const ALL: [ProductKind; 15] = [
+        ProductKind::Giftcard,
+        ProductKind::Accounts,
+        ProductKind::Gaming,
+        ProductKind::Hackforums,
+        ProductKind::Multimedia,
+        ProductKind::Hacking,
+        ProductKind::SocialBoost,
+        ProductKind::Tutorials,
+        ProductKind::Tools,
+        ProductKind::Marketing,
+        ProductKind::Ewhoring,
+        ProductKind::Delivery,
+        ProductKind::Academic,
+        ProductKind::Contest,
+        ProductKind::Misc,
+    ];
+
+    /// A phrase advertising a product of this family.
+    fn phrase(&self, rng: &mut impl Rng) -> &'static str {
+        let bank: &[&'static str] = match self {
+            ProductKind::Giftcard => &[
+                "amazon gift card",
+                "steam wallet giftcard",
+                "google play giftcard",
+                "itunes gift card code",
+                "xbox giftcard voucher code",
+            ],
+            ProductKind::Accounts => &[
+                "netflix account with warranty",
+                "spotify premium account",
+                "windows license key",
+                "nordvpn account subscription",
+                "office license key and serial",
+            ],
+            ProductKind::Gaming => &[
+                "fortnite account rare skins",
+                "minecraft alts bundle",
+                "osrs gold ingame",
+                "csgo skins collection",
+                "runescape gold coins",
+            ],
+            ProductKind::Hackforums => &[
+                "500k bytes",
+                "vouch copy of my product",
+                "hf upgrade and award banner",
+                "bytes bundle for upgrade",
+            ],
+            ProductKind::Multimedia => &[
+                "custom logo design",
+                "youtube thumbnail design",
+                "video editing service",
+                "discord banner gfx and animation",
+                "intro graphics illustration",
+            ],
+            ProductKind::Hacking => &[
+                "python script development",
+                "website development work",
+                "crypter fud service",
+                "custom coding by experienced developer",
+                "pentest of your site",
+            ],
+            ProductKind::SocialBoost => &[
+                "1000 instagram followers",
+                "youtube views and likes",
+                "tiktok follower boost",
+                "twitter engagement and retweets",
+                "reddit upvotes social boost",
+            ],
+            ProductKind::Tutorials => &[
+                "ebook money method",
+                "youtube method guide",
+                "passive income course",
+                "cpa method tutorial",
+                "mentoring and guide bundle",
+            ],
+            ProductKind::Tools => &[
+                "discord bot",
+                "account checker tool",
+                "automation software program",
+                "keyword generator tool",
+                "macro bot for tasks",
+            ],
+            ProductKind::Marketing => &[
+                "seo promotion package",
+                "banner advertising slots",
+                "traffic promotion service",
+                "advert placement marketing",
+            ],
+            ProductKind::Ewhoring => &[
+                "ewhoring pack",
+                "camgirl pack with pics",
+                "ewhore pack of pictures",
+            ],
+            ProductKind::Delivery => &[
+                "refund service for parcels",
+                "dropshipping parcel service",
+                "shipping and delivery handling",
+            ],
+            ProductKind::Academic => &[
+                "essay writing help",
+                "dissertation chapter",
+                "homework assignment solutions",
+                "coursework and thesis help",
+            ],
+            ProductKind::Contest => &[
+                "giveaway entry",
+                "graphics contest award",
+                "raffle ticket for the lottery",
+            ],
+            ProductKind::Misc => &[
+                "item as discussed",
+                "private deal",
+                "misc stuff we agreed on",
+                "the thing from pm",
+            ],
+        };
+        bank[rng.random_range(0..bank.len())]
+    }
+
+    /// Era-modulated selection weights for SALE/PURCHASE/TRADE products,
+    /// shaped after Figure 9: gaming peaks in SET-UP; hackforums-related
+    /// grows in SET-UP, slips back, then tops the COVID-19 ranking;
+    /// multimedia rises steadily through COVID-19; giftcards lead overall.
+    fn weights(month_index: usize) -> [f64; 15] {
+        let setup = month_index < 9;
+        let covid = month_index >= 21;
+        let late_covid = month_index >= 23;
+        let gaming = if setup { 0.14 } else if covid { 0.07 } else { 0.06 };
+        let hackforums = if setup {
+            0.09
+        } else if late_covid {
+            0.20
+        } else if covid {
+            0.12
+        } else {
+            0.055
+        };
+        let multimedia = if covid { 0.11 } else { 0.05 };
+        [
+            0.155,      // Giftcard
+            0.115,      // Accounts
+            gaming,     // Gaming
+            hackforums, // Hackforums
+            multimedia, // Multimedia
+            0.048,      // Hacking
+            0.042,      // SocialBoost
+            0.040,      // Tutorials
+            0.036,      // Tools
+            0.020,      // Marketing
+            0.016,      // Ewhoring
+            0.013,      // Delivery
+            0.013,      // Academic
+            0.010,      // Contest
+            0.150,      // Misc (too vague to categorise)
+        ]
+    }
+
+    /// Samples a product for a goods-bearing contract created in the given
+    /// month.
+    pub fn sample(rng: &mut impl Rng, month_index: usize) -> ProductKind {
+        Self::ALL[categorical(rng, &Self::weights(month_index))]
+    }
+}
+
+/// Payment instruments with their rendering vocabulary and denomination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayMethod {
+    Bitcoin,
+    PayPal,
+    AmazonGiftcard,
+    Cashapp,
+    Cash,
+    Ethereum,
+    Venmo,
+    VBucks,
+    Zelle,
+    BitcoinCash,
+    ApplePay,
+    Litecoin,
+    Monero,
+    Skrill,
+}
+
+impl PayMethod {
+    const ALL: [PayMethod; 14] = [
+        PayMethod::Bitcoin,
+        PayMethod::PayPal,
+        PayMethod::AmazonGiftcard,
+        PayMethod::Cashapp,
+        PayMethod::Cash,
+        PayMethod::Ethereum,
+        PayMethod::Venmo,
+        PayMethod::VBucks,
+        PayMethod::Zelle,
+        PayMethod::BitcoinCash,
+        PayMethod::ApplePay,
+        PayMethod::Litecoin,
+        PayMethod::Monero,
+        PayMethod::Skrill,
+    ];
+
+    /// Selection weights calibrated to Table 4 (Bitcoin ≈ 75% of completed
+    /// money contracts, PayPal ≈ 38%, Amazon third). Cashapp rises through
+    /// COVID-19 to overtake PayPal at the very end (Figure 10).
+    fn weights(month_index: usize) -> [f64; 14] {
+        let cashapp = match month_index {
+            23 => 0.14,
+            24 => 0.30,
+            m if m >= 21 => 0.08,
+            _ => 0.048,
+        };
+        let paypal = if month_index == 24 { 0.13 } else { 0.210 };
+        [
+            0.405,  // Bitcoin
+            paypal, // PayPal
+            0.092,   // AmazonGiftcard
+            cashapp, // Cashapp
+            0.034,   // Cash/USD
+            0.024,   // Ethereum
+            0.013,   // Venmo
+            0.011,   // VBucks
+            0.009,   // Zelle
+            0.004,   // BitcoinCash
+            0.006,   // ApplePay
+            0.003,   // Litecoin
+            0.002,   // Monero
+            0.002,   // Skrill
+        ]
+    }
+
+    /// Samples a payment method for the given month.
+    pub fn sample(rng: &mut impl Rng, month_index: usize) -> PayMethod {
+        Self::ALL[categorical(rng, &Self::weights(month_index))]
+    }
+
+    /// Samples a method for a trade of the given USD size. High-value deals
+    /// run disproportionately on Bitcoin (§4.5: the manually-checked
+    /// high-value trades are "mostly related to Bitcoin and PayPal (or
+    /// Cashapp) exchanges", with Bitcoin 2.4x PayPal by value).
+    pub fn sample_for_value(rng: &mut impl Rng, month_index: usize, usd: f64) -> PayMethod {
+        let mut w = Self::weights(month_index);
+        if usd > 250.0 {
+            let boost = if usd > 1000.0 { 4.0 } else { 2.0 };
+            w[0] *= boost; // Bitcoin
+            w[1] /= boost; // PayPal
+            w[2] /= boost; // Amazon giftcards skew small-ticket
+        }
+        Self::ALL[categorical(rng, &w)]
+    }
+
+    /// Samples a second, different method (for two-sided exchanges).
+    pub fn sample_other(rng: &mut impl Rng, month_index: usize, not: PayMethod) -> PayMethod {
+        for _ in 0..16 {
+            let m = Self::sample(rng, month_index);
+            if m != not {
+                return m;
+            }
+        }
+        if not == PayMethod::PayPal { PayMethod::Bitcoin } else { PayMethod::PayPal }
+    }
+
+    /// True if this method settles on the Bitcoin chain (candidates for
+    /// planted ledger references).
+    pub fn is_bitcoin(&self) -> bool {
+        matches!(self, PayMethod::Bitcoin)
+    }
+
+    /// Renders a USD amount in this method's vocabulary, converting
+    /// crypto/virtual units at the day's rate so the value pipeline can
+    /// convert back.
+    pub fn render(&self, usd: f64, date: Date, rates: &SyntheticRates) -> String {
+        let cur = |c: Currency| rates.usd_rate(c, date);
+        match self {
+            PayMethod::Bitcoin => format!("{:.5} btc", usd / cur(Currency::Btc)),
+            PayMethod::PayPal => format!("${} paypal", usd.round()),
+            PayMethod::AmazonGiftcard => format!("${} amazon giftcard", usd.round()),
+            PayMethod::Cashapp => format!("${} cashapp", usd.round()),
+            PayMethod::Cash => format!("{} usd cash", usd.round()),
+            PayMethod::Ethereum => format!("{:.4} eth", usd / cur(Currency::Eth)),
+            PayMethod::Venmo => format!("${} venmo", usd.round()),
+            PayMethod::VBucks => {
+                format!("{} vbucks", (usd / cur(Currency::VBucks)).round())
+            }
+            PayMethod::Zelle => format!("${} zelle", usd.round()),
+            PayMethod::BitcoinCash => format!("{:.4} bch", usd / cur(Currency::Bch)),
+            PayMethod::ApplePay => format!("${} apple pay", usd.round()),
+            PayMethod::Litecoin => format!("{:.3} ltc", usd / cur(Currency::Ltc)),
+            PayMethod::Monero => format!("{:.3} xmr", usd / cur(Currency::Xmr)),
+            PayMethod::Skrill => format!("${} skrill", usd.round()),
+        }
+    }
+}
+
+/// One rendered obligation side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedSide {
+    /// The obligation text.
+    pub text: String,
+}
+
+/// Generated content for one public contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractContent {
+    /// Maker obligation text.
+    pub maker: RenderedSide,
+    /// Taker obligation text.
+    pub taker: RenderedSide,
+    /// True if a Bitcoin leg is present (chain references may be attached).
+    pub btc_involved: bool,
+    /// An advertisement-thread title consistent with the goods.
+    pub thread_title: String,
+}
+
+/// Renders obligation texts for a public contract.
+///
+/// * `value_usd` — the per-side contractual value; both legs of an exchange
+///   quote (approximately) this value in their own instrument.
+/// * `typo` — if true, the quoted number on one side is inflated ×10,
+///   reproducing the "values exceeding $10,000 are likely typing errors"
+///   observation of §4.5.
+pub fn generate(
+    rng: &mut impl Rng,
+    ty: dial_model::ContractType,
+    month_index: usize,
+    value_usd: f64,
+    date: Date,
+    rates: &SyntheticRates,
+    typo: bool,
+) -> ContractContent {
+    use dial_model::ContractType as Ct;
+    let typo_factor = if typo { 10.0 } else { 1.0 };
+    match ty {
+        Ct::Exchange => {
+            // Overwhelmingly currency exchange; a sliver are goods swaps.
+            if bernoulli(rng, 0.92) {
+                let a = PayMethod::sample_for_value(rng, month_index, value_usd);
+                let b = PayMethod::sample_other(rng, month_index, a);
+                // A majority of currency swaps also read as money-transfer
+                // services (Table 3: payments ≈ 59% of currency exchange).
+                let service = if bernoulli(rng, 0.55) { " money transfer" } else { "" };
+                let maker = format!(
+                    "exchange sending {} for your {}{service}",
+                    a.render(value_usd * typo_factor, date, rates),
+                    b.render(value_usd, date, rates),
+                );
+                let taker_tail = if bernoulli(rng, 0.35) { " payment" } else { "" };
+                let taker = if bernoulli(rng, 0.5) {
+                    format!(
+                        "exchange sending {} for your {}{taker_tail}",
+                        b.render(value_usd, date, rates),
+                        a.render(value_usd, date, rates),
+                    )
+                } else {
+                    format!("exchange sending {}{taker_tail}", b.render(value_usd, date, rates))
+                };
+                ContractContent {
+                    maker: RenderedSide { text: maker },
+                    taker: RenderedSide { text: taker },
+                    btc_involved: a.is_bitcoin() || b.is_bitcoin(),
+                    thread_title: "[Exchange] currency exchange service".into(),
+                }
+            } else {
+                let kind = ProductKind::sample(rng, month_index);
+                let p = kind.phrase(rng);
+                let m = PayMethod::sample(rng, month_index);
+                ContractContent {
+                    maker: RenderedSide { text: format!("exchange my {p}") },
+                    taker: RenderedSide {
+                        text: format!("sending {}", m.render(value_usd, date, rates)),
+                    },
+                    btc_involved: m.is_bitcoin(),
+                    thread_title: format!("[Exchange] {p}"),
+                }
+            }
+        }
+        Ct::Sale => {
+            // About half of sales are *currency sales* — selling Bitcoin
+            // balances, PayPal funds or giftcard credit for another
+            // instrument. This is why the paper's currency-exchange bucket
+            // (9,516 contracts) exceeds the count of EXCHANGE-type
+            // contracts: currency trades flow through SALE contracts too.
+            if bernoulli(rng, 0.5) {
+                let a = PayMethod::sample_for_value(rng, month_index, value_usd);
+                let b = PayMethod::sample_other(rng, month_index, a);
+                let service = if bernoulli(rng, 0.55) { " money transfer" } else { "" };
+                let maker = format!(
+                    "selling {} for {}{service}",
+                    a.render(value_usd * typo_factor, date, rates),
+                    b.render(value_usd, date, rates),
+                );
+                let taker_service =
+                    if bernoulli(rng, 0.25) { " money transfer" } else { "" };
+                let taker = format!(
+                    "exchange sending {} for your {}{taker_service}",
+                    b.render(value_usd, date, rates),
+                    a.render(value_usd, date, rates),
+                );
+                return ContractContent {
+                    maker: RenderedSide { text: maker },
+                    taker: RenderedSide { text: taker },
+                    btc_involved: a.is_bitcoin() || b.is_bitcoin(),
+                    thread_title: "[Selling] currency at great rates".into(),
+                };
+            }
+            let kind = ProductKind::sample(rng, month_index);
+            let p = kind.phrase(rng);
+            let m = PayMethod::sample_for_value(rng, month_index, value_usd);
+            let price = m.render(value_usd * typo_factor, date, rates);
+            let maker = if bernoulli(rng, 0.5) {
+                format!("selling {p} for {price}")
+            } else {
+                format!("selling {p}")
+            };
+            let taker_tail = if bernoulli(rng, 0.5) { " payment" } else { "" };
+            let taker = format!("sending {}{taker_tail}", m.render(value_usd, date, rates));
+            ContractContent {
+                maker: RenderedSide { text: maker },
+                taker: RenderedSide { text: taker },
+                btc_involved: m.is_bitcoin(),
+                thread_title: format!("[Selling] {p}"),
+            }
+        }
+        Ct::Purchase => {
+            // Mirror of Sale: many purchases are buying currency balances.
+            if bernoulli(rng, 0.45) {
+                let a = PayMethod::sample_for_value(rng, month_index, value_usd);
+                let b = PayMethod::sample_other(rng, month_index, a);
+                let maker = format!(
+                    "buying {}, paying with {}",
+                    a.render(value_usd * typo_factor, date, rates),
+                    b.render(value_usd, date, rates),
+                );
+                let taker = format!(
+                    "exchange sending {} for {}",
+                    a.render(value_usd, date, rates),
+                    b.render(value_usd, date, rates),
+                );
+                return ContractContent {
+                    maker: RenderedSide { text: maker },
+                    taker: RenderedSide { text: taker },
+                    btc_involved: a.is_bitcoin() || b.is_bitcoin(),
+                    thread_title: "[Buying] currency".into(),
+                };
+            }
+            let kind = ProductKind::sample(rng, month_index);
+            let p = kind.phrase(rng);
+            let m = PayMethod::sample_for_value(rng, month_index, value_usd);
+            let maker = format!(
+                "buying {p}, paying {}",
+                m.render(value_usd * typo_factor, date, rates)
+            );
+            let taker = format!("providing {p}");
+            ContractContent {
+                maker: RenderedSide { text: maker },
+                taker: RenderedSide { text: taker },
+                btc_involved: m.is_bitcoin(),
+                thread_title: format!("[Buying] {p}"),
+            }
+        }
+        Ct::Trade => {
+            let a = ProductKind::sample(rng, month_index).phrase(rng);
+            let b = ProductKind::sample(rng, month_index).phrase(rng);
+            // Traders often state the value of the goods being swapped.
+            let maker = if bernoulli(rng, 0.6) {
+                format!("trading my {a} (${}) for {b}", value_usd.round())
+            } else {
+                format!("trading my {a} for {b}")
+            };
+            ContractContent {
+                maker: RenderedSide { text: maker },
+                taker: RenderedSide { text: format!("trading {b}") },
+                btc_involved: false,
+                thread_title: format!("[Trading] {a}"),
+            }
+        }
+        Ct::VouchCopy => {
+            let p = ProductKind::sample(rng, month_index).phrase(rng);
+            ContractContent {
+                maker: RenderedSide { text: format!("vouch copy of {p}") },
+                taker: RenderedSide {
+                    text: "will leave vouch and honest review".into(),
+                },
+                btc_involved: false,
+                thread_title: format!("[Vouch Copy] {p}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_model::ContractType;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exchange_text_is_mostly_currency_exchange() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let rates = SyntheticRates;
+        let date = Date::from_ymd(2019, 6, 1);
+        let mut currency = 0;
+        for _ in 0..500 {
+            let c = generate(&mut rng, ContractType::Exchange, 12, 50.0, date, &rates, false);
+            if c.maker.text.contains("exchange") {
+                currency += 1;
+            }
+            assert!(!c.maker.text.is_empty() && !c.taker.text.is_empty());
+        }
+        assert!(currency > 440);
+    }
+
+    #[test]
+    fn bitcoin_renders_in_btc_units() {
+        let rates = SyntheticRates;
+        let date = Date::from_ymd(2019, 6, 1); // BTC ≈ $8,000
+        let s = PayMethod::Bitcoin.render(80.0, date, &rates);
+        assert!(s.ends_with("btc"), "{s}");
+        let amount: f64 = s.split_whitespace().next().unwrap().parse().unwrap();
+        assert!((amount - 0.01).abs() < 0.001, "{s}");
+    }
+
+    #[test]
+    fn typo_inflates_one_side_tenfold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let rates = SyntheticRates;
+        let date = Date::from_ymd(2019, 6, 1);
+        let c = generate(&mut rng, ContractType::Purchase, 12, 200.0, date, &rates, true);
+        // The maker quotes 2000 instead of 200 in some instrument.
+        assert!(c.maker.text.contains("buying"));
+    }
+
+    #[test]
+    fn product_weights_shift_with_era() {
+        // Hackforums-related share at the end of COVID-19 far exceeds
+        // mid-STABLE (Figure 9's final ranking).
+        let w_stable = ProductKind::weights(14)[3];
+        let w_covid = ProductKind::weights(24)[3];
+        assert!(w_covid > 3.0 * w_stable);
+    }
+
+    #[test]
+    fn cashapp_overtakes_paypal_at_the_end() {
+        let w = PayMethod::weights(24);
+        assert!(w[3] > w[1], "Cashapp {} vs PayPal {}", w[3], w[1]);
+        let w_early = PayMethod::weights(10);
+        assert!(w_early[1] > w_early[3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rates = SyntheticRates;
+        let date = Date::from_ymd(2020, 4, 1);
+        let a = generate(
+            &mut ChaCha8Rng::seed_from_u64(5),
+            ContractType::Sale,
+            22,
+            30.0,
+            date,
+            &rates,
+            false,
+        );
+        let b = generate(
+            &mut ChaCha8Rng::seed_from_u64(5),
+            ContractType::Sale,
+            22,
+            30.0,
+            date,
+            &rates,
+            false,
+        );
+        assert_eq!(a, b);
+    }
+}

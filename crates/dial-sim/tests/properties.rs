@@ -1,0 +1,141 @@
+//! Property-based tests over the generative market: invariants that must
+//! hold for every seed.
+
+use dial_model::{ContractStatus, ContractType, Visibility};
+use dial_sim::SimConfig;
+use dial_time::{Era, StudyWindow};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Structural well-formedness for any seed.
+    #[test]
+    fn any_seed_is_well_formed(seed in 0u64..100_000) {
+        let out = SimConfig::paper_default().with_seed(seed).with_scale(0.006).simulate_full();
+        prop_assert!(out.dataset.validate().is_empty());
+        prop_assert_eq!(out.truth.user_classes.len(), out.dataset.users().len());
+    }
+
+    /// Temporal invariants: creation inside the window, completion after
+    /// creation, vouch copies only after their introduction, users joined
+    /// before their activity.
+    #[test]
+    fn temporal_invariants(seed in 0u64..100_000) {
+        let ds = SimConfig::paper_default().with_seed(seed).with_scale(0.006).simulate();
+        for c in ds.contracts() {
+            prop_assert!(StudyWindow::contains(c.created.date()));
+            if let Some(done) = c.completed {
+                prop_assert!(done >= c.created);
+                prop_assert_eq!(c.status, ContractStatus::Complete);
+            }
+            if c.contract_type == ContractType::VouchCopy {
+                prop_assert!(c.created_month() >= ContractType::VouchCopy.introduced());
+            }
+            for p in c.parties() {
+                prop_assert!(ds.user(p).joined <= c.created.date());
+            }
+        }
+        for t in ds.threads() {
+            prop_assert!(t.author.index() < ds.users().len());
+        }
+    }
+
+    /// Era ordering of volumes: STABLE >> SET-UP monthly average, and the
+    /// dispute spike sits in late SET-UP.
+    #[test]
+    fn era_volume_ordering(seed in 0u64..100_000) {
+        let ds = SimConfig::paper_default().with_seed(seed).with_scale(0.01).simulate();
+        let count = |era: Era| ds.contracts_in_era(era).count() as f64;
+        let setup_monthly = count(Era::SetUp) / 9.0;
+        let stable_monthly = count(Era::Stable) / 12.3;
+        prop_assert!(stable_monthly > 1.8 * setup_monthly);
+    }
+
+    /// Privacy invariant: private contracts never expose obligations;
+    /// disputed contracts are always public.
+    #[test]
+    fn privacy_invariants(seed in 0u64..100_000) {
+        let ds = SimConfig::paper_default().with_seed(seed).with_scale(0.006).simulate();
+        for c in ds.contracts() {
+            if c.visibility == Visibility::Private {
+                prop_assert!(c.maker_obligation.is_empty());
+                prop_assert!(c.taker_obligation.is_empty());
+                prop_assert!(c.chain_ref.is_none());
+            }
+            if c.is_disputed() {
+                prop_assert_eq!(c.visibility, Visibility::Public);
+            }
+        }
+    }
+
+    /// Ledger consistency: every planted (confirmed or mismatched) chain
+    /// reference resolves; quoted tx hashes always exist on the ledger.
+    #[test]
+    fn ledger_consistency(seed in 0u64..100_000) {
+        let out = SimConfig::paper_default().with_seed(seed).with_scale(0.02).simulate_full();
+        let [confirmed, mismatch, _] = out.truth.planted_verdicts;
+        prop_assert_eq!(out.ledger.len(), confirmed + mismatch);
+        for c in out.dataset.contracts() {
+            if let Some(cr) = &c.chain_ref {
+                if let Some(h) = &cr.tx_hash {
+                    prop_assert!(out.ledger.by_hash(h).is_some(), "dangling tx hash");
+                }
+            }
+        }
+    }
+}
+
+/// Cross-crate round trip: the text the generator writes must be readable
+/// by the miners — every public money-bearing obligation yields a value
+/// within sane range of the planted one, and exchange texts classify as
+/// currency exchange.
+#[test]
+fn textgen_money_round_trip() {
+    use dial_fx::{Currency, RateProvider, SyntheticRates};
+    use dial_sim::textgen;
+    use dial_text::{classify_activities, scan_money, TradeCategory};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let rates = SyntheticRates;
+    let mut rng = ChaCha8Rng::seed_from_u64(12345);
+    let date = dial_time::Date::from_ymd(2019, 8, 15);
+    for i in 0..500 {
+        let value = 10.0 + f64::from(i % 90) * 7.0;
+        let content = textgen::generate(
+            &mut rng,
+            ContractType::Exchange,
+            14,
+            value,
+            date,
+            &rates,
+            false,
+        );
+        // The taker side always carries a money mention; the maker side
+        // does whenever it quotes a leg ("sending ..."). The ~8% of
+        // exchanges that swap goods quote value on the taker side only.
+        for text in [&content.maker.text, &content.taker.text] {
+            if std::ptr::eq(text, &content.maker.text) && !text.contains("sending") {
+                continue;
+            }
+            let mentions = scan_money(text);
+            assert!(!mentions.is_empty(), "no money in {text:?}");
+            for m in &mentions {
+                let usd = m.amount * rates.usd_rate(m.currency.unwrap_or(Currency::Usd), date);
+                let rel = (usd - value).abs() / value;
+                assert!(rel < 0.25, "planted {value}, recovered {usd} from {text:?}");
+            }
+        }
+        // Currency swaps (not goods swaps) classify as currency exchange
+        // on the maker side.
+        if content.maker.text.contains("exchange sending") {
+            let cats = classify_activities(&content.maker.text);
+            assert!(
+                cats.contains(&TradeCategory::CurrencyExchange),
+                "{:?} -> {cats:?}",
+                content.maker.text
+            );
+        }
+    }
+}

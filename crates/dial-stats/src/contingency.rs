@@ -1,0 +1,178 @@
+//! Contingency-table tests.
+//!
+//! The paper's central COVID-19 claim — a *stimulus* rather than a
+//! *transformation* — is an assertion that volumes grew while composition
+//! stayed put. A chi-square test of homogeneity over the (era × contract
+//! type) table makes that claim quantitative: the effect size (Cramér's V)
+//! stays small even when the test is significant at scale.
+
+use crate::distributions::ln_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Result of a chi-square test of independence/homogeneity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquareTest {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(rows−1)(cols−1)`.
+    pub dof: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+    /// Cramér's V effect size in `[0, 1]` (0 = identical composition).
+    pub cramers_v: f64,
+}
+
+/// Regularised lower incomplete gamma `P(s, x)`, by series expansion for
+/// `x < s + 1` and continued fraction otherwise (Numerical Recipes scheme).
+pub fn regularized_gamma_p(s: f64, x: f64) -> f64 {
+    assert!(s > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < s + 1.0 {
+        // Series: P(s,x) = e^{-x} x^s / Γ(s) Σ x^n / (s (s+1) … (s+n)).
+        let mut term = 1.0 / s;
+        let mut sum = term;
+        let mut n = s;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + s * x.ln() - x - ln_gamma(s)).exp()
+    } else {
+        // Continued fraction for Q(s,x) = 1 − P(s,x).
+        let mut b = x + 1.0 - s;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - s);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (s * x.ln() - x - ln_gamma(s)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+/// Chi-square distribution CDF.
+pub fn chi_square_cdf(x: f64, dof: usize) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    regularized_gamma_p(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Chi-square test of homogeneity over an `r × c` count table.
+/// Cells with zero row or column totals are dropped.
+///
+/// # Panics
+/// Panics on ragged input or a table with fewer than 2 effective rows or
+/// columns.
+pub fn chi_square_test(table: &[Vec<f64>]) -> ChiSquareTest {
+    let rows = table.len();
+    let cols = table.first().map_or(0, Vec::len);
+    assert!(table.iter().all(|r| r.len() == cols), "ragged table");
+
+    let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_totals: Vec<f64> = (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let grand: f64 = row_totals.iter().sum();
+    let eff_rows = row_totals.iter().filter(|t| **t > 0.0).count();
+    let eff_cols = col_totals.iter().filter(|t| **t > 0.0).count();
+    assert!(eff_rows >= 2 && eff_cols >= 2, "need a 2x2 or larger effective table");
+
+    let mut statistic = 0.0;
+    for i in 0..rows {
+        for j in 0..cols {
+            let expected = row_totals[i] * col_totals[j] / grand;
+            if expected > 0.0 {
+                statistic += (table[i][j] - expected).powi(2) / expected;
+            }
+        }
+    }
+    let dof = (eff_rows - 1) * (eff_cols - 1);
+    let p_value = 1.0 - chi_square_cdf(statistic, dof);
+    let k = (eff_rows.min(eff_cols) - 1) as f64;
+    let cramers_v = if grand > 0.0 && k > 0.0 {
+        (statistic / (grand * k)).sqrt()
+    } else {
+        0.0
+    };
+    ChiSquareTest { statistic, dof, p_value, cramers_v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(0.5, x) = erf(√x).
+        for &x in &[0.1f64, 0.5, 1.0, 2.0, 5.0] {
+            let expect = crate::distributions::erf(x.sqrt());
+            let got = regularized_gamma_p(0.5, x);
+            assert!((got - expect).abs() < 1e-6, "P(0.5,{x}): {got} vs {expect}");
+        }
+        // P(1, x) = 1 − e^{-x}.
+        assert!((regularized_gamma_p(1.0, 2.0) - (1.0 - (-2.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_cdf_known_values() {
+        // χ²(1): P(X ≤ 3.841) = 0.95.
+        assert!((chi_square_cdf(3.841, 1) - 0.95).abs() < 1e-3);
+        // χ²(4): P(X ≤ 9.488) = 0.95.
+        assert!((chi_square_cdf(9.488, 4) - 0.95).abs() < 1e-3);
+        assert_eq!(chi_square_cdf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn identical_compositions_are_not_rejected() {
+        // Two rows with identical proportions at different volumes.
+        let t = chi_square_test(&[vec![700.0, 200.0, 100.0], vec![1400.0, 400.0, 200.0]]);
+        assert!(t.statistic < 1e-9);
+        assert!(t.p_value > 0.99);
+        assert!(t.cramers_v < 1e-6);
+    }
+
+    #[test]
+    fn different_compositions_are_rejected() {
+        let t = chi_square_test(&[vec![900.0, 50.0, 50.0], vec![200.0, 500.0, 300.0]]);
+        assert!(t.p_value < 1e-6);
+        assert!(t.cramers_v > 0.3);
+        assert_eq!(t.dof, 2);
+    }
+
+    #[test]
+    fn textbook_two_by_two() {
+        // [[10, 20], [30, 40]]: expecteds 12/18/28/42 → χ² = 4/12 + 4/18
+        // + 4/28 + 4/42 ≈ 0.7937 (no Yates correction).
+        let t = chi_square_test(&[vec![10.0, 20.0], vec![30.0, 40.0]]);
+        assert!((t.statistic - 0.7937).abs() < 1e-3, "{}", t.statistic);
+        assert_eq!(t.dof, 1);
+        assert!((t.p_value - 0.373).abs() < 0.01, "p {}", t.p_value);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_table() {
+        let _ = chi_square_test(&[vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Correlation measures for monthly series.
+//!
+//! §4.1 observes that "the number of new contracts created and new members
+//! tend to fluctuate together" — a co-movement claim these helpers make
+//! checkable (Pearson on levels, Spearman on ranks for the heavy-tailed
+//! series).
+
+/// Pearson product-moment correlation. Returns `None` for fewer than two
+/// points or zero variance on either side.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Mid-ranks of a sample (ties share the average rank).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over mid-ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_relationships() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        // Pearson is dragged below 1 by the curvature; Spearman is exactly 1.
+        assert!(pearson(&xs, &ys).unwrap() < 0.9);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_mid_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None, "zero variance");
+        assert_eq!(spearman(&[], &[]), None);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        // Deterministic pseudo-random pairs.
+        let mut s = 11u64;
+        let mut next = || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let xs: Vec<f64> = (0..2000).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..2000).map(|_| next()).collect();
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.06);
+        assert!(spearman(&xs, &ys).unwrap().abs() < 0.06);
+    }
+}

@@ -1,0 +1,157 @@
+//! Descriptive statistics: moments, quantiles, concentration and
+//! standardisation.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance with Bessel's correction (0 for fewer than two points).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Quantile by linear interpolation between order statistics
+/// (type-7, the R/NumPy default). `q` must be in `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly equal,
+/// →1 = fully concentrated). Used to summarise market concentration.
+pub fn gini(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Z-standardises each column of a feature table in place (zero mean, unit
+/// variance; constant columns are left centred). The paper standardises the
+/// cold-start variables before k-means so each gets equal weight.
+pub fn standardize_columns(rows: &mut [Vec<f64>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let p = rows[0].len();
+    for j in 0..p {
+        let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+        let m = mean(&col);
+        let s = std_dev(&col);
+        for r in rows.iter_mut() {
+            r[j] = if s > 0.0 { (r[j] - m) / s } else { r[j] - m };
+        }
+    }
+}
+
+/// Share of the total mass held by the top `fraction` of values
+/// (e.g. `top_share(contracts_per_user, 0.05)` = share of contracts made by
+/// the top 5% of users). `fraction` in `[0, 1]`; at least one value is
+/// counted whenever `fraction > 0` and the slice is non-empty.
+pub fn top_share(xs: &[f64], fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction));
+    if xs.is_empty() || fraction == 0.0 {
+        return 0.0;
+    }
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let k = ((xs.len() as f64 * fraction).ceil() as usize).clamp(1, xs.len());
+    sorted[..k].iter().sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!((gini(&[1.0, 1.0, 1.0, 1.0])).abs() < 1e-12, "equal → 0");
+        // One holder of everything among many: → (n-1)/n.
+        let mut xs = vec![0.0; 99];
+        xs.push(100.0);
+        assert!((gini(&xs) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_sd() {
+        let mut rows = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0]];
+        standardize_columns(&mut rows);
+        let col0: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        assert!(mean(&col0).abs() < 1e-12);
+        assert!((std_dev(&col0) - 1.0).abs() < 1e-12);
+        // Constant column is centred, not scaled.
+        assert!(rows.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn top_share_concentration() {
+        // One user with 70, nineteen with ~1.58 each: top 5% (1 of 20) ≈ 70%.
+        let mut xs = vec![30.0 / 19.0; 19];
+        xs.push(70.0);
+        assert!((top_share(&xs, 0.05) - 0.7).abs() < 1e-9);
+        assert!((top_share(&xs, 1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(top_share(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Agglomerative hierarchical clustering and clustering-agreement metrics.
+//!
+//! A robustness companion to [`crate::kmeans`]: Table 7's sub-cluster
+//! structure should not be an artefact of Lloyd's algorithm, so the bench
+//! ablation re-clusters the cold-start outliers hierarchically and scores
+//! the agreement with the adjusted Rand index.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Distance between closest members (prone to chaining).
+    Single,
+    /// Distance between farthest members (compact clusters).
+    Complete,
+    /// Mean pairwise distance (UPGMA).
+    Average,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Agglomerative clustering of `rows` into `k` clusters.
+///
+/// Naive O(n³) implementation — intended for cohort-sized inputs (the
+/// cold-start outlier groups run to a few hundred points).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > rows.len()`.
+pub fn agglomerative(rows: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<usize> {
+    let n = rows.len();
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+
+    // Pairwise distances (Euclidean).
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_dist(&rows[i], &rows[j]).sqrt();
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    // Active clusters as member lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        // Find the closest pair under the linkage.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let d = linkage_distance(&dist, &clusters[a], &clusters[b], linkage);
+                if d < best.2 {
+                    best = (a, b, d);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        let merged = clusters.remove(b);
+        clusters[a].extend(merged);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = c;
+        }
+    }
+    assignment
+}
+
+fn linkage_distance(dist: &[Vec<f64>], a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
+    let pairs = a.iter().flat_map(|&i| b.iter().map(move |&j| dist[i][j]));
+    match linkage {
+        Linkage::Single => pairs.fold(f64::INFINITY, f64::min),
+        Linkage::Complete => pairs.fold(0.0, f64::max),
+        Linkage::Average => {
+            let (sum, count) = pairs.fold((0.0, 0usize), |(s, c), d| (s + d, c + 1));
+            sum / count.max(1) as f64
+        }
+    }
+}
+
+/// Adjusted Rand index between two clusterings of the same points
+/// (1 = identical up to label permutation, ~0 = chance agreement).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut table: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut rows: HashMap<usize, u64> = HashMap::new();
+    let mut cols: HashMap<usize, u64> = HashMap::new();
+    for i in 0..n {
+        *table.entry((a[i], b[i])).or_default() += 1;
+        *rows.entry(a[i]).or_default() += 1;
+        *cols.entry(b[i]).or_default() += 1;
+    }
+    let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = rows.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = cols.values().map(|&v| choose2(v)).sum();
+    let total = choose2(n as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_table - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        let centers = [(0.0, 0.0), (12.0, 12.0), (-12.0, 10.0)];
+        let mut s = 99u64;
+        let mut next = || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            ((s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..25 {
+                rows.push(vec![cx + next(), cy + next()]);
+                truth.push(c);
+            }
+        }
+        (rows, truth)
+    }
+
+    #[test]
+    fn recovers_blobs_under_every_linkage() {
+        let (rows, truth) = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let got = agglomerative(&rows, 3, linkage);
+            let ari = adjusted_rand_index(&got, &truth);
+            assert!(ari > 0.99, "{linkage:?}: ARI {ari}");
+        }
+    }
+
+    #[test]
+    fn ari_extremes() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        // Identical up to permutation.
+        let b = vec![5, 5, 9, 9, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        // All-in-one vs the truth has ~0 adjusted agreement.
+        let c = vec![0; 6];
+        assert!(adjusted_rand_index(&a, &c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_linkage_chains_a_bridge() {
+        // Two blobs connected by a bridge of points: single linkage merges
+        // along the chain, complete linkage resists.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![f64::from(i) * 0.3, 0.0]); // blob A + chain
+        }
+        for i in 0..10 {
+            rows.push(vec![20.0 + f64::from(i) * 0.3, 0.0]); // blob B
+        }
+        let single = agglomerative(&rows, 2, Linkage::Single);
+        // Single linkage keeps each contiguous run intact.
+        assert!(single[..10].iter().all(|&c| c == single[0]));
+        assert!(single[10..].iter().all(|&c| c == single[10]));
+        assert_ne!(single[0], single[10]);
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let got = agglomerative(&rows, 3, Linkage::Average);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let _ = agglomerative(&[vec![1.0]], 0, Linkage::Average);
+    }
+}

@@ -1,0 +1,276 @@
+//! Seeded k-means clustering with k-means++ initialisation and
+//! silhouette-based model selection (the cold-start clustering of §5.2).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum Lloyd iterations.
+const MAX_ITER: usize = 300;
+
+/// K-means fitter.
+pub struct KMeans;
+
+/// A fitted clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansFit {
+    /// Cluster count.
+    pub k: usize,
+    /// Centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per observation.
+    pub assignments: Vec<usize>,
+    /// Within-cluster sum of squared distances (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations used.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `rows` (n × d) with k-means++ seeding from `rng`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > rows.len()`.
+    pub fn fit(rows: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> KMeansFit {
+        assert!(k > 0 && k <= rows.len(), "k must be in 1..=n");
+        let n = rows.len();
+        let mut centroids = Self::plus_plus_init(rows, k, rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for iter in 1..=MAX_ITER {
+            iterations = iter;
+            // Assignment step.
+            let mut changed = false;
+            for (i, row) in rows.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        sq_dist(row, &centroids[a]).total_cmp(&sq_dist(row, &centroids[b]))
+                    })
+                    .unwrap();
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && iter > 1 {
+                break;
+            }
+            // Update step.
+            let d = rows[0].len();
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for (row, &a) in rows.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // centroid assignment (a standard fix for degeneracy).
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            sq_dist(&rows[a], &centroids[assignments[a]])
+                                .total_cmp(&sq_dist(&rows[b], &centroids[assignments[b]]))
+                        })
+                        .unwrap();
+                    centroids[c] = rows[far].clone();
+                } else {
+                    for (j, s) in sums[c].iter().enumerate() {
+                        centroids[c][j] = s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+
+        let inertia = rows
+            .iter()
+            .zip(&assignments)
+            .map(|(row, &a)| sq_dist(row, &centroids[a]))
+            .sum();
+        KMeansFit { k, centroids, assignments, inertia, iterations }
+    }
+
+    /// Runs `fit` `restarts` times and keeps the lowest-inertia solution.
+    pub fn fit_best(rows: &[Vec<f64>], k: usize, restarts: usize, rng: &mut impl Rng) -> KMeansFit {
+        let mut best: Option<KMeansFit> = None;
+        for _ in 0..restarts.max(1) {
+            let fit = Self::fit(rows, k, rng);
+            if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
+                best = Some(fit);
+            }
+        }
+        best.unwrap()
+    }
+
+    /// K-means++ seeding: first centroid uniform, the rest sampled with
+    /// probability proportional to squared distance to the nearest chosen
+    /// centroid.
+    fn plus_plus_init(rows: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        let n = rows.len();
+        let mut centroids = Vec::with_capacity(k);
+        centroids.push(rows[rng.random_range(0..n)].clone());
+        let mut dists: Vec<f64> = rows.iter().map(|r| sq_dist(r, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = dists.iter().sum();
+            let idx = if total <= 0.0 {
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, d) in dists.iter().enumerate() {
+                    if target < *d {
+                        chosen = i;
+                        break;
+                    }
+                    target -= d;
+                }
+                chosen
+            };
+            centroids.push(rows[idx].clone());
+            for (i, r) in rows.iter().enumerate() {
+                dists[i] = dists[i].min(sq_dist(r, centroids.last().unwrap()));
+            }
+        }
+        centroids
+    }
+}
+
+/// Mean silhouette coefficient of a clustering (−1 … 1; higher = better
+/// separated). O(n²) — intended for the modest cohort sizes of this study.
+pub fn silhouette(rows: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    let n = rows.len();
+    if n < 2 || k < 2 {
+        return 0.0;
+    }
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = assignments[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // silhouette undefined for singleton members
+        }
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[assignments[j]] += sq_dist(&rows[i], &rows[j]).sqrt();
+            }
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && cluster_sizes[c] > 0)
+            .map(|c| sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Selects `k` in `k_range` by maximum mean silhouette (with `restarts`
+/// k-means++ restarts per candidate), returning the winning fit.
+pub fn select_k(
+    rows: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    restarts: usize,
+    rng: &mut impl Rng,
+) -> KMeansFit {
+    let mut best: Option<(f64, KMeansFit)> = None;
+    for k in k_range {
+        if k > rows.len() {
+            break;
+        }
+        let fit = KMeans::fit_best(rows, k, restarts, rng);
+        let score = silhouette(rows, &fit.assignments, k);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, fit));
+        }
+    }
+    best.expect("non-empty k range").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three well-separated Gaussian-ish blobs.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)];
+        let mut s = 12345u64;
+        let mut next = || {
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            ((s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..40 {
+                rows.push(vec![cx + next(), cy + next()]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let rows = blobs();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let fit = KMeans::fit_best(&rows, 3, 5, &mut rng);
+        // All members of each ground-truth blob share one label.
+        for blob in 0..3 {
+            let first = fit.assignments[blob * 40];
+            for i in 0..40 {
+                assert_eq!(fit.assignments[blob * 40 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(fit.inertia < 100.0);
+    }
+
+    #[test]
+    fn silhouette_prefers_true_k() {
+        let rows = blobs();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let fit = select_k(&rows, 2..=6, 4, &mut rng);
+        assert_eq!(fit.k, 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let rows = blobs();
+        let a = KMeans::fit(&rows, 3, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = KMeans::fit(&rows, 3, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let rows = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let fit = KMeans::fit(&rows, 3, &mut ChaCha8Rng::seed_from_u64(3));
+        assert!(fit.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_k() {
+        let _ = KMeans::fit(&[vec![1.0]], 0, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

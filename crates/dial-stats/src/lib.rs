@@ -1,0 +1,61 @@
+//! Statistical modelling stack for the dial-market study.
+//!
+//! The paper's quantitative machinery, implemented from first principles:
+//!
+//! * [`matrix`] — small dense linear algebra (Cholesky/LU solves) used by the
+//!   iteratively-reweighted-least-squares fitters;
+//! * [`descriptive`] — means, quantiles, Gini coefficients, standardisation;
+//! * [`distributions`] — `erf`-based normal CDF, log-gamma, Poisson pmf;
+//! * [`glm`] — Poisson and logistic regression via IRLS with standard
+//!   errors, z-values and p-values;
+//! * [`zip`] — Zero-Inflated Poisson regression fitted by EM, with Vuong
+//!   tests against plain Poisson and McFadden's pseudo-R² (Tables 9–10);
+//! * [`kmeans`] — seeded k-means++ with silhouette-based model selection
+//!   (the cold-start clustering of Table 7);
+//! * [`lca`] — multivariate Poisson mixture latent class analysis fitted by
+//!   EM with AIC/BIC selection (the 12-class model of Table 6);
+//! * [`lta`] — latent transition estimation over monthly class assignments;
+//! * [`powerlaw`] — discrete power-law MLE and KS distance (the degree
+//!   distributions of Figure 7);
+//! * [`contingency`] — chi-square homogeneity tests with Cramér's V (the
+//!   "stimulus not transformation" claim made quantitative);
+//! * [`overdispersion`] — Cameron–Trivedi diagnostics backing the paper's
+//!   "non-overdispersed count data" modelling choice;
+//! * [`bootstrap`] — percentile bootstrap intervals for concentration
+//!   statistics.
+
+pub mod bootstrap;
+pub mod changepoint;
+pub mod contingency;
+pub mod correlation;
+pub mod descriptive;
+pub mod distributions;
+pub mod glm;
+pub mod hierarchy;
+pub mod hmm;
+pub mod kmeans;
+pub mod lca;
+pub mod lta;
+pub mod matrix;
+pub mod negbin;
+pub mod overdispersion;
+pub mod powerlaw;
+pub mod survival;
+pub mod zip;
+
+pub use bootstrap::{bootstrap_ci, BootstrapInterval};
+pub use changepoint::{binary_segmentation, Changepoint};
+pub use contingency::{chi_square_test, ChiSquareTest};
+pub use correlation::{pearson, spearman};
+pub use glm::{GlmFit, LogisticRegression, PoissonRegression};
+pub use hierarchy::{adjusted_rand_index, agglomerative, Linkage};
+pub use hmm::{HmmFit, HmmLtm};
+pub use negbin::{NegBinFit, NegBinRegression};
+pub use overdispersion::{cameron_trivedi, OverdispersionTest};
+pub use kmeans::{KMeans, KMeansFit};
+pub use lca::{LcaFit, LcaModel};
+pub use lta::TransitionMatrix;
+pub use matrix::Matrix;
+pub use powerlaw::PowerLawFit;
+pub use survival::{Duration, KaplanMeier};
+pub use zip::{VuongTest, ZipFit, ZipModel};

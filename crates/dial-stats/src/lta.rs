@@ -1,0 +1,120 @@
+//! Latent transition estimation: how users move between latent classes
+//! across consecutive months (the longitudinal layer of the LTM in §5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A row-stochastic matrix of class-to-class transition probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    k: usize,
+    /// `probs[from][to]`, each row summing to 1 (or uniform if unobserved).
+    probs: Vec<Vec<f64>>,
+    /// Raw transition counts underlying the probabilities.
+    counts: Vec<Vec<u64>>,
+}
+
+impl TransitionMatrix {
+    /// Estimates transitions from observed consecutive class pairs.
+    ///
+    /// `pairs` contains `(class_at_t, class_at_t_plus_1)` observations.
+    /// Rows with no observations get a uniform distribution.
+    pub fn estimate(k: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut counts = vec![vec![0u64; k]; k];
+        for (from, to) in pairs {
+            assert!(from < k && to < k, "class index out of range");
+            counts[from][to] += 1;
+        }
+        let probs = counts
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                if total == 0 {
+                    vec![1.0 / k as f64; k]
+                } else {
+                    row.iter().map(|c| *c as f64 / total as f64).collect()
+                }
+            })
+            .collect();
+        Self { k, probs, counts }
+    }
+
+    /// Number of classes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Transition probability `from → to`.
+    pub fn prob(&self, from: usize, to: usize) -> f64 {
+        self.probs[from][to]
+    }
+
+    /// Raw transition count `from → to`.
+    pub fn count(&self, from: usize, to: usize) -> u64 {
+        self.counts[from][to]
+    }
+
+    /// Probability a user stays in their class for one step.
+    pub fn stay_probability(&self, class: usize) -> f64 {
+        self.probs[class][class]
+    }
+
+    /// The stationary distribution by power iteration (useful to summarise
+    /// the long-run class mix implied by the dynamics).
+    #[allow(clippy::needless_range_loop)] // index pairs mirror the matrix maths
+    pub fn stationary(&self, iterations: usize) -> Vec<f64> {
+        let k = self.k;
+        let mut v = vec![1.0 / k as f64; k];
+        for _ in 0..iterations {
+            let mut next = vec![0.0; k];
+            for from in 0..k {
+                for to in 0..k {
+                    next[to] += v[from] * self.probs[from][to];
+                }
+            }
+            v = next;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_stochastic() {
+        let t = TransitionMatrix::estimate(3, vec![(0, 1), (0, 1), (0, 2), (1, 1)]);
+        for from in 0..3 {
+            let s: f64 = (0..3).map(|to| t.prob(from, to)).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {from} sums to {s}");
+        }
+        assert!((t.prob(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.count(0, 1), 2);
+        // Unobserved row 2 is uniform.
+        assert!((t.prob(2, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let pairs = vec![(0, 1), (1, 0), (0, 0), (1, 1)];
+        let t = TransitionMatrix::estimate(2, pairs);
+        let s = t.stationary(200);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+        assert!((s[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorbing_state_dominates() {
+        // 0 always moves to 1; 1 stays.
+        let t = TransitionMatrix::estimate(2, vec![(0, 1), (1, 1)]);
+        let s = t.stationary(100);
+        assert!(s[1] > 0.999);
+        assert_eq!(t.stay_probability(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_class_panics() {
+        let _ = TransitionMatrix::estimate(2, vec![(0, 5)]);
+    }
+}

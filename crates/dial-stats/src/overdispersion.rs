@@ -1,0 +1,137 @@
+//! Overdispersion diagnostics for count models.
+//!
+//! §5.1 justifies the Poisson latent-class model "due to non-overdispersed
+//! count data". This module makes that check explicit: the Cameron–Trivedi
+//! (1990) auxiliary regression test for overdispersion in a fitted Poisson
+//! model, plus the simple dispersion index for raw count vectors.
+
+use crate::distributions::normal_cdf;
+use crate::glm::GlmFit;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of the Cameron–Trivedi overdispersion test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverdispersionTest {
+    /// Estimated dispersion coefficient α (0 under equidispersion; > 0
+    /// indicates overdispersion, in which case a negative-binomial model
+    /// would fit better than Poisson).
+    pub alpha: f64,
+    /// The t-statistic of α.
+    pub statistic: f64,
+    /// One-sided p-value for α > 0.
+    pub p_value: f64,
+}
+
+/// Cameron–Trivedi test on a fitted Poisson regression: regress
+/// `((y − μ̂)² − y) / μ̂` on `μ̂` without intercept; the slope estimates α
+/// of a NB2 variance function `Var = μ + α μ²`.
+pub fn cameron_trivedi(x: &Matrix, y: &[f64], fit: &GlmFit) -> OverdispersionTest {
+    let n = y.len();
+    assert_eq!(x.rows(), n);
+    let eta = x.mul_vec(&fit.coef);
+    let mu: Vec<f64> = eta.iter().map(|e| e.clamp(-30.0, 30.0).exp()).collect();
+
+    // OLS without intercept: z_i = α μ_i + ε, z_i = ((y−μ)² − y)/μ.
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut zs = Vec::with_capacity(n);
+    for i in 0..n {
+        let z = ((y[i] - mu[i]).powi(2) - y[i]) / mu[i].max(1e-12);
+        zs.push(z);
+        sxy += mu[i] * z;
+        sxx += mu[i] * mu[i];
+    }
+    let alpha = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+
+    // Residual variance of the auxiliary regression → SE of the slope.
+    let rss: f64 = (0..n).map(|i| (zs[i] - alpha * mu[i]).powi(2)).sum();
+    let dof = (n.saturating_sub(1)).max(1) as f64;
+    let se = (rss / dof / sxx.max(1e-300)).sqrt();
+    let statistic = if se > 0.0 { alpha / se } else { 0.0 };
+    OverdispersionTest { alpha, statistic, p_value: 1.0 - normal_cdf(statistic) }
+}
+
+/// The raw dispersion index `Var(y) / Mean(y)` (1 under a Poisson law).
+pub fn dispersion_index(y: &[f64]) -> f64 {
+    let mean = crate::descriptive::mean(y);
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    crate::descriptive::variance(y) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glm::{design_with_intercept, PoissonRegression};
+
+    fn uniforms(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                (s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn poisson_draw(lambda: f64, u: f64) -> f64 {
+        let mut k = 0u64;
+        let mut p = (-lambda).exp();
+        let mut cdf = p;
+        while u > cdf && k < 10_000 {
+            k += 1;
+            p *= lambda / k as f64;
+            cdf += p;
+        }
+        k as f64
+    }
+
+    #[test]
+    fn equidispersed_data_passes() {
+        let n = 4000;
+        let us = uniforms(2 * n, 3);
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i]]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| poisson_draw((1.0 + 0.5 * rows[i][0]).exp(), us[n + i]))
+            .collect();
+        let x = design_with_intercept(&rows);
+        let fit = PoissonRegression::fit(&x, &y, None).unwrap();
+        let test = cameron_trivedi(&x, &y, &fit);
+        assert!(test.alpha.abs() < 0.1, "alpha {}", test.alpha);
+        assert!(test.p_value > 0.01, "p {}", test.p_value);
+    }
+
+    #[test]
+    fn overdispersed_data_is_flagged() {
+        // Negative-binomial-ish data: Poisson with a random frailty.
+        let n = 4000;
+        let us = uniforms(3 * n, 9);
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i]]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let frailty = 0.25 + 1.5 * us[2 * n + i]; // mean ≈ 1, strong variance
+                poisson_draw((1.0 + 0.5 * rows[i][0]).exp() * frailty, us[n + i])
+            })
+            .collect();
+        let x = design_with_intercept(&rows);
+        let fit = PoissonRegression::fit(&x, &y, None).unwrap();
+        let test = cameron_trivedi(&x, &y, &fit);
+        assert!(test.alpha > 0.05, "alpha {}", test.alpha);
+        assert!(test.p_value < 0.01, "p {}", test.p_value);
+    }
+
+    #[test]
+    fn dispersion_index_sanity() {
+        // Poisson sample: index ≈ 1.
+        let us = uniforms(8000, 5);
+        let y: Vec<f64> = us.iter().map(|u| poisson_draw(4.0, *u)).collect();
+        let idx = dispersion_index(&y);
+        assert!((idx - 1.0).abs() < 0.12, "index {idx}");
+        // A constant vector has zero dispersion.
+        assert_eq!(dispersion_index(&[3.0, 3.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Kaplan–Meier survival estimation (extension).
+//!
+//! Cold-starter "lifespan of activity" (§5.2) is right-censored: members
+//! still trading when data collection ends have unknown full lifespans.
+//! Raw medians understate longevity; the Kaplan–Meier estimator handles the
+//! censoring properly, so the cohort-vs-outlier comparison can be made on
+//! survival curves instead of truncated medians.
+
+use serde::{Deserialize, Serialize};
+
+/// One observed duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Duration {
+    /// Elapsed time (e.g. days of activity).
+    pub time: f64,
+    /// True if the terminal event was observed; false if censored (still
+    /// active at the end of the window).
+    pub observed: bool,
+}
+
+/// A Kaplan–Meier survival curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    /// `(time, S(time))` steps at each observed event time, descending S.
+    pub steps: Vec<(f64, f64)>,
+    /// Subjects.
+    pub n: usize,
+    /// Observed (non-censored) events.
+    pub events: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the product-limit estimator.
+    pub fn fit(durations: &[Duration]) -> KaplanMeier {
+        let n = durations.len();
+        let mut sorted: Vec<Duration> = durations.to_vec();
+        sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+
+        let mut steps = Vec::new();
+        let mut at_risk = n as f64;
+        let mut survival = 1.0;
+        let mut events = 0usize;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].time;
+            let mut deaths = 0.0;
+            let mut leaving = 0.0;
+            while i < sorted.len() && sorted[i].time == t {
+                leaving += 1.0;
+                if sorted[i].observed {
+                    deaths += 1.0;
+                    events += 1;
+                }
+                i += 1;
+            }
+            if deaths > 0.0 && at_risk > 0.0 {
+                survival *= 1.0 - deaths / at_risk;
+                steps.push((t, survival));
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier { steps, n, events }
+    }
+
+    /// Survival probability at time `t` (step function, right-continuous).
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let mut s = 1.0;
+        for (time, surv) in &self.steps {
+            if *time <= t {
+                s = *surv;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Median survival time: the first time S drops to ≤ 0.5, if reached.
+    pub fn median(&self) -> Option<f64> {
+        self.steps.iter().find(|(_, s)| *s <= 0.5).map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(time: f64) -> Duration {
+        Duration { time, observed: true }
+    }
+
+    fn cens(time: f64) -> Duration {
+        Duration { time, observed: false }
+    }
+
+    #[test]
+    fn no_censoring_matches_empirical_distribution() {
+        let durations: Vec<Duration> = (1..=10).map(|i| obs(f64::from(i))).collect();
+        let km = KaplanMeier::fit(&durations);
+        assert_eq!(km.events, 10);
+        // S(5) = fraction surviving past 5 = 0.5.
+        assert!((km.survival_at(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(km.median(), Some(5.0));
+        assert_eq!(km.survival_at(10.0), 0.0);
+        assert_eq!(km.survival_at(0.5), 1.0);
+    }
+
+    #[test]
+    fn censoring_lifts_the_curve() {
+        // Same event times, but half the subjects censored late: survival
+        // at a given time must be at least the uncensored estimate.
+        let uncensored: Vec<Duration> = (1..=10).map(|i| obs(f64::from(i))).collect();
+        let censored: Vec<Duration> = (1..=10)
+            .map(|i| if i % 2 == 0 { cens(f64::from(i)) } else { obs(f64::from(i)) })
+            .collect();
+        let a = KaplanMeier::fit(&uncensored);
+        let b = KaplanMeier::fit(&censored);
+        for t in [3.0, 5.0, 7.0, 9.0] {
+            assert!(
+                b.survival_at(t) >= a.survival_at(t) - 1e-12,
+                "t={t}: censored {} vs raw {}",
+                b.survival_at(t),
+                a.survival_at(t)
+            );
+        }
+        assert_eq!(b.events, 5);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic toy data: events at 6,6,6 censored 6, events 7,10 ...
+        // (subset of the Freireich data). S(6) = 1 - 3/6 ... use a small
+        // hand computation: n=6, at t=6 three events → S=0.5; one censored
+        // at 6; at t=7 one event among 2 at risk → S=0.25.
+        let data = vec![obs(6.0), obs(6.0), obs(6.0), cens(6.0), obs(7.0), cens(9.0)];
+        let km = KaplanMeier::fit(&data);
+        assert!((km.survival_at(6.0) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(7.0) - 0.25).abs() < 1e-12);
+        assert_eq!(km.median(), Some(6.0));
+    }
+
+    #[test]
+    fn all_censored_never_drops() {
+        let data = vec![cens(1.0), cens(2.0), cens(3.0)];
+        let km = KaplanMeier::fit(&data);
+        assert!(km.steps.is_empty());
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median(), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for statistical invariants.
+
+use dial_stats::descriptive::{gini, mean, quantile, standardize_columns, std_dev, top_share};
+use dial_stats::distributions::{log_sum_exp, normal_cdf, poisson_ln_pmf, two_sided_p};
+use dial_stats::matrix::Matrix;
+use dial_stats::TransitionMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+                         q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// Gini is within [0, 1) for non-negative data.
+    #[test]
+    fn gini_bounded(xs in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let g = gini(&xs);
+        prop_assert!((-1e-9..1.0).contains(&g), "gini = {g}");
+    }
+
+    /// top_share is monotone in the fraction and reaches 1 at fraction 1.
+    #[test]
+    fn top_share_monotone(xs in prop::collection::vec(0.0f64..1e5, 1..100),
+                          f1 in 0.01f64..1.0, f2 in 0.01f64..1.0) {
+        prop_assume!(xs.iter().sum::<f64>() > 0.0);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(top_share(&xs, lo) <= top_share(&xs, hi) + 1e-9);
+        prop_assert!((top_share(&xs, 1.0) - 1.0).abs() < 1e-6);
+    }
+
+    /// Standardised columns have ~zero mean and, if non-constant, ~unit sd.
+    #[test]
+    fn standardize_invariants(n in 2usize..50, seed in 0u64..1000) {
+        let mut s = seed.wrapping_add(1);
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|_| {
+            s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            vec![(s.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 * 100.0]
+        }).collect();
+        let distinct = rows.iter().any(|r| r[0] != rows[0][0]);
+        standardize_columns(&mut rows);
+        let col: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        prop_assert!(mean(&col).abs() < 1e-6);
+        if distinct {
+            prop_assert!((std_dev(&col) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The normal CDF is monotone and symmetric.
+    #[test]
+    fn normal_cdf_properties(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        if a <= b {
+            prop_assert!(normal_cdf(a) <= normal_cdf(b) + 1e-12);
+        }
+        prop_assert!((normal_cdf(a) + normal_cdf(-a) - 1.0).abs() < 1e-6);
+        let p = two_sided_p(a);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+    }
+
+    /// log_sum_exp dominates the max and is ≤ max + ln(n).
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-700.0f64..700.0, 1..50)) {
+        let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= m - 1e-9);
+        prop_assert!(lse <= m + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    /// Poisson pmf is a valid log-probability for all k, λ.
+    #[test]
+    fn poisson_pmf_valid(k in 0u64..500, lambda in 0.001f64..200.0) {
+        let lp = poisson_ln_pmf(k, lambda);
+        prop_assert!(lp <= 1e-12, "log-pmf must be ≤ 0, got {lp}");
+    }
+
+    /// SPD solve residuals are tiny: for X'X + I systems, ‖Ax − b‖ ≈ 0.
+    #[test]
+    fn spd_solve_residual(vals in prop::collection::vec(-10.0f64..10.0, 9), b in prop::collection::vec(-10.0f64..10.0, 3)) {
+        // Build SPD as A = M Mᵀ + I.
+        let m = Matrix::from_rows(&[vals[0..3].to_vec(), vals[3..6].to_vec(), vals[6..9].to_vec()]);
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|k| m[(i, k)] * m[(j, k)]).sum();
+                a[(i, j)] = dot + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let x = a.solve_spd(&b).unwrap();
+        let ax = a.mul_vec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6, "residual {u} vs {v}");
+        }
+    }
+
+    /// Transition matrices estimated from any pair set are row-stochastic.
+    #[test]
+    fn transitions_row_stochastic(pairs in prop::collection::vec((0usize..5, 0usize..5), 0..200)) {
+        let t = TransitionMatrix::estimate(5, pairs);
+        for from in 0..5 {
+            let s: f64 = (0..5).map(|to| t.prob(from, to)).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        let st = t.stationary(100);
+        prop_assert!((st.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+}
+
+mod more_properties {
+    use dial_stats::correlation::{pearson, spearman};
+    use dial_stats::hierarchy::adjusted_rand_index;
+    use dial_stats::kmeans::KMeans;
+    use dial_stats::survival::{Duration, KaplanMeier};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    proptest! {
+        /// Correlations are bounded in [-1, 1] and symmetric.
+        #[test]
+        fn correlation_bounds(pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 2..80)) {
+            let xs: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<f64> = pairs.iter().map(|(_, y)| *y).collect();
+            for r in [pearson(&xs, &ys), spearman(&xs, &ys)].into_iter().flatten() {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+            if let (Some(a), Some(b)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        /// Kaplan–Meier survival is a non-increasing step function in [0, 1],
+        /// and fully-observed data reproduces the empirical survival.
+        #[test]
+        fn km_monotone_and_bounded(times in prop::collection::vec(0.1f64..1e3, 1..60),
+                                   censored in prop::collection::vec(any::<bool>(), 60)) {
+            let durations: Vec<Duration> = times
+                .iter()
+                .zip(&censored)
+                .map(|(t, c)| Duration { time: *t, observed: !c })
+                .collect();
+            let km = KaplanMeier::fit(&durations);
+            let mut prev = 1.0;
+            for (_, s) in &km.steps {
+                prop_assert!(*s <= prev + 1e-12);
+                prop_assert!((0.0..=1.0).contains(s));
+                prev = *s;
+            }
+        }
+
+        /// k-means assignments always index valid clusters, every cluster
+        /// id ≤ k, and ARI of a clustering with itself is 1.
+        #[test]
+        fn kmeans_assignment_sanity(points in prop::collection::vec((-50f64..50.0, -50f64..50.0), 4..60),
+                                    k in 1usize..4) {
+            prop_assume!(k <= points.len());
+            let rows: Vec<Vec<f64>> = points.iter().map(|(x, y)| vec![*x, *y]).collect();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let fit = KMeans::fit(&rows, k, &mut rng);
+            prop_assert_eq!(fit.assignments.len(), rows.len());
+            prop_assert!(fit.assignments.iter().all(|a| *a < k));
+            prop_assert!(fit.inertia >= 0.0);
+            prop_assert!((adjusted_rand_index(&fit.assignments, &fit.assignments) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Distinctive-keyword extraction (extension).
+//!
+//! §5.2 qualitatively analyses which products drive trade by reading the
+//! threads behind completed contracts. This module mechanises the first
+//! step: for a corpus of token streams labelled with categories, it ranks
+//! each category's most *distinctive* tokens by smoothed log-odds against
+//! the rest of the corpus — the standard "fightin' words" statistic.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One category's ranked keywords.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryKeywords<C> {
+    /// The category.
+    pub category: C,
+    /// `(token, log-odds score)`, highest first.
+    pub keywords: Vec<(String, f64)>,
+}
+
+/// Ranks the `top_n` most distinctive tokens for every category present in
+/// `corpus`, by add-one-smoothed log-odds of in-category vs out-of-category
+/// token frequency.
+///
+/// Tokens occurring fewer than `min_count` times in a category are skipped
+/// (rare tokens get unstable scores).
+pub fn distinctive_tokens<C: Copy + Eq + Hash>(
+    corpus: &[(Vec<String>, C)],
+    top_n: usize,
+    min_count: usize,
+) -> Vec<CategoryKeywords<C>> {
+    // Global and per-category token counts.
+    let mut global: HashMap<&str, usize> = HashMap::new();
+    let mut per_cat: HashMap<C, HashMap<&str, usize>> = HashMap::new();
+    let mut cat_totals: HashMap<C, usize> = HashMap::new();
+    let mut grand_total = 0usize;
+    for (tokens, cat) in corpus {
+        for tok in tokens {
+            *global.entry(tok.as_str()).or_default() += 1;
+            *per_cat.entry(*cat).or_default().entry(tok.as_str()).or_default() += 1;
+            *cat_totals.entry(*cat).or_default() += 1;
+            grand_total += 1;
+        }
+    }
+    let vocab = global.len() as f64;
+
+    let mut cats: Vec<C> = per_cat.keys().copied().collect();
+    // Stable output order requires a sortable key; use first-appearance
+    // order in the corpus instead of relying on HashMap iteration.
+    let mut order: HashMap<C, usize> = HashMap::new();
+    for (_, cat) in corpus {
+        let next = order.len();
+        order.entry(*cat).or_insert(next);
+    }
+    cats.sort_by_key(|c| order[c]);
+
+    cats.into_iter()
+        .map(|cat| {
+            let counts = &per_cat[&cat];
+            let in_total = cat_totals[&cat] as f64;
+            let out_total = (grand_total - cat_totals[&cat]) as f64;
+            let mut scored: Vec<(String, f64)> = counts
+                .iter()
+                .filter(|(_, n)| **n >= min_count)
+                .map(|(tok, n)| {
+                    let in_rate = (*n as f64 + 1.0) / (in_total + vocab);
+                    let out_n = (global[tok] - n) as f64;
+                    let out_rate = (out_n + 1.0) / (out_total + vocab);
+                    ((*tok).to_string(), (in_rate / out_rate).ln())
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            scored.truncate(top_n);
+            CategoryKeywords { category: cat, keywords: scored }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn planted_vocabulary_is_recovered() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        enum Cat {
+            Gaming,
+            Academic,
+        }
+        let mut corpus = Vec::new();
+        for _ in 0..30 {
+            corpus.push((toks("selling fortnite skins account"), Cat::Gaming));
+            corpus.push((toks("essay writing help deadline"), Cat::Academic));
+        }
+        // A shared filler token appears everywhere.
+        for _ in 0..30 {
+            corpus.push((toks("selling cheap deal"), Cat::Gaming));
+            corpus.push((toks("selling cheap deal"), Cat::Academic));
+        }
+        let report = distinctive_tokens(&corpus, 3, 2);
+        let gaming = report.iter().find(|r| r.category == Cat::Gaming).unwrap();
+        let academic = report.iter().find(|r| r.category == Cat::Academic).unwrap();
+        let top_gaming: Vec<&str> = gaming.keywords.iter().map(|(t, _)| t.as_str()).collect();
+        let top_academic: Vec<&str> = academic.keywords.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(top_gaming.contains(&"fortnite"), "{top_gaming:?}");
+        assert!(top_academic.contains(&"essay"), "{top_academic:?}");
+        // The shared filler never tops a list.
+        assert_ne!(top_gaming[0], "selling");
+        assert_ne!(top_academic[0], "selling");
+        // Scores are positive for distinctive tokens.
+        assert!(gaming.keywords[0].1 > 0.0);
+    }
+
+    #[test]
+    fn min_count_filters_noise() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        struct Only;
+        let corpus = vec![
+            (toks("common common common rare"), Only),
+            (toks("common common"), Only),
+        ];
+        let report = distinctive_tokens(&corpus, 10, 2);
+        let tokens: Vec<&str> = report[0].keywords.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(tokens.contains(&"common"));
+        assert!(!tokens.contains(&"rare"), "rare token must be filtered");
+    }
+
+    #[test]
+    fn empty_corpus_is_empty() {
+        let corpus: Vec<(Vec<String>, u8)> = Vec::new();
+        assert!(distinctive_tokens(&corpus, 5, 1).is_empty());
+    }
+}

@@ -1,0 +1,382 @@
+//! The manually defined category buckets (trading activities and payment
+//! methods) and their matching rules.
+//!
+//! Categories follow Tables 3–5 of the paper: some buckets are drawn from
+//! Motoyama et al. (2011), the rest were added from goods observed in the
+//! data. Rules operate on *normalised* tokens (see [`crate::Normalizer`]),
+//! so they are written in canonical vocabulary (`bitcoin` not `btc`,
+//! `account` not `accs`, `giftcard` not `gift card`).
+
+use crate::matcher::{CategoryMatcher, Rule};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Trading-activity buckets of Table 3 (plus the uncategorised bucket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TradeCategory {
+    /// Currency-for-currency swaps (the dominant activity, ~75%).
+    CurrencyExchange,
+    /// One-sided money transfers and payment services.
+    Payments,
+    /// Gift cards, coupons and rewards.
+    Giftcard,
+    /// Accounts and software licenses.
+    AccountsLicenses,
+    /// Game items, accounts, boosts and in-game currency.
+    GamingRelated,
+    /// Virtual HACK FORUMS products: bytes, vouch copies, upgrades.
+    HackforumsRelated,
+    /// Design, illustration and video editing.
+    Multimedia,
+    /// Hacking services and programming work.
+    HackingProgramming,
+    /// Followers, likes, views and other social boosts.
+    SocialNetworkBoost,
+    /// Tutorials, guides, e-books and methods.
+    TutorialsGuides,
+    /// Automated bots, tools and software.
+    ToolsBotsSoftware,
+    /// Advertising and promotion services.
+    Marketing,
+    /// eWhoring packs and related materials.
+    Ewhoring,
+    /// Physical delivery and shipping services.
+    DeliveryShipping,
+    /// Homework, essays and dissertations.
+    AcademicHelp,
+    /// Contests, awards and giveaways.
+    ContestAward,
+    /// Description too short or ambiguous to categorise.
+    Uncategorized,
+}
+
+impl TradeCategory {
+    /// All categories, in the paper's reporting order.
+    pub const ALL: [TradeCategory; 17] = [
+        TradeCategory::CurrencyExchange,
+        TradeCategory::Payments,
+        TradeCategory::Giftcard,
+        TradeCategory::AccountsLicenses,
+        TradeCategory::GamingRelated,
+        TradeCategory::HackforumsRelated,
+        TradeCategory::Multimedia,
+        TradeCategory::HackingProgramming,
+        TradeCategory::SocialNetworkBoost,
+        TradeCategory::TutorialsGuides,
+        TradeCategory::ToolsBotsSoftware,
+        TradeCategory::Marketing,
+        TradeCategory::Ewhoring,
+        TradeCategory::DeliveryShipping,
+        TradeCategory::AcademicHelp,
+        TradeCategory::ContestAward,
+        TradeCategory::Uncategorized,
+    ];
+
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TradeCategory::CurrencyExchange => "currency exchange",
+            TradeCategory::Payments => "payments",
+            TradeCategory::Giftcard => "giftcard/coupon/reward",
+            TradeCategory::AccountsLicenses => "accounts/licenses",
+            TradeCategory::GamingRelated => "gaming-related",
+            TradeCategory::HackforumsRelated => "hackforums-related",
+            TradeCategory::Multimedia => "multimedia",
+            TradeCategory::HackingProgramming => "hacking/programming",
+            TradeCategory::SocialNetworkBoost => "social network boost",
+            TradeCategory::TutorialsGuides => "tutorials/guides",
+            TradeCategory::ToolsBotsSoftware => "tools/bots/software",
+            TradeCategory::Marketing => "marketing",
+            TradeCategory::Ewhoring => "ewhoring",
+            TradeCategory::DeliveryShipping => "delivery/shipping",
+            TradeCategory::AcademicHelp => "academic help",
+            TradeCategory::ContestAward => "contest/award",
+            TradeCategory::Uncategorized => "uncategorized",
+        }
+    }
+}
+
+impl fmt::Display for TradeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Payment methods of Tables 4–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PaymentMethod {
+    /// Bitcoin — the preferred method by value and count.
+    Bitcoin,
+    /// PayPal.
+    PayPal,
+    /// Amazon gift cards, an intermediate currency at scale.
+    AmazonGiftcards,
+    /// Cash App.
+    Cashapp,
+    /// Plain USD (bank transfer, cash, unspecified dollars).
+    Usd,
+    /// Ethereum.
+    Ethereum,
+    /// Venmo.
+    Venmo,
+    /// Fortnite V-Bucks.
+    VBucks,
+    /// Zelle.
+    Zelle,
+    /// Bitcoin Cash.
+    BitcoinCash,
+    /// Apple Pay / Google Pay.
+    AppleGooglePay,
+    /// Litecoin.
+    Litecoin,
+    /// Monero.
+    Monero,
+    /// Skrill.
+    Skrill,
+}
+
+impl PaymentMethod {
+    /// All methods, in the paper's reporting order.
+    pub const ALL: [PaymentMethod; 14] = [
+        PaymentMethod::Bitcoin,
+        PaymentMethod::PayPal,
+        PaymentMethod::AmazonGiftcards,
+        PaymentMethod::Cashapp,
+        PaymentMethod::Usd,
+        PaymentMethod::Ethereum,
+        PaymentMethod::Venmo,
+        PaymentMethod::VBucks,
+        PaymentMethod::Zelle,
+        PaymentMethod::BitcoinCash,
+        PaymentMethod::AppleGooglePay,
+        PaymentMethod::Litecoin,
+        PaymentMethod::Monero,
+        PaymentMethod::Skrill,
+    ];
+
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PaymentMethod::Bitcoin => "Bitcoin",
+            PaymentMethod::PayPal => "PayPal",
+            PaymentMethod::AmazonGiftcards => "Amazon Giftcards",
+            PaymentMethod::Cashapp => "Cashapp",
+            PaymentMethod::Usd => "USD",
+            PaymentMethod::Ethereum => "Ethereum",
+            PaymentMethod::Venmo => "Venmo",
+            PaymentMethod::VBucks => "V-bucks",
+            PaymentMethod::Zelle => "Zelle",
+            PaymentMethod::BitcoinCash => "Bitcoin Cash",
+            PaymentMethod::AppleGooglePay => "Apple/Google Pay",
+            PaymentMethod::Litecoin => "Litecoin",
+            PaymentMethod::Monero => "Monero",
+            PaymentMethod::Skrill => "Skrill",
+        }
+    }
+}
+
+impl fmt::Display for PaymentMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Canonical tokens that denote a currency/payment instrument; used to gate
+/// the `exchange`/`swap` patterns of the currency-exchange bucket.
+const CURRENCY_TOKENS: &[&str] = &[
+    "bitcoin", "paypal", "ethereum", "bitcoincash", "litecoin", "monero", "cashapp", "venmo",
+    "zelle", "usd", "giftcard", "vbucks", "skrill", "crypto",
+];
+
+/// The trading-activity matcher (Table 3 buckets).
+pub fn activity_lexicon() -> CategoryMatcher<TradeCategory> {
+    use TradeCategory::*;
+    let mut rules = Vec::new();
+
+    // Currency exchange: explicit exchange verbs gated on a currency token,
+    // or canonical "X for Y" currency pairs.
+    for cur in CURRENCY_TOKENS {
+        rules.push(Rule::any(CurrencyExchange, &["exchange", "swap", "convert", "trade"])
+            .requiring(&[cur]));
+    }
+    rules.push(Rule::any(
+        CurrencyExchange,
+        &[
+            "bitcoin for paypal",
+            "paypal for bitcoin",
+            "bitcoin for cashapp",
+            "cashapp for bitcoin",
+            "ethereum for bitcoin",
+            "bitcoin for ethereum",
+            "paypal for giftcard",
+            "giftcard for bitcoin",
+            "bitcoin for giftcard",
+            "paypal for cashapp",
+            "paypal for applepay",
+            "currency exchange",
+        ],
+    ));
+    // "Payments" means money-transfer *services*, not the paying leg of an
+    // ordinary sale — hence service-like phrases rather than bare verbs.
+    rules.push(Rule::any(
+        Payments,
+        &[
+            "money transfer",
+            "payment service",
+            "transfer service",
+            "invoice",
+            "bill payment",
+            "payout service",
+            "balance transfer",
+        ],
+    ));
+    rules.push(Rule::any(
+        Giftcard,
+        &["giftcard", "coupon", "voucher code", "reward", "amazon giftcard"],
+    ));
+    rules.push(Rule::any(
+        AccountsLicenses,
+        &["account", "license", "key", "serial", "subscription", "upgrade code"],
+    ));
+    rules.push(Rule::any(
+        GamingRelated,
+        &[
+            "fortnite", "minecraft", "steam", "csgo", "league", "runescape", "skin", "vbucks",
+            "gaming", "game", "ingame", "osrs", "gold", "coin",
+        ],
+    ));
+    rules.push(Rule::any(
+        HackforumsRelated,
+        &["bytes", "vouch copy", "vouch", "hackforums", "hf upgrade", "award banner", "ub"],
+    ));
+    rules.push(Rule::any(
+        Multimedia,
+        &[
+            "logo", "banner", "design", "illustration", "thumbnail", "video editing", "edit",
+            "animation", "graphics", "gfx", "intro",
+        ],
+    ));
+    rules.push(Rule::any(
+        HackingProgramming,
+        &[
+            "hacking", "exploit", "pentest", "crypter", "programming", "coding", "developer",
+            "script", "website development", "web development", "rat setup", "fud",
+        ],
+    ));
+    rules.push(Rule::any(
+        SocialNetworkBoost,
+        &[
+            "follower", "like", "view", "subscribers", "instagram boost", "social boost",
+            "social network", "upvote", "retweets", "engagement",
+        ],
+    ));
+    rules.push(Rule::any(
+        TutorialsGuides,
+        &["tutorial", "guide", "ebook", "method", "course", "mentoring", "youtube method"],
+    ));
+    rules.push(Rule::any(
+        ToolsBotsSoftware,
+        &["bot", "tool", "software", "program", "checker", "generator", "automation", "macro"],
+    ));
+    rules.push(Rule::any(
+        Marketing,
+        &["marketing", "promotion", "promote", "advertising", "advert", "seo", "traffic"],
+    ));
+    rules.push(Rule::any(Ewhoring, &["ewhoring", "ewhore", "pack of pictures", "camgirl pack"]));
+    rules.push(Rule::any(
+        DeliveryShipping,
+        &["shipping", "delivery", "dropship", "dropshipping", "parcel", "refund service"],
+    ));
+    rules.push(Rule::any(
+        AcademicHelp,
+        &["homework", "essay", "dissertation", "assignment", "thesis", "coursework"],
+    ));
+    rules.push(Rule::any(ContestAward, &["contest", "giveaway", "award", "raffle", "lottery"]));
+
+    CategoryMatcher::new(rules)
+}
+
+/// The payment-method matcher (Table 4 buckets).
+pub fn payment_lexicon() -> CategoryMatcher<PaymentMethod> {
+    use PaymentMethod::*;
+    CategoryMatcher::new(vec![
+        Rule::any(Bitcoin, &["bitcoin"]),
+        Rule::any(PayPal, &["paypal"]),
+        Rule::any(AmazonGiftcards, &["amazon giftcard", "amazon"]),
+        Rule::any(Cashapp, &["cashapp", "cash app"]),
+        Rule::any(Usd, &["usd", "cash", "dollars", "bank transfer", "wire"]),
+        Rule::any(Ethereum, &["ethereum"]),
+        Rule::any(Venmo, &["venmo"]),
+        Rule::any(VBucks, &["vbucks"]),
+        Rule::any(Zelle, &["zelle"]),
+        Rule::any(BitcoinCash, &["bitcoincash", "bitcoin cash"]),
+        Rule::any(AppleGooglePay, &["applepay", "apple pay", "googlepay", "google pay"]),
+        Rule::any(Litecoin, &["litecoin"]),
+        Rule::any(Monero, &["monero"]),
+        Rule::any(Skrill, &["skrill"]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::Normalizer;
+    use crate::token::tokenize;
+
+    fn activities(s: &str) -> Vec<TradeCategory> {
+        let toks = Normalizer::default().normalize(&tokenize(s));
+        activity_lexicon().matches(&toks)
+    }
+
+    fn payments(s: &str) -> Vec<PaymentMethod> {
+        let toks = Normalizer::default().normalize(&tokenize(s));
+        payment_lexicon().matches(&toks)
+    }
+
+    #[test]
+    fn currency_exchange_requires_a_currency() {
+        assert!(activities("exchange btc for pp").contains(&TradeCategory::CurrencyExchange));
+        assert!(!activities("exchange of pleasantries").contains(&TradeCategory::CurrencyExchange));
+    }
+
+    #[test]
+    fn multi_category_example_from_paper() {
+        // "buying fortnite account" -> gaming-related AND account/license.
+        let cats = activities("buying fortnite account");
+        assert!(cats.contains(&TradeCategory::GamingRelated));
+        assert!(cats.contains(&TradeCategory::AccountsLicenses));
+    }
+
+    #[test]
+    fn hackforums_products() {
+        assert!(activities("selling 500k bytes").contains(&TradeCategory::HackforumsRelated));
+        assert!(activities("vouch copy of my ebook").contains(&TradeCategory::HackforumsRelated));
+    }
+
+    #[test]
+    fn ewhoring_and_academic() {
+        assert!(activities("ewhoring pack 100 pics").contains(&TradeCategory::Ewhoring));
+        assert!(activities("write your dissertation").contains(&TradeCategory::AcademicHelp));
+    }
+
+    #[test]
+    fn payment_methods_basic() {
+        assert_eq!(payments("$50 via cash app"), vec![PaymentMethod::Cashapp]);
+        let p = payments("btc or amazon gift card");
+        assert!(p.contains(&PaymentMethod::Bitcoin));
+        assert!(p.contains(&PaymentMethod::AmazonGiftcards));
+        assert!(payments("apple pay accepted").contains(&PaymentMethod::AppleGooglePay));
+    }
+
+    #[test]
+    fn amazon_giftcard_not_double_counted_as_generic_giftcard_method() {
+        let p = payments("amazon giftcard");
+        assert_eq!(p, vec![PaymentMethod::AmazonGiftcards]);
+    }
+
+    #[test]
+    fn uncategorized_text_matches_nothing() {
+        assert!(activities("misc stuff").is_empty());
+        assert!(payments("misc stuff").is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Text mining of contract obligation sections.
+//!
+//! §4.3–4.5 of the paper extract structure from the free-text obligation
+//! sections of *public* contracts: normalisation ("removing stop-words,
+//! delimiters, digits, and unifying synonyms"), regular-expression
+//! categorisation into manually defined buckets (trading activities and
+//! payment methods), and extraction of quoted trading values with currency
+//! denominations.
+//!
+//! This crate implements that pipeline with hand-rolled, unit-testable
+//! components instead of a regex engine (the `regex` crate is outside the
+//! approved offline dependency set, and the paper's expressions are keyword
+//! and phrase patterns that a token matcher expresses directly):
+//!
+//! * [`tokenize`] — lower-cases and splits raw text into word/number tokens;
+//! * [`Normalizer`] — stop-word removal, digit stripping and synonym
+//!   unification over token streams;
+//! * [`CategoryMatcher`] — prioritised keyword/phrase rules mapping
+//!   normalised tokens to categories; instantiated by [`activity_lexicon`]
+//!   (the 16 trading-activity buckets) and [`payment_lexicon`] (payment
+//!   methods);
+//! * [`scan_money`] — extraction of `(amount, denomination)` mentions such
+//!   as `$1,000`, `0.05 btc` or `50 paypal`.
+
+pub mod keywords;
+pub mod lexicons;
+pub mod matcher;
+pub mod money;
+pub mod normalize;
+pub mod token;
+
+pub use keywords::{distinctive_tokens, CategoryKeywords};
+pub use lexicons::{activity_lexicon, payment_lexicon, PaymentMethod, TradeCategory};
+pub use matcher::{CategoryMatcher, Rule};
+pub use money::{scan_money, MoneyMention};
+pub use normalize::Normalizer;
+pub use token::tokenize;
+
+/// Convenience: full classification of one obligation text into trading
+/// activities using the default normaliser and lexicon.
+pub fn classify_activities(text: &str) -> Vec<TradeCategory> {
+    let normalizer = Normalizer::default();
+    let tokens = normalizer.normalize(&tokenize(text));
+    activity_lexicon().matches(&tokens)
+}
+
+/// Convenience: full classification of one obligation text into payment
+/// methods using the default normaliser and lexicon.
+pub fn classify_payments(text: &str) -> Vec<PaymentMethod> {
+    let normalizer = Normalizer::default();
+    let tokens = normalizer.normalize(&tokenize(text));
+    payment_lexicon().matches(&tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_classification() {
+        let cats = classify_activities("Selling my fortnite account, rare skins");
+        assert!(cats.contains(&TradeCategory::GamingRelated));
+        assert!(cats.contains(&TradeCategory::AccountsLicenses));
+
+        let pays = classify_payments("exchange $50 paypal for btc");
+        assert!(pays.contains(&PaymentMethod::PayPal));
+        assert!(pays.contains(&PaymentMethod::Bitcoin));
+    }
+}

@@ -1,0 +1,142 @@
+//! Keyword/phrase category matching over normalised token streams.
+//!
+//! The paper "uses regular expressions to categorise trading activities
+//! into manually defined buckets". Those expressions are keyword and phrase
+//! patterns; [`Rule`] expresses them directly against normalised tokens,
+//! which keeps every bucket definition data-driven and unit-testable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A single pattern for one category.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rule<C> {
+    /// Category this rule votes for.
+    pub category: C,
+    /// The rule fires if ANY of these patterns is present. A pattern is one
+    /// or more space-separated tokens; multi-token patterns must appear
+    /// consecutively (a phrase).
+    pub any_of: Vec<String>,
+    /// If non-empty, ALL of these single tokens must additionally be present
+    /// somewhere in the text (used to disambiguate, e.g. `exchange` only
+    /// counts as currency exchange when a currency is mentioned).
+    pub require_all: Vec<String>,
+}
+
+impl<C> Rule<C> {
+    /// Builds a rule from `any_of` patterns with no extra requirements.
+    pub fn any(category: C, any_of: &[&str]) -> Self {
+        Self {
+            category,
+            any_of: any_of.iter().map(|s| s.to_string()).collect(),
+            require_all: Vec::new(),
+        }
+    }
+
+    /// Adds required tokens to the rule.
+    pub fn requiring(mut self, all: &[&str]) -> Self {
+        self.require_all = all.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+/// Matches a token stream against a prioritised rule list, producing the set
+/// of categories whose rules fire. A text may match several categories — the
+/// paper notes e.g. *"buying fortnite account"* is both gaming-related and
+/// account/license.
+#[derive(Debug, Clone)]
+pub struct CategoryMatcher<C> {
+    rules: Vec<Rule<C>>,
+}
+
+/// True if `pattern` (space-separated tokens) occurs in `tokens`, as a
+/// single token or as a consecutive phrase.
+fn pattern_matches(tokens: &[String], pattern: &str) -> bool {
+    let parts: Vec<&str> = pattern.split_whitespace().collect();
+    match parts.len() {
+        0 => false,
+        1 => tokens.iter().any(|t| t == parts[0]),
+        n => tokens.windows(n).any(|w| w.iter().map(String::as_str).eq(parts.iter().copied())),
+    }
+}
+
+impl<C: Copy + Eq + std::hash::Hash> CategoryMatcher<C> {
+    /// Builds a matcher from a rule list.
+    pub fn new(rules: Vec<Rule<C>>) -> Self {
+        Self { rules }
+    }
+
+    /// All categories matched by the token stream, in rule order, without
+    /// duplicates.
+    pub fn matches(&self, tokens: &[String]) -> Vec<C> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            if seen.contains(&rule.category) {
+                continue;
+            }
+            let required_ok = rule
+                .require_all
+                .iter()
+                .all(|req| pattern_matches(tokens, req));
+            if required_ok && rule.any_of.iter().any(|p| pattern_matches(tokens, p)) {
+                seen.insert(rule.category);
+                out.push(rule.category);
+            }
+        }
+        out
+    }
+
+    /// The rules backing this matcher.
+    pub fn rules(&self) -> &[Rule<C>] {
+        &self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Cat {
+        A,
+        B,
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn single_keyword() {
+        let m = CategoryMatcher::new(vec![Rule::any(Cat::A, &["bitcoin"])]);
+        assert_eq!(m.matches(&toks("exchange bitcoin now")), vec![Cat::A]);
+        assert!(m.matches(&toks("exchange litecoin")).is_empty());
+    }
+
+    #[test]
+    fn phrase_must_be_consecutive() {
+        let m = CategoryMatcher::new(vec![Rule::any(Cat::A, &["social network"])]);
+        assert_eq!(m.matches(&toks("big social network boost")), vec![Cat::A]);
+        assert!(m.matches(&toks("social media network")).is_empty());
+    }
+
+    #[test]
+    fn require_all_gates_the_rule() {
+        let m = CategoryMatcher::new(vec![
+            Rule::any(Cat::A, &["exchange"]).requiring(&["bitcoin"]),
+        ]);
+        assert!(m.matches(&toks("exchange paypal")).is_empty());
+        assert_eq!(m.matches(&toks("exchange bitcoin")), vec![Cat::A]);
+    }
+
+    #[test]
+    fn multiple_categories_no_duplicates() {
+        let m = CategoryMatcher::new(vec![
+            Rule::any(Cat::A, &["fortnite"]),
+            Rule::any(Cat::B, &["account"]),
+            Rule::any(Cat::A, &["skin"]),
+        ]);
+        assert_eq!(m.matches(&toks("fortnite account skin")), vec![Cat::A, Cat::B]);
+    }
+}

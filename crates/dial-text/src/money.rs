@@ -1,0 +1,196 @@
+//! Extraction of quoted trading values and denominations (§4.5).
+//!
+//! The scanner finds `(amount, denomination)` mentions in raw obligation
+//! text: `$100`, `100 usd`, `0.05 btc`, `£20`, `1,000 paypal` (a payment
+//! instrument implies its denomination: `50 paypal` is 50 USD via PayPal).
+//! Amounts without any denomination are reported with `currency: None`; the
+//! value pipeline defaults those to USD, as the paper does.
+
+use dial_fx::Currency;
+use serde::{Deserialize, Serialize};
+
+/// One extracted money mention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoneyMention {
+    /// The numeric amount as written.
+    pub amount: f64,
+    /// Denomination, if one could be inferred from a sigil, code or
+    /// instrument name adjacent to the amount.
+    pub currency: Option<Currency>,
+}
+
+/// Payment instruments that imply a USD denomination when used as a unit
+/// (e.g. "50 paypal" means fifty US dollars via PayPal).
+fn instrument_implies_usd(token: &str) -> bool {
+    matches!(
+        token,
+        "paypal" | "pp" | "cashapp" | "venmo" | "zelle" | "skrill" | "applepay" | "googlepay"
+    )
+}
+
+fn parse_amount(token: &str) -> Option<f64> {
+    if !token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    // Multipliers: "1k" = 1000, "2m" = 2_000_000.
+    let (num_part, mult) = match token.strip_suffix('k') {
+        Some(rest) => (rest, 1_000.0),
+        None => match token.strip_suffix('m') {
+            Some(rest) => (rest, 1_000_000.0),
+            None => (token, 1.0),
+        },
+    };
+    let cleaned: String = num_part.chars().filter(|c| *c != ',').collect();
+    let value: f64 = cleaned.parse().ok()?;
+    if value.is_finite() {
+        Some(value * mult)
+    } else {
+        None
+    }
+}
+
+fn currency_of_token(token: &str) -> Option<Currency> {
+    if instrument_implies_usd(token) {
+        return Some(Currency::Usd);
+    }
+    Currency::from_code(token)
+}
+
+/// Scans raw text for money mentions.
+///
+/// Recognised shapes over the token stream (tokens as produced by
+/// [`crate::tokenize`], which keeps `$`/`£`/`€` as standalone tokens and
+/// `1,000.50` as one token):
+///
+/// * `<sigil> <amount>` — `$ 100`;
+/// * `<amount> <currency-or-instrument>` — `100 usd`, `0.05 btc`, `50 paypal`;
+/// * `<currency> <amount>` — `btc 0.05`;
+/// * bare `<amount>` — reported with no denomination.
+pub fn scan_money(text: &str) -> Vec<MoneyMention> {
+    let tokens = crate::token::tokenize(text);
+    let mut out = Vec::new();
+    let mut consumed = vec![false; tokens.len()];
+
+    for i in 0..tokens.len() {
+        if consumed[i] {
+            continue;
+        }
+        let tok = tokens[i].as_str();
+
+        // Sigil followed by amount.
+        let sigil_currency = match tok {
+            "$" => Some(Currency::Usd),
+            "£" => Some(Currency::Gbp),
+            "€" => Some(Currency::Eur),
+            _ => None,
+        };
+        if let Some(cur) = sigil_currency {
+            if let Some(amount) = tokens.get(i + 1).and_then(|t| parse_amount(t)) {
+                out.push(MoneyMention { amount, currency: Some(cur) });
+                consumed[i] = true;
+                consumed[i + 1] = true;
+                // A trailing code after a sigil amount ("$100 usd") is part
+                // of the same mention.
+                if let Some(next) = tokens.get(i + 2) {
+                    if currency_of_token(next) == Some(cur) {
+                        consumed[i + 2] = true;
+                    }
+                }
+            }
+            continue;
+        }
+
+        if let Some(amount) = parse_amount(tok) {
+            // Amount followed by a currency/instrument.
+            if let Some(cur) = tokens.get(i + 1).and_then(|t| currency_of_token(t)) {
+                out.push(MoneyMention { amount, currency: Some(cur) });
+                consumed[i] = true;
+                consumed[i + 1] = true;
+                continue;
+            }
+            // Currency preceding the amount ("btc 0.05") — only if that
+            // token wasn't already consumed by an earlier mention.
+            if i > 0 && !consumed[i - 1] {
+                if let Some(cur) = currency_of_token(&tokens[i - 1]) {
+                    out.push(MoneyMention { amount, currency: Some(cur) });
+                    consumed[i - 1] = true;
+                    consumed[i] = true;
+                    continue;
+                }
+            }
+            out.push(MoneyMention { amount, currency: None });
+            consumed[i] = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> MoneyMention {
+        let m = scan_money(text);
+        assert_eq!(m.len(), 1, "expected exactly one mention in {text:?}: {m:?}");
+        m[0]
+    }
+
+    #[test]
+    fn dollar_sigil() {
+        assert_eq!(one("$100"), MoneyMention { amount: 100.0, currency: Some(Currency::Usd) });
+        assert_eq!(one("i pay $1,250 today").amount, 1250.0);
+    }
+
+    #[test]
+    fn pound_and_euro_sigils() {
+        assert_eq!(one("£20").currency, Some(Currency::Gbp));
+        assert_eq!(one("€15").currency, Some(Currency::Eur));
+    }
+
+    #[test]
+    fn amount_then_code() {
+        assert_eq!(one("100 usd"), MoneyMention { amount: 100.0, currency: Some(Currency::Usd) });
+        assert_eq!(one("0.05 btc"), MoneyMention { amount: 0.05, currency: Some(Currency::Btc) });
+    }
+
+    #[test]
+    fn instrument_implies_usd() {
+        assert_eq!(one("50 paypal"), MoneyMention { amount: 50.0, currency: Some(Currency::Usd) });
+        assert_eq!(one("75 cashapp").currency, Some(Currency::Usd));
+    }
+
+    #[test]
+    fn code_then_amount() {
+        assert_eq!(one("btc 0.1"), MoneyMention { amount: 0.1, currency: Some(Currency::Btc) });
+    }
+
+    #[test]
+    fn bare_amount_has_no_currency() {
+        assert_eq!(one("about 300 total"), MoneyMention { amount: 300.0, currency: None });
+    }
+
+    #[test]
+    fn k_and_m_multipliers() {
+        assert_eq!(one("500k bytes").amount, 500_000.0);
+        assert_eq!(one("1.5k usd").amount, 1500.0);
+    }
+
+    #[test]
+    fn sigil_amount_with_redundant_code() {
+        let m = scan_money("$100 usd");
+        assert_eq!(m, vec![MoneyMention { amount: 100.0, currency: Some(Currency::Usd) }]);
+    }
+
+    #[test]
+    fn multiple_mentions_both_sides() {
+        let m = scan_money("exchange $50 paypal for 0.01 btc");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], MoneyMention { amount: 50.0, currency: Some(Currency::Usd) });
+        assert_eq!(m[1], MoneyMention { amount: 0.01, currency: Some(Currency::Btc) });
+    }
+
+    #[test]
+    fn no_numbers_no_mentions() {
+        assert!(scan_money("selling my soul").is_empty());
+    }
+}

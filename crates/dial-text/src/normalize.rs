@@ -1,0 +1,213 @@
+//! Token-stream normalisation: stop-word removal, digit stripping and
+//! synonym unification (§4.3).
+
+use std::collections::{HashMap, HashSet};
+
+/// Normalises token streams ahead of category matching.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    stopwords: HashSet<&'static str>,
+    synonyms: HashMap<&'static str, &'static str>,
+    /// Whether to drop pure-number tokens (the category matcher does not
+    /// need them; the money scanner runs on raw text instead).
+    strip_digits: bool,
+}
+
+/// Stop-words observed to carry no category signal in obligation text.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "and", "or", "of", "to", "for", "in", "on", "with", "my", "your", "our",
+    "their", "his", "her", "its", "i", "you", "we", "they", "me", "will", "send", "sending",
+    "receive", "receiving", "give", "giving", "get", "getting", "provide", "providing", "after",
+    "before", "once", "upon", "per", "via", "as", "is", "are", "be", "been", "this", "that",
+    "each", "both", "all", "any", "some", "new", "one", "two", "first", "then", "from", "by",
+    "at", "it", "within", "hours", "hrs", "days", "instant", "instantly", "fast", "cheap",
+    "worth", "x",
+];
+
+/// Synonym table unifying the spellings seen in the wild to canonical forms.
+/// Multi-token synonyms are handled by the matcher's phrase rules; this table
+/// is strictly token→token.
+const SYNONYMS: &[(&str, &str)] = &[
+    // payment spellings
+    ("pp", "paypal"),
+    ("payppal", "paypal"),
+    ("btc", "bitcoin"),
+    ("bitcoins", "bitcoin"),
+    ("eth", "ethereum"),
+    ("ether", "ethereum"),
+    ("bch", "bitcoincash"),
+    ("ltc", "litecoin"),
+    ("xmr", "monero"),
+    ("amzn", "amazon"),
+    ("gc", "giftcard"),
+    ("giftcards", "giftcard"),
+    ("gift", "giftcard"), // "gift card" -> "giftcard card"; card is absorbed below
+    ("card", "giftcard"),
+    ("cards", "giftcard"),
+    ("ca$happ", "cashapp"),
+    ("cashap", "cashapp"),
+    ("venmo", "venmo"),
+    ("vbuck", "vbucks"),
+    ("vbux", "vbucks"),
+    // goods spellings
+    ("acc", "account"),
+    ("accs", "account"),
+    ("accounts", "account"),
+    ("lic", "license"),
+    ("licence", "license"),
+    ("licenses", "license"),
+    ("licences", "license"),
+    ("keys", "key"),
+    ("ig", "instagram"),
+    ("insta", "instagram"),
+    ("yt", "youtube"),
+    ("fb", "facebook"),
+    ("subs", "subscribers"),
+    ("followers", "follower"),
+    ("follows", "follower"),
+    ("likes", "like"),
+    ("views", "view"),
+    ("bots", "bot"),
+    ("tools", "tool"),
+    ("tutorials", "tutorial"),
+    ("guides", "guide"),
+    ("ebooks", "ebook"),
+    ("methods", "method"),
+    ("packs", "pack"),
+    ("pics", "pictures"),
+    ("vouches", "vouch"),
+    ("rats", "rat"),
+    ("essays", "essay"),
+    ("dissertations", "dissertation"),
+    ("assignments", "assignment"),
+    ("logos", "logo"),
+    ("banners", "banner"),
+    ("thumbnails", "thumbnail"),
+    ("upvotes", "upvote"),
+    ("exch", "exchange"),
+    ("exchanging", "exchange"),
+    ("xchange", "exchange"),
+    ("payments", "payment"),
+    ("skins", "skin"),
+    ("coins", "coin"),
+];
+
+/// Bigrams merged into single canonical tokens after synonym unification,
+/// so phrase-level instrument names ("cash app") cannot also fire their
+/// component-word rules ("cash" → USD).
+const BIGRAMS: &[(&str, &str, &str)] = &[
+    ("cash", "app", "cashapp"),
+    ("apple", "pay", "applepay"),
+    ("google", "pay", "googlepay"),
+    ("bitcoin", "cash", "bitcoincash"),
+    ("v", "bucks", "vbucks"),
+];
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Self {
+            stopwords: STOPWORDS.iter().copied().collect(),
+            synonyms: SYNONYMS.iter().copied().collect(),
+            strip_digits: true,
+        }
+    }
+}
+
+impl Normalizer {
+    /// A normaliser that keeps digit tokens (used by tests and ablations).
+    pub fn keeping_digits() -> Self {
+        Self { strip_digits: false, ..Self::default() }
+    }
+
+    /// A pass-through normaliser (ablation baseline: no stop-words, no
+    /// synonyms, no digit stripping).
+    pub fn identity() -> Self {
+        Self { stopwords: HashSet::new(), synonyms: HashMap::new(), strip_digits: false }
+    }
+
+    /// Applies stop-word removal, digit stripping and synonym unification.
+    pub fn normalize(&self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            if self.stopwords.contains(tok.as_str()) {
+                continue;
+            }
+            if self.strip_digits && tok.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+            {
+                continue;
+            }
+            let canonical = self.synonyms.get(tok.as_str()).copied().unwrap_or(tok.as_str());
+            // Collapse immediate duplicates created by unification
+            // (e.g. "gift card" -> "giftcard giftcard").
+            if out.last().map(String::as_str) != Some(canonical) {
+                out.push(canonical.to_string());
+            }
+        }
+        self.merge_bigrams(out)
+    }
+
+    /// Merges the known bigrams into single canonical tokens.
+    fn merge_bigrams(&self, tokens: Vec<String>) -> Vec<String> {
+        if self.synonyms.is_empty() {
+            // Identity normaliser also skips bigram merging.
+            return tokens;
+        }
+        let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+        let mut i = 0;
+        while i < tokens.len() {
+            if i + 1 < tokens.len() {
+                if let Some((_, _, merged)) = BIGRAMS
+                    .iter()
+                    .find(|(a, b, _)| tokens[i] == *a && tokens[i + 1] == *b)
+                {
+                    out.push((*merged).to_string());
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn norm(s: &str) -> Vec<String> {
+        Normalizer::default().normalize(&tokenize(s))
+    }
+
+    #[test]
+    fn removes_stopwords_and_digits() {
+        assert_eq!(norm("i will send the 100 bitcoin"), ["bitcoin"]);
+    }
+
+    #[test]
+    fn unifies_synonyms() {
+        assert_eq!(norm("btc for pp"), ["bitcoin", "paypal"]);
+        assert_eq!(norm("fortnite accs"), ["fortnite", "account"]);
+    }
+
+    #[test]
+    fn collapses_duplicate_after_unification() {
+        assert_eq!(norm("amazon gift card"), ["amazon", "giftcard"]);
+    }
+
+    #[test]
+    fn identity_is_passthrough() {
+        let toks = tokenize("i will send 100 btc");
+        assert_eq!(Normalizer::identity().normalize(&toks), toks);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let n = Normalizer::default();
+        let once = n.normalize(&tokenize("selling my btc for amazon gift cards 50"));
+        let twice = n.normalize(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,81 @@
+//! Tokenisation of raw obligation text.
+
+/// Splits raw text into lower-cased tokens.
+///
+/// A token is a maximal run of ASCII alphanumerics, possibly containing
+/// internal `.`/`,` when flanked by digits (so `1,000` and `0.05` survive as
+/// single tokens for the money scanner), plus the standalone currency sigils
+/// `$`, `£`, `€` which are meaningful to value extraction.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '$' || c == '£' || c == '€' {
+            tokens.push(c.to_string());
+            i += 1;
+        } else if c.is_ascii_alphanumeric() {
+            let mut tok = String::new();
+            while i < chars.len() {
+                let c = chars[i];
+                if c.is_ascii_alphanumeric() {
+                    tok.push(c.to_ascii_lowercase());
+                    i += 1;
+                } else if (c == '.' || c == ',')
+                    && i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_digit()
+                    && tok.chars().last().is_some_and(|p| p.is_ascii_digit())
+                {
+                    // Digit-flanked separator: keep inside the token.
+                    tok.push(c);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(tok);
+        } else {
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(toks("Selling Fortnite ACCOUNT!"), ["selling", "fortnite", "account"]);
+    }
+
+    #[test]
+    fn keeps_numbers_with_separators() {
+        assert_eq!(toks("pay 1,000.50 usd"), ["pay", "1,000.50", "usd"]);
+        assert_eq!(toks("0.05 BTC"), ["0.05", "btc"]);
+    }
+
+    #[test]
+    fn sigils_are_standalone_tokens() {
+        assert_eq!(toks("$100"), ["$", "100"]);
+        assert_eq!(toks("£20 each"), ["£", "20", "each"]);
+    }
+
+    #[test]
+    fn trailing_punctuation_is_dropped() {
+        assert_eq!(toks("price: 100."), ["price", "100"]);
+        assert_eq!(toks("a,b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(toks("").is_empty());
+        assert!(toks("!!! --- ***").is_empty());
+    }
+}

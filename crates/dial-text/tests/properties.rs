@@ -1,0 +1,113 @@
+//! Property-based tests for the text-mining pipeline.
+
+use dial_text::{scan_money, tokenize, Normalizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer never panics and produces only lower-case tokens
+    /// without whitespace.
+    #[test]
+    fn tokenizer_total_and_lowercase(text in ".{0,200}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert!(!tok.chars().any(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    /// Tokenising twice through a join is stable (tokens are themselves
+    /// tokenisable to the same stream).
+    #[test]
+    fn tokenizer_stable_under_rejoin(text in "[ -~]{0,200}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    /// Normalisation is idempotent.
+    #[test]
+    fn normalizer_idempotent(text in "[a-z0-9 $.,]{0,200}") {
+        let n = Normalizer::default();
+        let once = n.normalize(&tokenize(&text));
+        let twice = n.normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The money scanner never panics, and every extracted amount is finite
+    /// and non-negative.
+    #[test]
+    fn money_scanner_total(text in ".{0,300}") {
+        for m in scan_money(&text) {
+            prop_assert!(m.amount.is_finite());
+            prop_assert!(m.amount >= 0.0);
+        }
+    }
+
+    /// A canonical "$<n>" quote is always recovered exactly.
+    #[test]
+    fn dollar_quotes_recovered(n in 1u32..1_000_000, prefix in "[a-z ]{0,30}", suffix in "[a-z ]{0,30}") {
+        let text = format!("{prefix} ${n} {suffix}");
+        let mentions = scan_money(&text);
+        prop_assert!(
+            mentions.iter().any(|m| m.amount == f64::from(n)),
+            "missing ${n} in {text:?}: {mentions:?}"
+        );
+    }
+}
+
+mod matcher_properties {
+    use dial_text::{activity_lexicon, classify_activities, classify_payments, payment_lexicon};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Classification is total over arbitrary input and returns each
+        /// category at most once.
+        #[test]
+        fn classification_total_and_duplicate_free(text in ".{0,300}") {
+            let cats = classify_activities(&text);
+            let mut dedup = cats.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(cats.len(), dedup.len(), "duplicate categories");
+            let pays = classify_payments(&text);
+            let mut pd = pays.clone();
+            pd.sort();
+            pd.dedup();
+            prop_assert_eq!(pays.len(), pd.len());
+        }
+
+        /// Matching is monotone under concatenation: appending more text
+        /// never removes a matched category.
+        #[test]
+        fn matching_monotone_under_concatenation(a in "[a-z ]{0,80}", b in "[a-z ]{0,80}") {
+            let before = classify_activities(&a);
+            let combined = classify_activities(&format!("{a} {b}"));
+            for cat in before {
+                prop_assert!(combined.contains(&cat), "{cat:?} lost after append");
+            }
+        }
+
+        /// Every single-token `any_of` pattern in the lexicons fires on
+        /// itself (rules are internally consistent with the normaliser's
+        /// canonical vocabulary), unless gated by `require_all`.
+        #[test]
+        fn rules_fire_on_their_own_patterns(idx in 0usize..1000) {
+            let lex = activity_lexicon();
+            let rules = lex.rules();
+            let rule = &rules[idx % rules.len()];
+            if rule.require_all.is_empty() {
+                if let Some(pattern) = rule.any_of.first() {
+                    let tokens: Vec<String> =
+                        pattern.split_whitespace().map(str::to_string).collect();
+                    let matched = lex.matches(&tokens);
+                    prop_assert!(
+                        matched.contains(&rule.category),
+                        "{pattern:?} does not fire {:?}",
+                        rule.category
+                    );
+                }
+            }
+            let _ = payment_lexicon(); // exercised for symmetry
+        }
+    }
+}

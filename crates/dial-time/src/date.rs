@@ -1,0 +1,209 @@
+//! Proleptic-Gregorian calendar dates.
+//!
+//! Conversion between `(year, month, day)` triples and days-since-Unix-epoch
+//! uses the civil-from-days / days-from-civil algorithms (Howard Hinnant's
+//! `chrono`-compatible formulation), which are exact for the whole `i32` year
+//! range used here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    /// 1-based month.
+    month: u8,
+    /// 1-based day of month.
+    day: u8,
+}
+
+/// Error returned when constructing an invalid date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidDate {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl fmt::Display for InvalidDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid date: {:04}-{:02}-{:02}",
+            self.year, self.month, self.day
+        )
+    }
+}
+
+impl std::error::Error for InvalidDate {}
+
+impl Date {
+    /// Builds a date, validating the month and day-of-month.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, InvalidDate> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(InvalidDate { year, month, day });
+        }
+        Ok(Self { year, month, day })
+    }
+
+    /// Builds a date, panicking on invalid input. Intended for constants and
+    /// tests where the input is statically known to be valid.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Self {
+        Self::new(year, month, day).expect("valid calendar date")
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1-12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component (1-31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Number of days since the Unix epoch (1970-01-01 is day 0).
+    pub fn to_epoch_days(&self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::to_epoch_days`].
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+        let year = (y + i64::from(m <= 2)) as i32;
+        Self { year, month: m, day: d }
+    }
+
+    /// The date `n` days after `self` (negative `n` moves backwards).
+    pub fn plus_days(&self, n: i64) -> Self {
+        Self::from_epoch_days(self.to_epoch_days() + n)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(&self, other: Date) -> i64 {
+        self.to_epoch_days() - other.to_epoch_days()
+    }
+
+    /// Parses an ISO `YYYY-MM-DD` string.
+    pub fn parse_iso(s: &str) -> Result<Self, InvalidDate> {
+        let invalid = || InvalidDate { year: 0, month: 0, day: 0 };
+        let mut parts = s.splitn(3, '-');
+        let year: i32 = parts.next().and_then(|p| p.parse().ok()).ok_or_else(invalid)?;
+        let month: u8 = parts.next().and_then(|p| p.parse().ok()).ok_or_else(invalid)?;
+        let day: u8 = parts.next().and_then(|p| p.parse().ok()).ok_or_else(invalid)?;
+        Self::new(year, month, day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// True if `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).to_epoch_days(), 0);
+        assert_eq!(Date::from_epoch_days(0), Date::from_ymd(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_epoch_days() {
+        // Cross-checked against `date -d ... +%s / 86400`.
+        assert_eq!(Date::from_ymd(2018, 6, 1).to_epoch_days(), 17683);
+        assert_eq!(Date::from_ymd(2020, 3, 11).to_epoch_days(), 18332);
+        assert_eq!(Date::from_ymd(2020, 6, 30).to_epoch_days(), 18443);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2020));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2019));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2019, 2, 29).is_err());
+        assert!(Date::new(2019, 13, 1).is_err());
+        assert!(Date::new(2019, 0, 1).is_err());
+        assert!(Date::new(2019, 4, 31).is_err());
+        assert!(Date::new(2019, 4, 0).is_err());
+    }
+
+    #[test]
+    fn plus_days_crosses_month_and_year() {
+        assert_eq!(
+            Date::from_ymd(2019, 12, 31).plus_days(1),
+            Date::from_ymd(2020, 1, 1)
+        );
+        assert_eq!(
+            Date::from_ymd(2020, 3, 1).plus_days(-1),
+            Date::from_ymd(2020, 2, 29)
+        );
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let d = Date::parse_iso("2019-03-01").unwrap();
+        assert_eq!(d, Date::from_ymd(2019, 3, 1));
+        assert_eq!(d.to_string(), "2019-03-01");
+        assert!(Date::parse_iso("2019-02-30").is_err());
+        assert!(Date::parse_iso("garbage").is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::from_ymd(2018, 6, 1) < Date::from_ymd(2018, 6, 2));
+        assert!(Date::from_ymd(2018, 12, 31) < Date::from_ymd(2019, 1, 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's three analysis eras and the study window.
+//!
+//! The era boundaries are *deductive* — imposed from external events rather
+//! than inferred from the data (§2.2 of the paper):
+//!
+//! * **SET-UP** (E1, *forming/storming*): 2018-06-01, the launch of the
+//!   contract system, until 2019-02-28, the day before contracts became
+//!   mandatory.
+//! * **STABLE** (E2, *norming*): 2019-03-01 until 2020-03-10, the day before
+//!   the WHO declared the COVID-19 pandemic.
+//! * **COVID-19** (E3, *performing*): 2020-03-11 until the end of data
+//!   collection on 2020-06-30.
+
+use crate::date::Date;
+use crate::month::YearMonth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's three analysis eras.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Era {
+    /// E1: contract system optional; the market forms.
+    SetUp,
+    /// E2: contracts mandatory; the market norms.
+    Stable,
+    /// E3: pandemic declared; the market is stimulated.
+    Covid19,
+}
+
+impl Era {
+    /// All eras in chronological order.
+    pub const ALL: [Era; 3] = [Era::SetUp, Era::Stable, Era::Covid19];
+
+    /// First day of the era.
+    pub fn start(&self) -> Date {
+        match self {
+            Era::SetUp => Date::from_ymd(2018, 6, 1),
+            Era::Stable => Date::from_ymd(2019, 3, 1),
+            Era::Covid19 => Date::from_ymd(2020, 3, 11),
+        }
+    }
+
+    /// Last day of the era (inclusive).
+    pub fn end(&self) -> Date {
+        match self {
+            Era::SetUp => Date::from_ymd(2019, 2, 28),
+            Era::Stable => Date::from_ymd(2020, 3, 10),
+            Era::Covid19 => Date::from_ymd(2020, 6, 30),
+        }
+    }
+
+    /// The era containing `date`, or `None` outside the study window.
+    pub fn of(date: Date) -> Option<Era> {
+        Era::ALL
+            .into_iter()
+            .find(|e| date >= e.start() && date <= e.end())
+    }
+
+    /// Short figure label used by the paper (E1/E2/E3).
+    pub fn short_label(&self) -> &'static str {
+        match self {
+            Era::SetUp => "E1",
+            Era::Stable => "E2",
+            Era::Covid19 => "E3",
+        }
+    }
+
+    /// The era a whole month is attributed to. March 2019 and March 2020 are
+    /// boundary months; the paper attributes a month to the era containing
+    /// its first day for monthly aggregates, except that March 2020 (which
+    /// splits on the 11th) is attributed to COVID-19 since the pandemic
+    /// declaration dominates it.
+    pub fn of_month(ym: YearMonth) -> Option<Era> {
+        if ym == YearMonth::new(2020, 3) {
+            return Some(Era::Covid19);
+        }
+        Era::of(ym.first_day())
+    }
+}
+
+impl fmt::Display for Era {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Era::SetUp => "SET-UP",
+            Era::Stable => "STABLE",
+            Era::Covid19 => "COVID-19",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The full data-collection window: 2018-06-01 ..= 2020-06-30 (25 months).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyWindow;
+
+impl StudyWindow {
+    /// First day of data collection.
+    pub fn start() -> Date {
+        Era::SetUp.start()
+    }
+
+    /// Last day of data collection (inclusive).
+    pub fn end() -> Date {
+        Era::Covid19.end()
+    }
+
+    /// First month of the window.
+    pub fn first_month() -> YearMonth {
+        YearMonth::new(2018, 6)
+    }
+
+    /// Last month of the window.
+    pub fn last_month() -> YearMonth {
+        YearMonth::new(2020, 6)
+    }
+
+    /// Number of months in the window (25).
+    pub fn n_months() -> usize {
+        (Self::last_month().months_since(Self::first_month()) + 1) as usize
+    }
+
+    /// All months of the window in order.
+    pub fn months() -> impl Iterator<Item = YearMonth> {
+        Self::first_month().range_inclusive(Self::last_month())
+    }
+
+    /// Dense zero-based index of a month within the window, or `None` if the
+    /// month falls outside it.
+    pub fn month_index(ym: YearMonth) -> Option<usize> {
+        let i = ym.months_since(Self::first_month());
+        if i >= 0 && (i as usize) < Self::n_months() {
+            Some(i as usize)
+        } else {
+            None
+        }
+    }
+
+    /// True if `date` lies inside the window.
+    pub fn contains(date: Date) -> bool {
+        date >= Self::start() && date <= Self::end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_boundaries_are_contiguous_and_exclusive() {
+        for w in Era::ALL.windows(2) {
+            assert_eq!(w[0].end().plus_days(1), w[1].start());
+        }
+        assert_eq!(Era::of(Date::from_ymd(2019, 2, 28)), Some(Era::SetUp));
+        assert_eq!(Era::of(Date::from_ymd(2019, 3, 1)), Some(Era::Stable));
+        assert_eq!(Era::of(Date::from_ymd(2020, 3, 10)), Some(Era::Stable));
+        assert_eq!(Era::of(Date::from_ymd(2020, 3, 11)), Some(Era::Covid19));
+        assert_eq!(Era::of(Date::from_ymd(2018, 5, 31)), None);
+        assert_eq!(Era::of(Date::from_ymd(2020, 7, 1)), None);
+    }
+
+    #[test]
+    fn window_has_25_months() {
+        assert_eq!(StudyWindow::n_months(), 25);
+        assert_eq!(StudyWindow::month_index(YearMonth::new(2018, 6)), Some(0));
+        assert_eq!(StudyWindow::month_index(YearMonth::new(2020, 6)), Some(24));
+        assert_eq!(StudyWindow::month_index(YearMonth::new(2020, 7)), None);
+    }
+
+    #[test]
+    fn boundary_month_attribution() {
+        assert_eq!(Era::of_month(YearMonth::new(2019, 3)), Some(Era::Stable));
+        assert_eq!(Era::of_month(YearMonth::new(2020, 3)), Some(Era::Covid19));
+        assert_eq!(Era::of_month(YearMonth::new(2018, 6)), Some(Era::SetUp));
+    }
+}

@@ -1,0 +1,29 @@
+//! Calendar and time-series primitives for the *dial-market* study.
+//!
+//! The paper's study window runs from 1 June 2018 to 30 June 2020 and is
+//! partitioned into three eras (SET-UP, STABLE, COVID-19). Everything in the
+//! analysis is bucketed by calendar month, so this crate provides:
+//!
+//! * [`Date`] — a proleptic-Gregorian calendar date with O(1) epoch-day
+//!   conversion (no external `chrono` dependency),
+//! * [`Timestamp`] — minute-resolution instants, used for contract creation
+//!   and completion times,
+//! * [`YearMonth`] — a calendar month with arithmetic and range iteration,
+//! * [`Era`] — the paper's three analysis eras with their exact boundaries,
+//! * [`MonthlySeries`] — a dense month-indexed series container used by every
+//!   longitudinal pipeline.
+//!
+//! All types are `Copy` where possible, totally ordered, and serde-enabled so
+//! datasets can be snapshotted.
+
+pub mod date;
+pub mod era;
+pub mod month;
+pub mod series;
+pub mod timestamp;
+
+pub use date::Date;
+pub use era::{Era, StudyWindow};
+pub use month::YearMonth;
+pub use series::MonthlySeries;
+pub use timestamp::Timestamp;

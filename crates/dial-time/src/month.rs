@@ -1,0 +1,120 @@
+//! Calendar months and month arithmetic.
+
+use crate::date::{days_in_month, Date};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar month (year + month), the bucketing unit of every longitudinal
+/// analysis in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct YearMonth {
+    year: i32,
+    month: u8,
+}
+
+impl YearMonth {
+    /// Builds a year-month; panics if `month` is not in `1..=12`.
+    pub fn new(year: i32, month: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        Self { year, month }
+    }
+
+    /// The month containing `date`.
+    pub fn of(date: Date) -> Self {
+        Self { year: date.year(), month: date.month() }
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1-12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Zero-based month count since year 0, used for arithmetic.
+    fn linear(&self) -> i64 {
+        i64::from(self.year) * 12 + i64::from(self.month) - 1
+    }
+
+    fn from_linear(n: i64) -> Self {
+        Self { year: n.div_euclid(12) as i32, month: (n.rem_euclid(12) + 1) as u8 }
+    }
+
+    /// The month `n` months after `self` (negative moves backwards).
+    pub fn plus_months(&self, n: i64) -> Self {
+        Self::from_linear(self.linear() + n)
+    }
+
+    /// Signed number of months from `other` to `self`.
+    pub fn months_since(&self, other: YearMonth) -> i64 {
+        self.linear() - other.linear()
+    }
+
+    /// First day of this month.
+    pub fn first_day(&self) -> Date {
+        Date::from_ymd(self.year, self.month, 1)
+    }
+
+    /// Last day of this month.
+    pub fn last_day(&self) -> Date {
+        Date::from_ymd(self.year, self.month, days_in_month(self.year, self.month))
+    }
+
+    /// Number of days in this month.
+    pub fn len_days(&self) -> u8 {
+        days_in_month(self.year, self.month)
+    }
+
+    /// Iterator over `self..=end` inclusive.
+    pub fn range_inclusive(self, end: YearMonth) -> impl Iterator<Item = YearMonth> {
+        let start = self.linear();
+        let stop = end.linear();
+        (start..=stop).map(YearMonth::from_linear)
+    }
+}
+
+impl fmt::Display for YearMonth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps_years() {
+        let m = YearMonth::new(2018, 11);
+        assert_eq!(m.plus_months(2), YearMonth::new(2019, 1));
+        assert_eq!(m.plus_months(-11), YearMonth::new(2017, 12));
+        assert_eq!(YearMonth::new(2020, 6).months_since(YearMonth::new(2018, 6)), 24);
+    }
+
+    #[test]
+    fn day_boundaries() {
+        let m = YearMonth::new(2020, 2);
+        assert_eq!(m.first_day(), Date::from_ymd(2020, 2, 1));
+        assert_eq!(m.last_day(), Date::from_ymd(2020, 2, 29));
+        assert_eq!(m.len_days(), 29);
+    }
+
+    #[test]
+    fn range_covers_study_window() {
+        let months: Vec<_> = YearMonth::new(2018, 6)
+            .range_inclusive(YearMonth::new(2020, 6))
+            .collect();
+        assert_eq!(months.len(), 25);
+        assert_eq!(months[0], YearMonth::new(2018, 6));
+        assert_eq!(months[24], YearMonth::new(2020, 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_month_13() {
+        let _ = YearMonth::new(2020, 13);
+    }
+}

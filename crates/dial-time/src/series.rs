@@ -1,0 +1,182 @@
+//! Dense month-indexed series.
+
+use crate::month::YearMonth;
+use serde::{Deserialize, Serialize};
+
+/// A dense series of values, one per calendar month over a contiguous range.
+///
+/// Every longitudinal figure in the paper is "something per month"; this
+/// container keeps those series aligned and makes joins explicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlySeries<T> {
+    start: YearMonth,
+    values: Vec<T>,
+}
+
+impl<T> MonthlySeries<T> {
+    /// Builds a series starting at `start` from a vector of per-month values.
+    pub fn from_vec(start: YearMonth, values: Vec<T>) -> Self {
+        Self { start, values }
+    }
+
+    /// Builds a series over `start..=end` by evaluating `f` for each month.
+    pub fn tabulate(start: YearMonth, end: YearMonth, mut f: impl FnMut(YearMonth) -> T) -> Self {
+        let values = start.range_inclusive(end).map(&mut f).collect();
+        Self { start, values }
+    }
+
+    /// First month of the series.
+    pub fn start(&self) -> YearMonth {
+        self.start
+    }
+
+    /// Last month of the series, or `None` for an empty series.
+    pub fn end(&self) -> Option<YearMonth> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.start.plus_months(self.values.len() as i64 - 1))
+        }
+    }
+
+    /// Number of months covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series covers no months.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value for `ym`, if within range.
+    pub fn get(&self, ym: YearMonth) -> Option<&T> {
+        let i = ym.months_since(self.start);
+        if i < 0 {
+            None
+        } else {
+            self.values.get(i as usize)
+        }
+    }
+
+    /// Mutable value for `ym`, if within range.
+    pub fn get_mut(&mut self, ym: YearMonth) -> Option<&mut T> {
+        let i = ym.months_since(self.start);
+        if i < 0 {
+            None
+        } else {
+            self.values.get_mut(i as usize)
+        }
+    }
+
+    /// Iterates `(month, &value)` pairs in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = (YearMonth, &T)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (self.start.plus_months(i as i64), v))
+    }
+
+    /// Applies `f` to every value, preserving alignment.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> MonthlySeries<U> {
+        MonthlySeries {
+            start: self.start,
+            values: self.values.iter().map(&mut f).collect(),
+        }
+    }
+
+    /// Pointwise join of two series. Panics if they are not aligned (same
+    /// start and length) — misaligned joins are a logic error in pipelines.
+    pub fn zip_with<U, V>(
+        &self,
+        other: &MonthlySeries<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> MonthlySeries<V> {
+        assert_eq!(self.start, other.start, "misaligned series start");
+        assert_eq!(self.values.len(), other.values.len(), "misaligned series length");
+        MonthlySeries {
+            start: self.start,
+            values: self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(a, b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Raw values in chronological order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T: Default + Clone> MonthlySeries<T> {
+    /// Builds a series of default values over `start..=end`.
+    pub fn zeros(start: YearMonth, end: YearMonth) -> Self {
+        let n = (end.months_since(start) + 1).max(0) as usize;
+        Self { start, values: vec![T::default(); n] }
+    }
+}
+
+impl MonthlySeries<f64> {
+    /// Month-over-month relative growth, aligned to the *second* month of
+    /// each pair. `None` where the previous value is zero.
+    pub fn growth(&self) -> MonthlySeries<Option<f64>> {
+        let mut values = Vec::with_capacity(self.values.len().saturating_sub(1));
+        for w in self.values.windows(2) {
+            values.push(if w[0] == 0.0 { None } else { Some(w[1] / w[0] - 1.0) });
+        }
+        MonthlySeries { start: self.start.plus_months(1), values }
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(y: i32, mo: u8) -> YearMonth {
+        YearMonth::new(y, mo)
+    }
+
+    #[test]
+    fn tabulate_and_get() {
+        let s = MonthlySeries::tabulate(m(2018, 6), m(2018, 9), |ym| ym.month() as f64);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(m(2018, 8)), Some(&8.0));
+        assert_eq!(s.get(m(2018, 5)), None);
+        assert_eq!(s.get(m(2018, 10)), None);
+        assert_eq!(s.end(), Some(m(2018, 9)));
+    }
+
+    #[test]
+    fn zip_preserves_alignment() {
+        let a = MonthlySeries::from_vec(m(2019, 1), vec![1.0, 2.0]);
+        let b = MonthlySeries::from_vec(m(2019, 1), vec![10.0, 20.0]);
+        let c = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(c.values(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zip_rejects_misaligned() {
+        let a = MonthlySeries::from_vec(m(2019, 1), vec![1.0]);
+        let b = MonthlySeries::from_vec(m(2019, 2), vec![1.0]);
+        let _ = a.zip_with(&b, |x, y| x + y);
+    }
+
+    #[test]
+    fn growth_series() {
+        let s = MonthlySeries::from_vec(m(2019, 1), vec![100.0, 150.0, 0.0, 50.0]);
+        let g = s.growth();
+        assert_eq!(g.start(), m(2019, 2));
+        assert_eq!(g.values()[0], Some(0.5));
+        assert_eq!(g.values()[1], Some(-1.0));
+        assert_eq!(g.values()[2], None);
+    }
+}

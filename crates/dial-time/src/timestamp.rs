@@ -1,0 +1,105 @@
+//! Minute-resolution instants.
+//!
+//! Contract creation/completion times in the study have sub-day resolution
+//! (completion times are reported in hours), so dates alone are not enough.
+//! A [`Timestamp`] is a signed count of minutes since the Unix epoch.
+
+use crate::date::Date;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Minutes per day.
+pub const MINUTES_PER_DAY: i64 = 24 * 60;
+
+/// An instant with one-minute resolution, stored as minutes since the Unix
+/// epoch (1970-01-01T00:00).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// Builds a timestamp from raw minutes since the epoch.
+    pub fn from_minutes(minutes: i64) -> Self {
+        Self(minutes)
+    }
+
+    /// Builds a timestamp at midnight on `date`.
+    pub fn at_midnight(date: Date) -> Self {
+        Self(date.to_epoch_days() * MINUTES_PER_DAY)
+    }
+
+    /// Builds a timestamp on `date` at the given hour/minute of day.
+    pub fn at(date: Date, hour: u8, minute: u8) -> Self {
+        debug_assert!(hour < 24 && minute < 60);
+        Self(date.to_epoch_days() * MINUTES_PER_DAY + i64::from(hour) * 60 + i64::from(minute))
+    }
+
+    /// Raw minutes since the epoch.
+    pub fn minutes(&self) -> i64 {
+        self.0
+    }
+
+    /// The calendar date this instant falls on.
+    pub fn date(&self) -> Date {
+        Date::from_epoch_days(self.0.div_euclid(MINUTES_PER_DAY))
+    }
+
+    /// Minute within the day, in `[0, 1440)`.
+    pub fn minute_of_day(&self) -> u32 {
+        self.0.rem_euclid(MINUTES_PER_DAY) as u32
+    }
+
+    /// This instant shifted forward by a (possibly fractional) number of
+    /// hours; fractions are rounded to the nearest minute.
+    pub fn plus_hours(&self, hours: f64) -> Self {
+        Self(self.0 + (hours * 60.0).round() as i64)
+    }
+
+    /// This instant shifted forward by whole minutes.
+    pub fn plus_minutes(&self, minutes: i64) -> Self {
+        Self(self.0 + minutes)
+    }
+
+    /// Signed elapsed hours from `earlier` to `self`.
+    pub fn hours_since(&self, earlier: Timestamp) -> f64 {
+        (self.0 - earlier.0) as f64 / 60.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.minute_of_day();
+        write!(f, "{}T{:02}:{:02}", self.date(), m / 60, m % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_and_minute_round_trip() {
+        let d = Date::from_ymd(2019, 3, 1);
+        let t = Timestamp::at(d, 13, 37);
+        assert_eq!(t.date(), d);
+        assert_eq!(t.minute_of_day(), 13 * 60 + 37);
+        assert_eq!(t.to_string(), "2019-03-01T13:37");
+    }
+
+    #[test]
+    fn negative_timestamps_floor_correctly() {
+        // 1969-12-31T23:59 is one minute before the epoch.
+        let t = Timestamp::from_minutes(-1);
+        assert_eq!(t.date(), Date::from_ymd(1969, 12, 31));
+        assert_eq!(t.minute_of_day(), MINUTES_PER_DAY as u32 - 1);
+    }
+
+    #[test]
+    fn hour_arithmetic() {
+        let t0 = Timestamp::at_midnight(Date::from_ymd(2020, 4, 1));
+        let t1 = t0.plus_hours(72.5);
+        assert_eq!(t1.hours_since(t0), 72.5);
+        assert_eq!(t1.date(), Date::from_ymd(2020, 4, 4));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for calendar and series invariants.
+
+use dial_time::date::{days_in_month, Date};
+use dial_time::{MonthlySeries, Timestamp, YearMonth};
+use proptest::prelude::*;
+
+proptest! {
+    /// Round trip through epoch days is the identity on every valid date.
+    #[test]
+    fn date_epoch_round_trip(year in 1600i32..2400, month in 1u8..=12, day in 1u8..=31) {
+        prop_assume!(day <= days_in_month(year, month));
+        let d = Date::from_ymd(year, month, day);
+        prop_assert_eq!(Date::from_epoch_days(d.to_epoch_days()), d);
+    }
+
+    /// Epoch days are strictly monotone in the calendar ordering.
+    #[test]
+    fn epoch_days_monotone(a in -200_000i64..200_000, b in -200_000i64..200_000) {
+        let (da, db) = (Date::from_epoch_days(a), Date::from_epoch_days(b));
+        prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+    }
+
+    /// plus_days is additive.
+    #[test]
+    fn plus_days_additive(start in -100_000i64..100_000, a in -5000i64..5000, b in -5000i64..5000) {
+        let d = Date::from_epoch_days(start);
+        prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
+    }
+
+    /// ISO display/parse round trip.
+    #[test]
+    fn iso_round_trip(days in -100_000i64..100_000) {
+        let d = Date::from_epoch_days(days);
+        prop_assert_eq!(Date::parse_iso(&d.to_string()).unwrap(), d);
+    }
+
+    /// Month arithmetic: months_since inverts plus_months.
+    #[test]
+    fn month_arithmetic_inverse(y in 1900i32..2100, m in 1u8..=12, n in -500i64..500) {
+        let ym = YearMonth::new(y, m);
+        let shifted = ym.plus_months(n);
+        prop_assert_eq!(shifted.months_since(ym), n);
+    }
+
+    /// A date always falls within its own month's day boundaries.
+    #[test]
+    fn month_contains_its_dates(days in -100_000i64..100_000) {
+        let d = Date::from_epoch_days(days);
+        let ym = YearMonth::of(d);
+        prop_assert!(d >= ym.first_day());
+        prop_assert!(d <= ym.last_day());
+    }
+
+    /// Timestamp date/minute decomposition round-trips.
+    #[test]
+    fn timestamp_round_trip(minutes in -200_000_000i64..200_000_000) {
+        let t = Timestamp::from_minutes(minutes);
+        let rebuilt = Timestamp::at_midnight(t.date()).plus_minutes(t.minute_of_day() as i64);
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    /// hours_since is the inverse of plus_hours (at minute resolution).
+    #[test]
+    fn hours_arithmetic(minutes in -1_000_000i64..1_000_000, half_hours in -10_000i32..10_000) {
+        let t = Timestamp::from_minutes(minutes);
+        let h = f64::from(half_hours) / 2.0;
+        prop_assert!((t.plus_hours(h).hours_since(t) - h).abs() < 1e-9);
+    }
+
+    /// Series tabulation agrees with point lookups for every covered month.
+    #[test]
+    fn series_tabulate_get(y in 2000i32..2030, m in 1u8..=12, len in 1i64..60) {
+        let start = YearMonth::new(y, m);
+        let end = start.plus_months(len - 1);
+        let s = MonthlySeries::tabulate(start, end, |ym| ym.months_since(start));
+        prop_assert_eq!(s.len() as i64, len);
+        for (ym, v) in s.iter() {
+            prop_assert_eq!(*v, ym.months_since(start));
+            prop_assert_eq!(s.get(ym), Some(v));
+        }
+    }
+
+    /// map preserves length and start.
+    #[test]
+    fn series_map_alignment(len in 0usize..50) {
+        let start = YearMonth::new(2018, 6);
+        let s = MonthlySeries::from_vec(start, vec![1.0f64; len]);
+        let t = s.map(|x| x * 2.0);
+        prop_assert_eq!(t.len(), s.len());
+        prop_assert_eq!(t.start(), s.start());
+    }
+}

@@ -1,0 +1,52 @@
+//! "Stimulus, not transformation": the paper's COVID-19 era finding.
+//!
+//! Volumes jump sharply after the pandemic declaration, but the *mix* of
+//! contract types, products and users barely moves — the same market, with
+//! the dial turned up. This example reproduces that comparison.
+//!
+//! ```sh
+//! cargo run --release --example covid_stimulus
+//! ```
+
+use dial_market::core::{centralisation, growth, type_mix};
+use dial_market::prelude::*;
+
+fn main() {
+    let dataset = SimConfig::paper_default().with_seed(19).with_scale(0.15).simulate();
+    println!("dataset: {}\n", dataset.summary());
+
+    // 1. The stimulus: compare monthly volumes around the declaration.
+    let g = growth::growth_series(&dataset);
+    let vol = |y, m| *g.contracts_created.get(YearMonth::new(y, m)).unwrap();
+    println!("monthly created contracts:");
+    println!("  Feb 2020 (late STABLE): {}", vol(2020, 2));
+    println!("  Apr 2020 (COVID peak):  {}", vol(2020, 4));
+    println!("  Apr 2019 (mandate peak): {}", vol(2019, 4));
+    println!(
+        "  COVID peak vs late STABLE: {:+.0}%\n",
+        (vol(2020, 4) as f64 / vol(2020, 2) as f64 - 1.0) * 100.0
+    );
+
+    // 2. The non-transformation: type shares stay put.
+    let mix = type_mix::type_mix_series(&dataset);
+    println!("created-contract type shares (SALE / PURCHASE / EXCHANGE):");
+    for (label, ym) in [("Feb 2020", YearMonth::new(2020, 2)), ("Apr 2020", YearMonth::new(2020, 4))] {
+        let row = mix.created.get(ym).unwrap();
+        println!(
+            "  {label}: {:.0}% / {:.0}% / {:.0}%",
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0
+        );
+    }
+    println!();
+
+    // 3. Who benefits: the market concentrates further around key members.
+    let k = centralisation::key_share_series(&dataset);
+    let key = |y, m| *k.members_created.get(YearMonth::new(y, m)).unwrap() * 100.0;
+    println!("share of contracts involving the month's key (top-5%) members:");
+    println!("  Feb 2020: {:.1}%", key(2020, 2));
+    println!("  Apr 2020: {:.1}%", key(2020, 4));
+    println!("\nconclusion: volumes up across the board, composition unchanged,");
+    println!("existing power-users capture the influx — a stimulus, not a transformation.");
+}

@@ -1,0 +1,185 @@
+//! `dial` — command-line interface to the dial-market reproduction.
+//!
+//! ```text
+//! dial generate --scale 0.1 --seed 7 --out market.json
+//!     Simulate a market and write a JSON snapshot (dataset + ledger).
+//!
+//! dial summary market.json
+//!     Print the dataset's headline statistics.
+//!
+//! dial analyze market.json --experiment table1 [--experiment fig7 ...]
+//! dial analyze market.json --all [--classes 12]
+//!     Regenerate paper tables/figures from a snapshot.
+//!
+//! dial list
+//!     List the available experiment ids.
+//! ```
+
+use dial_market::core::experiments::{all_experiments, extension_experiments, ExperimentContext};
+use dial_market::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// The on-disk snapshot: everything an analysis needs.
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    dataset: Dataset,
+    ledger: dial_chain::Ledger,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("summary") => summary(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        Some("export") => export(&args[1..]),
+        Some("list") => {
+            for e in all_experiments().into_iter().chain(extension_experiments()) {
+                println!("{:<12} {}", e.id, e.title);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: dial <generate|summary|analyze|export|list> [options]");
+            eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
+            eprintln!("  dial summary market.json");
+            eprintln!("  dial analyze market.json --experiment table1 | --all [--classes 12]");
+            eprintln!("  dial export market.json --dir csv_out");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads `--flag value` style options.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let scale: f64 = opt(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
+    let out = opt(args, "--out").unwrap_or_else(|| "market.json".into());
+
+    eprintln!("simulating at scale {scale}, seed {seed}...");
+    let sim = SimConfig::paper_default().with_seed(seed).with_scale(scale).simulate_full();
+    eprintln!("{} + {} chain txs", sim.dataset.summary(), sim.ledger.len());
+    let snapshot = Snapshot { dataset: sim.dataset, ledger: sim.ledger };
+    match serde_json::to_string(&snapshot).map(|json| std::fs::write(&out, json)) {
+        Ok(Ok(())) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        err => {
+            eprintln!("failed to write {out}: {err:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let snap: Snapshot = serde_json::from_str(&raw).map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(Snapshot { dataset: snap.dataset.reindex(), ledger: snap.ledger.reindex() })
+}
+
+fn summary(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: dial summary <snapshot.json>");
+        return ExitCode::FAILURE;
+    };
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", snap.dataset.summary());
+    let t = dial_market::core::taxonomy::taxonomy_table(&snap.dataset);
+    println!("{t}");
+    let v = dial_market::core::visibility::visibility_table(&snap.dataset);
+    println!(
+        "public: {:.1}% of created, {:.1}% of completed",
+        v.public_share_created() * 100.0,
+        v.public_share_completed() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+/// Writes the four flat CSV tables next to each other in `--dir`.
+fn export(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: dial export <snapshot.json> --dir <directory>");
+        return ExitCode::FAILURE;
+    };
+    let dir = opt(args, "--dir").unwrap_or_else(|| "csv_out".into());
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    use dial_market::model::export as csv;
+    let tables = [
+        ("contracts.csv", csv::contracts_csv(&snap.dataset)),
+        ("users.csv", csv::users_csv(&snap.dataset)),
+        ("threads.csv", csv::threads_csv(&snap.dataset)),
+        ("posts.csv", csv::posts_csv(&snap.dataset)),
+    ];
+    for (name, content) in tables {
+        let target = format!("{dir}/{name}");
+        if let Err(e) = std::fs::write(&target, content) {
+            eprintln!("write {target}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {target}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: dial analyze <snapshot.json> --experiment <id> | --all");
+        return ExitCode::FAILURE;
+    };
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let wanted: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--experiment")
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect();
+    let run_all = args.iter().any(|a| a == "--all");
+    if wanted.is_empty() && !run_all {
+        eprintln!("nothing to run: pass --experiment <id> (see `dial list`) or --all");
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = ExperimentContext::new(snap.dataset, snap.ledger, 0xD1A1, classes);
+    let mut matched = false;
+    for e in all_experiments().into_iter().chain(extension_experiments()) {
+        if run_all || wanted.iter().any(|w| w == e.id) {
+            matched = true;
+            println!("== [{}] {} ==", e.id, e.title);
+            println!("{}\n", (e.run)(&ctx));
+        }
+    }
+    if !matched {
+        eprintln!("no experiment matched {wanted:?}; see `dial list`");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! # dial-market
+//!
+//! A faithful, fully synthetic reproduction of *"Turning Up the Dial: the
+//! Evolution of a Cybercrime Market Through SET-UP, STABLE, and COVID-19
+//! Eras"* (Vu et al., ACM IMC 2020).
+//!
+//! The real CrimeBB dataset is restricted, so this workspace pairs a
+//! calibrated generative simulator of the HACK FORUMS contract marketplace
+//! ([`sim`]) with the full analysis stack the paper describes: text-mining
+//! categorisation ([`text`]), network analysis ([`graph`]), currency
+//! conversion ([`fx`]), blockchain cross-checking ([`chain`]), statistical
+//! modelling ([`stats`]) and one pipeline per published table/figure
+//! ([`core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dial_market::prelude::*;
+//!
+//! // Simulate a small market (scale 0.02 ≈ 4k contracts) and rebuild Table 1.
+//! let dataset = SimConfig::paper_default().with_seed(7).with_scale(0.02).simulate();
+//! let table1 = dial_market::core::taxonomy::taxonomy_table(&dataset);
+//! assert!(table1.grand_total() > 0);
+//! println!("{table1}");
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs and `crates/bench` for the
+//! harness that regenerates every table and figure in the paper.
+
+pub use dial_chain as chain;
+pub use dial_core as core;
+pub use dial_fx as fx;
+pub use dial_graph as graph;
+pub use dial_model as model;
+pub use dial_sim as sim;
+pub use dial_stats as stats;
+pub use dial_text as text;
+pub use dial_time as time;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use dial_model::{Contract, ContractStatus, ContractType, Dataset, Visibility};
+    pub use dial_sim::SimConfig;
+    pub use dial_time::{Date, Era, MonthlySeries, StudyWindow, Timestamp, YearMonth};
+}

@@ -1,0 +1,82 @@
+//! Integration tests for the `dial` command-line interface.
+
+use std::process::Command;
+
+fn dial() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dial"))
+}
+
+#[test]
+fn generate_summary_analyze_round_trip() {
+    let dir = std::env::temp_dir().join(format!("dial-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("market.json");
+
+    let out = dial()
+        .args(["generate", "--scale", "0.01", "--seed", "5", "--out"])
+        .arg(&snapshot)
+        .output()
+        .expect("run dial generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(snapshot.exists());
+
+    let out = dial().arg("summary").arg(&snapshot).output().expect("run dial summary");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"), "summary output: {stdout}");
+    assert!(stdout.contains("public:"));
+
+    let out = dial()
+        .arg("analyze")
+        .arg(&snapshot)
+        .args(["--experiment", "table1", "--experiment", "fig1", "--experiment", "ext-stimulus"])
+        .output()
+        .expect("run dial analyze");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[table1]"));
+    assert!(stdout.contains("[fig1]"));
+    assert!(stdout.contains("mandate jump"));
+    assert!(stdout.contains("[ext-stimulus]"));
+
+    // CSV export produces the four flat tables with headers.
+    let csv_dir = dir.join("csv");
+    let out = dial()
+        .arg("export")
+        .arg(&snapshot)
+        .arg("--dir")
+        .arg(&csv_dir)
+        .output()
+        .expect("run dial export");
+    assert!(out.status.success(), "export failed: {}", String::from_utf8_lossy(&out.stderr));
+    for table in ["contracts.csv", "users.csv", "threads.csv", "posts.csv"] {
+        let content = std::fs::read_to_string(csv_dir.join(table)).expect(table);
+        assert!(content.lines().count() >= 1, "{table} empty");
+        assert!(content.lines().next().unwrap().contains("id,"), "{table} header");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_names_every_registered_experiment() {
+    let out = dial().arg("list").output().expect("run dial list");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["table1", "table10", "fig1", "fig13"] {
+        assert!(stdout.contains(id), "missing {id} in list output");
+    }
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = dial().output().expect("run dial with no args");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = dial().args(["analyze", "/nonexistent.json", "--all"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = dial().args(["summary"]).output().unwrap();
+    assert!(!out.status.success());
+}

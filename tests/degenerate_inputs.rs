@@ -1,0 +1,104 @@
+//! Robustness: every pipeline must handle degenerate datasets — empty, or a
+//! single contract — without panicking. (The statistical models are allowed
+//! to decline with `None`, never to crash.)
+
+use dial_market::core::{
+    activities, centralisation, completion, disputes, eras, forum, growth, mixing, network,
+    payments, repeat, stimulus, taxonomy, type_mix, values, visibility,
+};
+use dial_market::model::{
+    Contract, ContractId, ContractStatus, ContractType, Dataset, User, UserId, Visibility,
+};
+use dial_market::prelude::*;
+
+fn empty_dataset() -> Dataset {
+    Dataset::new(vec![], vec![], vec![], vec![])
+}
+
+fn single_contract_dataset() -> Dataset {
+    let users = vec![
+        User { id: UserId(0), joined: Date::from_ymd(2018, 1, 1), first_post: None, reputation: 0 },
+        User { id: UserId(1), joined: Date::from_ymd(2018, 1, 2), first_post: None, reputation: 0 },
+    ];
+    let contracts = vec![Contract {
+        id: ContractId(0),
+        contract_type: ContractType::Exchange,
+        status: ContractStatus::Complete,
+        visibility: Visibility::Public,
+        maker: UserId(0),
+        taker: UserId(1),
+        created: Timestamp::at(Date::from_ymd(2019, 5, 1), 12, 0),
+        completed: Some(Timestamp::at(Date::from_ymd(2019, 5, 1), 18, 0)),
+        maker_obligation: "exchange sending $50 paypal for 0.01 btc".into(),
+        taker_obligation: "exchange sending 0.01 btc".into(),
+        thread: None,
+        maker_rating: Some(1),
+        taker_rating: Some(1),
+        chain_ref: None,
+    }];
+    Dataset::new(users, contracts, vec![], vec![])
+}
+
+#[test]
+fn pipelines_survive_an_empty_dataset() {
+    let ds = empty_dataset();
+    let ledger = dial_chain::Ledger::new();
+
+    assert_eq!(taxonomy::taxonomy_table(&ds).grand_total(), 0);
+    let v = visibility::visibility_table(&ds);
+    assert_eq!(v.public_share_created(), 0.0);
+    let _ = visibility::public_share_by_month(&ds);
+    let g = growth::growth_series(&ds);
+    assert_eq!(g.contracts_created.values().iter().sum::<u64>(), 0);
+    let _ = type_mix::type_mix_series(&ds);
+    let c = completion::completion_series(&ds);
+    assert_eq!(c.timed_share, 0.0);
+    let conc = centralisation::concentration_curves(&ds);
+    assert!(conc.users_created.iter().all(|(_, s)| *s == 0.0));
+    let _ = centralisation::key_share_series(&ds);
+    let d = network::degree_distributions(&ds);
+    assert_eq!(d.created_max, [0, 0, 0]);
+    let _ = network::network_growth(&ds);
+    let t3 = activities::activity_table(&ds);
+    assert!(t3.rows.is_empty());
+    let _ = activities::product_evolution(&ds);
+    let t4 = payments::payment_table(&ds);
+    assert!(t4.rows.is_empty());
+    let _ = payments::payment_evolution(&ds);
+    let t5 = values::value_report(&ds, &ledger);
+    assert_eq!(t5.total_usd, 0.0);
+    let _ = values::value_evolution(&ds, &ledger);
+    let di = disputes::dispute_analysis(&ds);
+    assert_eq!(di.max_per_user, 0);
+    let r = repeat::repeat_analysis(&ds);
+    assert_eq!(r.makers.max, 0);
+    let f = forum::forum_stats(&ds);
+    assert_eq!(f.threads, 0);
+    let m = mixing::mixing_analysis(&ds);
+    assert!(m.by_era.iter().all(|(_, r)| r.is_none()));
+    let e = eras::detect_eras(&ds);
+    assert!(e.changepoints.is_empty());
+    let s = stimulus::stimulus_analysis(&ds);
+    assert_eq!(s.covid_monthly_volume, 0.0);
+    assert!(s.type_mix_test.is_none());
+    assert!(!s.is_stimulus_not_transformation());
+}
+
+#[test]
+fn pipelines_survive_a_single_contract() {
+    let ds = single_contract_dataset();
+    let ledger = dial_chain::Ledger::new();
+
+    assert_eq!(taxonomy::taxonomy_table(&ds).grand_total(), 1);
+    let t3 = activities::activity_table(&ds);
+    assert!(!t3.rows.is_empty(), "one classified contract");
+    let t5 = values::value_report(&ds, &ledger);
+    assert_eq!(t5.contracts.len(), 1);
+    // ~$50 PayPal averaged against the BTC leg at the day's rate.
+    assert!((40.0..75.0).contains(&t5.total_usd), "value {}", t5.total_usd);
+    let d = network::degree_distributions(&ds);
+    assert_eq!(d.created_max, [1, 1, 1], "bidirectional single edge");
+    let r = repeat::repeat_analysis(&ds);
+    assert_eq!(r.makers.max, 1);
+    assert_eq!(r.takers.max, 1);
+}

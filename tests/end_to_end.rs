@@ -1,0 +1,132 @@
+//! End-to-end integration: simulate a market and drive every experiment in
+//! the registry, checking the paper's headline shapes across crates.
+
+use dial_market::core::experiments::{all_experiments, extension_experiments, ExperimentContext};
+use dial_market::core::{
+    activities, centralisation, growth, network, payments, taxonomy, type_mix, values, visibility,
+};
+use dial_market::prelude::*;
+use dial_text::{PaymentMethod, TradeCategory};
+
+fn context(seed: u64, scale: f64) -> ExperimentContext {
+    let out = SimConfig::paper_default().with_seed(seed).with_scale(scale).simulate_full();
+    assert!(out.dataset.validate().is_empty(), "dataset must be well-formed");
+    ExperimentContext::new(out.dataset, out.ledger, seed, 6)
+}
+
+#[test]
+fn every_registered_experiment_produces_output() {
+    let ctx = context(1, 0.02);
+    for e in all_experiments().into_iter().chain(extension_experiments()) {
+        let out = (e.run)(&ctx);
+        assert!(!out.trim().is_empty(), "{} empty", e.id);
+        assert!(!e.paper_claim.is_empty());
+    }
+}
+
+#[test]
+fn extension_registry_is_complete_and_disjoint() {
+    let paper_ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let ext_ids: Vec<&str> = extension_experiments().iter().map(|e| e.id).collect();
+    for id in ["ext-stimulus", "ext-disputes", "ext-repeat", "ext-mixing", "ext-forum", "ext-eras", "ext-dynamics"] {
+        assert!(ext_ids.contains(&id), "missing {id}");
+    }
+    for id in &ext_ids {
+        assert!(id.starts_with("ext-"), "extension id {id} unprefixed");
+        assert!(!paper_ids.contains(id), "extension id {id} collides");
+    }
+}
+
+#[test]
+fn headline_shapes_hold_end_to_end() {
+    let ctx = context(99, 0.06);
+    let ds = &ctx.dataset;
+
+    // Table 1: SALE dominates creation, EXCHANGE completes best.
+    let t1 = taxonomy::taxonomy_table(ds);
+    let shares: Vec<f64> = ContractType::ALL
+        .iter()
+        .map(|ty| t1.type_total(*ty) as f64 / t1.grand_total() as f64)
+        .collect();
+    assert!(shares[0] > 0.55, "SALE share {}", shares[0]);
+    assert!(
+        t1.completion_rate(ContractType::Exchange) > 1.8 * t1.completion_rate(ContractType::Sale)
+    );
+
+    // Table 2 + Figure 2: privacy dominates and deepens.
+    let t2 = visibility::visibility_table(ds);
+    assert!(t2.public_share_created() < 0.2);
+    let fig2 = visibility::public_share_by_month(ds);
+    assert!(fig2.created.values()[0] > *fig2.created.values().last().unwrap());
+
+    // Figure 1: the mandate jump and the COVID spike.
+    let fig1 = growth::growth_series(ds);
+    assert!(fig1.mandate_jump() > 1.0);
+    let apr20 = *fig1.contracts_created.get(YearMonth::new(2020, 4)).unwrap();
+    let feb20 = *fig1.contracts_created.get(YearMonth::new(2020, 2)).unwrap();
+    assert!(apr20 > feb20);
+
+    // Figure 3: the mandate flips the EXCHANGE/SALE ordering.
+    let fig3 = type_mix::type_mix_series(ds);
+    assert!(
+        fig3.created_share(YearMonth::new(2018, 6), ContractType::Exchange)
+            > fig3.created_share(YearMonth::new(2018, 6), ContractType::Sale)
+    );
+    assert!(
+        fig3.created_share(YearMonth::new(2019, 6), ContractType::Sale)
+            > fig3.created_share(YearMonth::new(2019, 6), ContractType::Exchange)
+    );
+
+    // Figure 5: heavy concentration.
+    let fig5 = centralisation::concentration_curves(ds);
+    assert!(fig5.user_share_at(0.05) > 0.5);
+
+    // Figure 7: hub asymmetry.
+    let fig7 = network::degree_distributions(ds);
+    assert!(fig7.created_max[1] > fig7.created_max[2]);
+
+    // Tables 3-4: currency exchange and Bitcoin on top.
+    let t3 = activities::activity_table(ds);
+    assert_eq!(t3.rows[0].category, TradeCategory::CurrencyExchange);
+    let t4 = payments::payment_table(ds);
+    assert_eq!(t4.rows[0].method, PaymentMethod::Bitcoin);
+    assert_eq!(t4.rows[1].method, PaymentMethod::PayPal);
+
+    // Table 5: value ordering and plausible magnitudes.
+    let t5 = values::value_report(ds, &ctx.ledger);
+    assert!(t5.mean_usd > 30.0 && t5.mean_usd < 300.0);
+    assert_eq!(t5.by_activity[0].0, TradeCategory::CurrencyExchange);
+    assert_eq!(t5.by_payment[0].0, PaymentMethod::Bitcoin);
+}
+
+#[test]
+fn vouch_copy_arrives_in_february_2020() {
+    let ctx = context(3, 0.05);
+    let before = ctx
+        .dataset
+        .contracts()
+        .iter()
+        .filter(|c| {
+            c.contract_type == ContractType::VouchCopy
+                && c.created_month() < YearMonth::new(2020, 2)
+        })
+        .count();
+    assert_eq!(before, 0, "vouch copies must not predate their introduction");
+    let after = ctx
+        .dataset
+        .contracts()
+        .iter()
+        .filter(|c| c.contract_type == ContractType::VouchCopy)
+        .count();
+    assert!(after > 0, "vouch copies must exist after February 2020");
+}
+
+#[test]
+fn ledger_verification_round_trip() {
+    let out = SimConfig::paper_default().with_seed(12).with_scale(0.1).simulate_full();
+    let report = values::value_report(&out.dataset, &out.ledger);
+    let checked: usize = report.verification.iter().sum();
+    assert!(checked > 5, "some high-value contracts must be checked: {checked}");
+    // Confirmed should be the plurality outcome (planted at 50%).
+    assert!(report.verification[0] >= report.verification[2]);
+}

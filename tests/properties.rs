@@ -1,0 +1,107 @@
+//! Cross-crate property tests: invariants that must hold for *any* seed and
+//! scale of the simulated market.
+
+use dial_market::core::{centralisation, completion, growth, taxonomy, type_mix, visibility};
+use dial_market::prelude::*;
+use proptest::prelude::*;
+
+fn small_market(seed: u64) -> Dataset {
+    SimConfig::paper_default().with_seed(seed).with_scale(0.008).simulate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural invariants of any simulated dataset.
+    #[test]
+    fn dataset_always_well_formed(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        prop_assert!(ds.validate().is_empty());
+        // Every contract falls inside the study window.
+        for c in ds.contracts() {
+            prop_assert!(StudyWindow::contains(c.created.date()));
+        }
+    }
+
+    /// Table 1 cells always sum to the dataset size, by rows and columns.
+    #[test]
+    fn taxonomy_totals_consistent(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let t = taxonomy::taxonomy_table(&ds);
+        prop_assert_eq!(t.grand_total(), ds.contracts().len() as u64);
+        let row_sum: u64 = ContractType::ALL.iter().map(|ty| t.type_total(*ty)).sum();
+        let col_sum: u64 = dial_market::model::ContractStatus::ALL
+            .iter()
+            .map(|s| t.status_total(*s))
+            .sum();
+        prop_assert_eq!(row_sum, t.grand_total());
+        prop_assert_eq!(col_sum, t.grand_total());
+    }
+
+    /// Monthly bucketed counts re-sum to the dataset size; completed never
+    /// exceeds created.
+    #[test]
+    fn growth_series_conserves_mass(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let g = growth::growth_series(&ds);
+        let created: u64 = g.contracts_created.values().iter().sum();
+        prop_assert_eq!(created, ds.contracts().len() as u64);
+        for (ym, c) in g.contracts_created.iter() {
+            prop_assert!(g.contracts_completed.get(ym).unwrap() <= c);
+        }
+        // Each user is "new" at most once.
+        let new_total: u64 = g.new_members_created.values().iter().sum();
+        prop_assert!(new_total <= ds.users().len() as u64);
+    }
+
+    /// Type shares are a probability distribution each month.
+    #[test]
+    fn type_mix_is_distribution(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let mix = type_mix::type_mix_series(&ds);
+        for (_, row) in mix.created.iter() {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
+            prop_assert!(row.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    /// Visibility shares are valid probabilities and completed-public ≥
+    /// created-public overall (disputes force publicity on settled deals).
+    #[test]
+    fn visibility_shares_valid(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let t = visibility::visibility_table(&ds);
+        prop_assert!((0.0..=1.0).contains(&t.public_share_created()));
+        prop_assert!((0.0..=1.0).contains(&t.public_share_completed()));
+    }
+
+    /// Concentration curves are monotone and bounded.
+    #[test]
+    fn concentration_monotone(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let c = centralisation::concentration_curves(&ds);
+        for curve in [&c.users_created, &c.users_completed] {
+            for w in curve.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+            }
+            prop_assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Completion hours are positive wherever defined, and the timed share
+    /// sits near the 70% the generator plants.
+    #[test]
+    fn completion_series_sane(seed in 0u64..10_000) {
+        let ds = small_market(seed);
+        let s = completion::completion_series(&ds);
+        prop_assert!((0.5..0.9).contains(&s.timed_share));
+        for series in &s.mean_hours {
+            for (_, v) in series.iter() {
+                if let Some(h) = v {
+                    prop_assert!(*h > 0.0 && h.is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Dataset snapshots: serialise a simulated market to JSON, reload it and
+//! verify the analyses agree — datasets can be shared like the paper's
+//! data-sharing agreement provides for.
+
+use dial_market::core::{growth, taxonomy};
+use dial_market::prelude::*;
+
+#[test]
+fn dataset_json_round_trip_preserves_analyses() {
+    let original = SimConfig::paper_default().with_seed(31).with_scale(0.02).simulate();
+    let json = serde_json::to_string(&original).expect("serialise");
+    let reloaded: Dataset = serde_json::from_str(&json).expect("deserialise");
+    let reloaded = reloaded.reindex();
+
+    assert_eq!(original.contracts().len(), reloaded.contracts().len());
+    assert_eq!(original.users().len(), reloaded.users().len());
+
+    // Analyses on the reloaded dataset are identical.
+    assert_eq!(taxonomy::taxonomy_table(&original), taxonomy::taxonomy_table(&reloaded));
+    assert_eq!(
+        growth::growth_series(&original).contracts_created,
+        growth::growth_series(&reloaded).contracts_created
+    );
+
+    // The reindexed dataset's secondary indexes work.
+    let user = original.contracts()[0].maker;
+    assert_eq!(
+        original.contracts_made_by(user).count(),
+        reloaded.contracts_made_by(user).count()
+    );
+}
+
+#[test]
+fn ledger_json_round_trip() {
+    let out = SimConfig::paper_default().with_seed(31).with_scale(0.05).simulate_full();
+    let json = serde_json::to_string(&out.ledger).expect("serialise ledger");
+    let reloaded: dial_chain::Ledger = serde_json::from_str(&json).expect("deserialise ledger");
+    let reloaded = reloaded.reindex();
+    assert_eq!(out.ledger.len(), reloaded.len());
+}
