@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, release build, full test suite.
+# Run from the repository root; exits non-zero on the first failure.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> ci.sh: all green"

@@ -54,9 +54,7 @@ fn ablate_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_matching");
     g.sample_size(10);
     g.bench_function("simulate_flows", |b| {
-        b.iter(|| {
-            black_box(SimConfig::paper_default().with_seed(1).with_scale(0.02).simulate())
-        })
+        b.iter(|| black_box(SimConfig::paper_default().with_seed(1).with_scale(0.02).simulate()))
     });
     g.bench_function("simulate_uniform", |b| {
         b.iter(|| {

@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dial_bench::bench_market;
-use dial_core::{activities, centralisation, completion, growth, network, payments, type_mix, values, visibility};
+use dial_core::{
+    activities, centralisation, completion, growth, network, payments, type_mix, values, visibility,
+};
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {

@@ -1,0 +1,67 @@
+//! Serving-path benchmarks: cold vs warm `/analyze` through the
+//! scheduler + cache (the dial-serve [`Engine`], no sockets), on the
+//! shared 0.1-scale snapshot.
+//!
+//! "Cold" measures the full miss path — queue hand-off, experiment run on
+//! a worker thread, envelope build, cache insert — by evicting between
+//! iterations with a fresh engine. "Warm" measures the steady state every
+//! repeat query sees: a read-locked map probe returning a shared body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_serve::{Engine, SnapshotStore};
+use std::hint::black_box;
+
+fn serve_store() -> SnapshotStore {
+    let (dataset, ledger) = bench_market();
+    SnapshotStore::from_parts(dataset.clone(), ledger.clone(), 0xBE9C, 4)
+}
+
+fn fresh_engine() -> Engine {
+    Engine::new(serve_store(), dial_serve::registry_experiments(), 2, 16)
+}
+
+/// Cold path: every analyze is a miss (new engine per batch, so the cache
+/// and the LTM memo start empty only once — table1 does not touch the LTM).
+fn bench_analyze_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_analyze_cold");
+    group.sample_size(10);
+    group.bench_function("table1_miss", |b| {
+        b.iter_with_setup(fresh_engine, |engine| {
+            let body = engine.analyze(black_box("table1")).unwrap();
+            black_box(body.len())
+        });
+    });
+    group.finish();
+}
+
+/// Warm path: the first call primes the cache, every measured call hits.
+fn bench_analyze_warm(c: &mut Criterion) {
+    let engine = fresh_engine();
+    engine.analyze("table1").unwrap();
+    engine.analyze("fig1").unwrap();
+
+    let mut group = c.benchmark_group("serve_analyze_warm");
+    group.bench_function("table1_hit", |b| {
+        b.iter(|| {
+            let body = engine.analyze(black_box("table1")).unwrap();
+            black_box(body.len())
+        });
+    });
+    group.bench_function("alternating_hits", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let id = if flip { "table1" } else { "fig1" };
+            let body = engine.analyze(black_box(id)).unwrap();
+            black_box(body.len())
+        });
+    });
+    group.finish();
+
+    let m = engine.metrics().snapshot();
+    println!("serve cache after warm benches: {} hits / {} misses", m.cache_hits, m.cache_misses);
+}
+
+criterion_group!(serve, bench_analyze_cold, bench_analyze_warm);
+criterion_main!(serve);

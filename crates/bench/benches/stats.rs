@@ -28,9 +28,7 @@ fn bench_stats(c: &mut Criterion) {
         b.iter(|| black_box(era_zip_model(black_box(dataset), Era::Stable, UserSubset::All)))
     });
     g.bench_function("table10_zip_first_time", |b| {
-        b.iter(|| {
-            black_box(era_zip_model(black_box(dataset), Era::Stable, UserSubset::FirstTime))
-        })
+        b.iter(|| black_box(era_zip_model(black_box(dataset), Era::Stable, UserSubset::FirstTime)))
     });
     g.finish();
 }

@@ -37,12 +37,7 @@ fn bench_simulation(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("simulate_scale_0.05", |b| {
         b.iter(|| {
-            black_box(
-                dial_sim::SimConfig::paper_default()
-                    .with_seed(1)
-                    .with_scale(0.05)
-                    .simulate(),
-            )
+            black_box(dial_sim::SimConfig::paper_default().with_seed(1).with_scale(0.05).simulate())
         })
     });
     g.finish();

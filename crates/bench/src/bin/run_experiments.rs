@@ -18,19 +18,11 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f64 = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1.0);
-    let csv_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1).cloned());
-    let only: Vec<&String> = args
-        .iter()
-        .skip(1)
-        .filter(|a| *a != "--csv" && csv_dir.as_ref() != Some(*a))
-        .collect();
+    let scale: f64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+    let csv_dir: Option<String> =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1).cloned());
+    let only: Vec<&String> =
+        args.iter().skip(1).filter(|a| *a != "--csv" && csv_dir.as_ref() != Some(*a)).collect();
 
     eprintln!("simulating market at scale {scale}...");
     let t0 = Instant::now();
@@ -73,24 +65,23 @@ fn write_figure_csvs(ctx: &ExperimentContext, dir: &str) -> std::io::Result<()> 
     std::fs::create_dir_all(dir)?;
 
     let months: Vec<String> = dial_time::StudyWindow::months().map(|m| m.to_string()).collect();
-    let write =
-        |name: &str, columns: &[(&str, Vec<String>)]| -> std::io::Result<()> {
-            let mut out = String::from("month");
-            for (label, _) in columns {
+    let write = |name: &str, columns: &[(&str, Vec<String>)]| -> std::io::Result<()> {
+        let mut out = String::from("month");
+        for (label, _) in columns {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for (i, month) in months.iter().enumerate() {
+            out.push_str(month);
+            for (_, values) in columns {
                 out.push(',');
-                out.push_str(label);
+                out.push_str(values.get(i).map(String::as_str).unwrap_or(""));
             }
             out.push('\n');
-            for (i, month) in months.iter().enumerate() {
-                out.push_str(month);
-                for (_, values) in columns {
-                    out.push(',');
-                    out.push_str(values.get(i).map(String::as_str).unwrap_or(""));
-                }
-                out.push('\n');
-            }
-            std::fs::write(format!("{dir}/{name}"), out)
-        };
+        }
+        std::fs::write(format!("{dir}/{name}"), out)
+    };
 
     let g = growth::growth_series(&ctx.dataset);
     let u = |s: &dial_time::MonthlySeries<u64>| -> Vec<String> {
@@ -110,22 +101,14 @@ fn write_figure_csvs(ctx: &ExperimentContext, dir: &str) -> std::io::Result<()> 
     let f = |s: &dial_time::MonthlySeries<f64>| -> Vec<String> {
         s.values().iter().map(|x| format!("{x:.4}")).collect()
     };
-    write(
-        "fig2_public_share.csv",
-        &[("created", f(&v.created)), ("completed", f(&v.completed))],
-    )?;
+    write("fig2_public_share.csv", &[("created", f(&v.created)), ("completed", f(&v.completed))])?;
 
     let mix = type_mix::type_mix_series(&ctx.dataset);
     let cols: Vec<(&str, Vec<String>)> = ContractType::ALL
         .iter()
         .enumerate()
         .map(|(i, ty)| {
-            let values = mix
-                .created
-                .values()
-                .iter()
-                .map(|row| format!("{:.4}", row[i]))
-                .collect();
+            let values = mix.created.values().iter().map(|row| format!("{:.4}", row[i])).collect();
             (ty.label(), values)
         })
         .collect();
@@ -147,8 +130,7 @@ fn write_figure_csvs(ctx: &ExperimentContext, dir: &str) -> std::io::Result<()> 
     write("fig4_completion_hours.csv", &cols)?;
 
     let pe = payments::payment_evolution(&ctx.dataset);
-    let cols: Vec<(&str, Vec<String>)> =
-        pe.series.iter().map(|(m, s)| (m.label(), u(s))).collect();
+    let cols: Vec<(&str, Vec<String>)> = pe.series.iter().map(|(m, s)| (m.label(), u(s))).collect();
     write("fig10_payment_evolution.csv", &cols)?;
 
     Ok(())

@@ -14,7 +14,8 @@ pub const BENCH_SCALE: f64 = 0.1;
 pub fn bench_market() -> &'static (Dataset, Ledger) {
     static MARKET: OnceLock<(Dataset, Ledger)> = OnceLock::new();
     MARKET.get_or_init(|| {
-        let out = SimConfig::paper_default().with_seed(0xBE9C).with_scale(BENCH_SCALE).simulate_full();
+        let out =
+            SimConfig::paper_default().with_seed(0xBE9C).with_scale(BENCH_SCALE).simulate_full();
         (out.dataset, out.ledger)
     })
 }

@@ -167,7 +167,8 @@ impl fmt::Display for ActivityTable {
             f,
             "Table 3: completed public contracts (and unique users) in top trading activities"
         )?;
-        let mut t = TextTable::new(&["Trading Activities", "Makers Side", "Takers Side", "Both Sides"]);
+        let mut t =
+            TextTable::new(&["Trading Activities", "Makers Side", "Takers Side", "Both Sides"]);
         let cell = |(n, u): (u64, u64)| format!("{} ({})", thousands(n), thousands(u));
         for r in self.top(15) {
             t.row(vec![
@@ -202,13 +203,8 @@ pub fn product_evolution(dataset: &Dataset) -> ProductEvolution {
 
     // Rank products over the whole window.
     let table = table_from_classified(&classified);
-    let top: Vec<TradeCategory> = table
-        .rows
-        .iter()
-        .map(|r| r.category)
-        .filter(|c| !excluded.contains(c))
-        .take(5)
-        .collect();
+    let top: Vec<TradeCategory> =
+        table.rows.iter().map(|r| r.category).filter(|c| !excluded.contains(c)).take(5).collect();
 
     let series = top
         .iter()
@@ -220,9 +216,7 @@ pub fn product_evolution(dataset: &Dataset) -> ProductEvolution {
                     classified
                         .iter()
                         .filter(|cc| cc.contract.created_month() == ym)
-                        .filter(|cc| {
-                            cc.maker_cats.contains(cat) || cc.taker_cats.contains(cat)
-                        })
+                        .filter(|cc| cc.maker_cats.contains(cat) || cc.taker_cats.contains(cat))
                         .count() as u64
                 },
             );
@@ -268,15 +262,10 @@ mod tests {
 
         // Hackforums-related surges in COVID-19: era totals are robust at
         // small scales where single months can be empty.
-        if let Some((_, s)) = ev
-            .series
-            .iter()
-            .find(|(c, _)| *c == TradeCategory::HackforumsRelated)
+        if let Some((_, s)) = ev.series.iter().find(|(c, _)| *c == TradeCategory::HackforumsRelated)
         {
             let window = |from: dial_time::YearMonth, months: i64| -> u64 {
-                (0..months)
-                    .filter_map(|k| s.get(from.plus_months(k)))
-                    .sum()
+                (0..months).filter_map(|k| s.get(from.plus_months(k))).sum()
             };
             let late_stable = window(dial_time::YearMonth::new(2019, 11), 4);
             let covid = window(dial_time::YearMonth::new(2020, 3), 4);

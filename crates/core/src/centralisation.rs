@@ -109,9 +109,8 @@ pub fn involvement_gini(
 pub fn key_share_series(dataset: &Dataset) -> KeyShareSeries {
     let build = |completed_only: bool, over_threads: bool| {
         MonthlySeries::tabulate(StudyWindow::first_month(), StudyWindow::last_month(), |ym| {
-            let contracts = dataset
-                .contracts_in_month(ym)
-                .filter(|c| !completed_only || c.is_complete());
+            let contracts =
+                dataset.contracts_in_month(ym).filter(|c| !completed_only || c.is_complete());
             let (users, threads) = involvement_counts(contracts);
             if over_threads {
                 let total: f64 = threads.values().sum();
@@ -146,12 +145,7 @@ mod tests {
         assert!(top5 > 0.5, "top-5% user share {top5}");
 
         // Top 30% of threads carry most thread-linked contracts.
-        let thread30 = c
-            .threads_created
-            .iter()
-            .find(|(p, _)| (*p - 0.30).abs() < 1e-9)
-            .unwrap()
-            .1;
+        let thread30 = c.threads_created.iter().find(|(p, _)| (*p - 0.30).abs() < 1e-9).unwrap().1;
         assert!(thread30 > 0.55, "top-30% thread share {thread30}");
 
         // Curves are monotone and end at 1.

@@ -106,11 +106,8 @@ pub fn cold_start_analysis(dataset: &Dataset, seed: u64) -> ColdStartAnalysis {
             }
         }
     }
-    let mut cohort: Vec<UserId> = first_accept_era
-        .iter()
-        .filter(|(_, e)| **e == Era::Stable)
-        .map(|(u, _)| *u)
-        .collect();
+    let mut cohort: Vec<UserId> =
+        first_accept_era.iter().filter(|(_, e)| **e == Era::Stable).map(|(u, _)| *u).collect();
     // Deterministic order: HashMap iteration would randomise k-means input.
     cohort.sort();
 
@@ -160,10 +157,8 @@ pub fn cold_start_analysis(dataset: &Dataset, seed: u64) -> ColdStartAnalysis {
         }
     }
 
-    let rows: Vec<Vec<f64>> = cohort
-        .iter()
-        .map(|u| activity.get(u).copied().unwrap_or_default().to_row())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        cohort.iter().map(|u| activity.get(u).copied().unwrap_or_default().to_row()).collect();
     let mut standardized = rows.clone();
     standardize_columns(&mut standardized);
 
@@ -178,9 +173,8 @@ pub fn cold_start_analysis(dataset: &Dataset, seed: u64) -> ColdStartAnalysis {
         s
     };
     let main = usize::from(sizes[1] > sizes[0]);
-    let mut outlier_idx: Vec<usize> = (0..cohort.len())
-        .filter(|i| stage1.assignments[*i] != main)
-        .collect();
+    let mut outlier_idx: Vec<usize> =
+        (0..cohort.len()).filter(|i| stage1.assignments[*i] != main).collect();
     let main_share_stage1 = 1.0 - outlier_idx.len() as f64 / cohort.len().max(1) as f64;
 
     // On heavily skewed data, k-means sometimes isolates a single extreme
@@ -201,22 +195,24 @@ pub fn cold_start_analysis(dataset: &Dataset, seed: u64) -> ColdStartAnalysis {
     }
 
     // Stage 2: eight sub-clusters of the outliers.
-    let outlier_rows: Vec<Vec<f64>> = outlier_idx.iter().map(|&i| standardized[i].clone()).collect();
+    let outlier_rows: Vec<Vec<f64>> =
+        outlier_idx.iter().map(|&i| standardized[i].clone()).collect();
     let k2 = 8.min(outlier_rows.len().max(1));
     let mut outlier_clusters = Vec::new();
     if outlier_rows.len() >= 2 {
         let stage2 = KMeans::fit_best(&outlier_rows, k2, 8, &mut rng);
         for c in 0..k2 {
-            let members: Vec<usize> = (0..outlier_rows.len())
-                .filter(|i| stage2.assignments[*i] == c)
-                .collect();
+            let members: Vec<usize> =
+                (0..outlier_rows.len()).filter(|i| stage2.assignments[*i] == c).collect();
             if members.is_empty() {
                 continue;
             }
             let med = |f: fn(&UserActivity) -> f64| {
                 let vals: Vec<f64> = members
                     .iter()
-                    .map(|&i| f(&activity.get(&cohort[outlier_idx[i]]).copied().unwrap_or_default()))
+                    .map(|&i| {
+                        f(&activity.get(&cohort[outlier_idx[i]]).copied().unwrap_or_default())
+                    })
                     .collect();
                 median(&vals)
             };
@@ -240,12 +236,8 @@ pub fn cold_start_analysis(dataset: &Dataset, seed: u64) -> ColdStartAnalysis {
     // falls in the final two months of the window may simply have been cut
     // off by the end of data collection: their lifespan is right-censored.
     let censor_from = dial_time::StudyWindow::end().plus_days(-60);
-    let lifespan = |u: &UserId| {
-        first_last
-            .get(u)
-            .map(|(a, b)| b.days_since(*a) as f64)
-            .unwrap_or(0.0)
-    };
+    let lifespan =
+        |u: &UserId| first_last.get(u).map(|(a, b)| b.days_since(*a) as f64).unwrap_or(0.0);
     let duration = |u: &UserId| Duration {
         time: lifespan(u),
         observed: first_last.get(u).is_none_or(|(_, last)| *last < censor_from),
@@ -316,9 +308,8 @@ impl fmt::Display for ColdStartAnalysis {
                 .unwrap_or_else(|| ">window".into())
         )?;
         writeln!(f, "\nTable 7: outlier sub-clusters (medians)")?;
-        let mut t = TextTable::new(&[
-            "Size", "Disputes", "Posts", "+", "-", "MPosts", "Maker", "Taker",
-        ]);
+        let mut t =
+            TextTable::new(&["Size", "Disputes", "Posts", "+", "-", "MPosts", "Maker", "Taker"]);
         for c in &self.outlier_clusters {
             t.row(vec![
                 c.size.to_string(),

@@ -51,10 +51,7 @@ pub fn completion_series(dataset: &Dataset) -> CompletionSeries {
         })
     });
 
-    CompletionSeries {
-        mean_hours: series,
-        timed_share: timed as f64 / completed.max(1) as f64,
-    }
+    CompletionSeries { mean_hours: series, timed_share: timed as f64 / completed.max(1) as f64 }
 }
 
 impl CompletionSeries {

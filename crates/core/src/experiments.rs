@@ -4,8 +4,8 @@
 //! EXPERIMENTS.md).
 
 use crate::{
-    activities, centralisation, coldstart, completion, disputes, eras, forum, growth, ltm,
-    mixing, network, payments, regression, render, repeat, stimulus, taxonomy, type_mix, values,
+    activities, centralisation, coldstart, completion, disputes, eras, forum, growth, ltm, mixing,
+    network, payments, regression, render, repeat, stimulus, taxonomy, type_mix, values,
     visibility,
 };
 use dial_chain::Ledger;
@@ -36,8 +36,7 @@ impl ExperimentContext {
 
     /// The shared latent-class analysis (fitted once per context).
     pub fn ltm(&self) -> &ltm::LtmAnalysis {
-        self.ltm_cache
-            .get_or_init(|| ltm::ltm_analysis(&self.dataset, self.lca_classes, self.seed))
+        self.ltm_cache.get_or_init(|| ltm::ltm_analysis(&self.dataset, self.lca_classes, self.seed))
     }
 }
 
@@ -51,6 +50,87 @@ pub struct Experiment {
     pub paper_claim: &'static str,
     /// Regenerates the artefact from a dataset.
     pub run: fn(&ExperimentContext) -> String,
+}
+
+impl Experiment {
+    /// Machine-readable variant of [`Experiment::run`]: the artefact's
+    /// result structure serialized as JSON (consumed by `dial-serve` and
+    /// `dial analyze --json`). Experiments without a structured mapping
+    /// fall back to `{"text": <rendered output>}`.
+    pub fn run_json(&self, ctx: &ExperimentContext) -> String {
+        structured_json(self.id, ctx).unwrap_or_else(|| json(&TextResult { text: (self.run)(ctx) }))
+    }
+}
+
+/// Fallback JSON envelope for experiments with purely textual output.
+#[derive(serde::Serialize)]
+struct TextResult {
+    text: String,
+}
+
+/// Serializes an experiment result structure.
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("experiment results are always serializable")
+}
+
+/// The structured result for `id`, or `None` when only text is available.
+///
+/// Every id registered in [`all_experiments`] and [`extension_experiments`]
+/// has an arm here; `registry_has_structured_json_for_every_id` enforces it.
+fn structured_json(id: &str, ctx: &ExperimentContext) -> Option<String> {
+    let out = match id {
+        "table1" => json(&taxonomy::taxonomy_table(&ctx.dataset)),
+        "table2" => json(&visibility::visibility_table(&ctx.dataset)),
+        "table3" => json(&activities::activity_table(&ctx.dataset)),
+        "table4" => json(&payments::payment_table(&ctx.dataset)),
+        "table5" => json(&values::value_report(&ctx.dataset, &ctx.ledger)),
+        "table6" => json(ctx.ltm()),
+        "table7" => json(&coldstart::cold_start_analysis(&ctx.dataset, ctx.seed)),
+        "table8" => json(&ctx.ltm().flows),
+        "table9" => {
+            let models: Vec<_> = Era::ALL
+                .iter()
+                .filter_map(|era| {
+                    regression::era_zip_model(&ctx.dataset, *era, regression::UserSubset::All)
+                })
+                .collect();
+            json(&models)
+        }
+        "table10" => {
+            let mut models = Vec::new();
+            for era in [Era::Stable, Era::Covid19] {
+                for subset in [regression::UserSubset::FirstTime, regression::UserSubset::Existing]
+                {
+                    if let Some(m) = regression::era_zip_model(&ctx.dataset, era, subset) {
+                        models.push(m);
+                    }
+                }
+            }
+            json(&models)
+        }
+        "fig1" => json(&growth::growth_series(&ctx.dataset)),
+        "fig2" => json(&visibility::public_share_by_month(&ctx.dataset)),
+        "fig3" => json(&type_mix::type_mix_series(&ctx.dataset)),
+        "fig4" => json(&completion::completion_series(&ctx.dataset)),
+        "fig5" => json(&centralisation::concentration_curves(&ctx.dataset)),
+        "fig6" => json(&centralisation::key_share_series(&ctx.dataset)),
+        "fig7" => json(&network::degree_distributions(&ctx.dataset)),
+        "fig8" => json(&network::network_growth(&ctx.dataset)),
+        "fig9" => json(&activities::product_evolution(&ctx.dataset)),
+        "fig10" => json(&payments::payment_evolution(&ctx.dataset)),
+        "fig11" => json(&values::value_evolution(&ctx.dataset, &ctx.ledger)),
+        "fig12" => json(&ctx.ltm().made),
+        "fig13" => json(&ctx.ltm().accepted),
+        "ext-stimulus" => json(&stimulus::stimulus_analysis(&ctx.dataset)),
+        "ext-disputes" => json(&disputes::dispute_analysis(&ctx.dataset)),
+        "ext-repeat" => json(&repeat::repeat_analysis(&ctx.dataset)),
+        "ext-eras" => json(&eras::detect_eras(&ctx.dataset)),
+        "ext-dynamics" => json(&ltm::ltm_dynamics(&ctx.dataset, ctx.ltm(), ctx.seed)),
+        "ext-forum" => json(&forum::forum_stats(&ctx.dataset)),
+        "ext-mixing" => json(&mixing::mixing_analysis(&ctx.dataset)),
+        _ => return None,
+    };
+    Some(out)
 }
 
 fn series_line(name: &str, s: &MonthlySeries<f64>) -> String {
@@ -496,6 +576,21 @@ mod tests {
         for e in all_experiments() {
             let rendered = (e.run)(&ctx);
             assert!(!rendered.trim().is_empty(), "{} produced no output", e.id);
+        }
+    }
+
+    #[test]
+    fn registry_has_structured_json_for_every_id() {
+        let out = SimConfig::paper_default().with_seed(21).with_scale(0.02).simulate_full();
+        let ctx = ExperimentContext::new(out.dataset, out.ledger, 21, 6);
+        for e in all_experiments().iter().chain(extension_experiments().iter()) {
+            let body = structured_json(e.id, &ctx);
+            assert!(body.is_some(), "{} has no structured JSON mapping", e.id);
+            let body = body.unwrap();
+            // Every payload must parse back as JSON.
+            let parsed: Result<serde_json::Value, _> = serde_json::from_str(&body);
+            assert!(parsed.is_ok(), "{} produced invalid JSON: {:?}", e.id, parsed.err());
+            assert_eq!(body, e.run_json(&ctx), "{}: run_json disagrees with mapping", e.id);
         }
     }
 }

@@ -96,8 +96,11 @@ mod tests {
         let s = forum_stats(&ds);
 
         // ~68% of public contracts link a thread (paper: 68.4%).
-        assert!((0.55..0.8).contains(&s.public_thread_link_share),
-            "public link share {}", s.public_thread_link_share);
+        assert!(
+            (0.55..0.8).contains(&s.public_thread_link_share),
+            "public link share {}",
+            s.public_thread_link_share
+        );
         // Overall linkage is small (paper: 8.2%) since most contracts are
         // private.
         assert!(s.overall_thread_link_share < 0.2);

@@ -112,9 +112,7 @@ mod tests {
         assert!(at(&g.contracts_created, 2020, 4) > at(&g.contracts_created, 2019, 4));
 
         // New-member rush in March 2019 dwarfs February 2019.
-        assert!(
-            at(&g.new_members_created, 2019, 3) > 2 * at(&g.new_members_created, 2019, 2),
-        );
+        assert!(at(&g.new_members_created, 2019, 3) > 2 * at(&g.new_members_created, 2019, 2),);
 
         // Completed ≤ created every month.
         for (ym, c) in g.contracts_created.iter() {

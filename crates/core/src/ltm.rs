@@ -28,18 +28,18 @@ pub const N_FEATURES: usize = 10;
 /// classes. Rows are classes A–L.
 pub const PAPER_TABLE6: [[f64; N_FEATURES]; 12] = [
     // make S, P, E, T, V | accept S, P, E, T, V
-    [0.5, 0.6, 0.5, 0.1, 0.0, 10.1, 0.2, 0.5, 0.2, 0.0],  // A
-    [0.6, 0.4, 2.3, 0.1, 0.0, 1.1, 0.6, 6.5, 0.1, 0.0],   // B
-    [1.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.0],   // C
-    [0.1, 0.0, 0.9, 0.0, 0.0, 0.0, 0.1, 0.9, 0.0, 0.0],   // D
-    [2.0, 0.7, 4.3, 0.2, 0.0, 3.8, 4.2, 22.3, 0.4, 0.0],  // E
-    [0.4, 0.2, 7.3, 0.0, 0.0, 0.3, 0.2, 1.3, 0.0, 0.0],   // F
-    [1.3, 0.6, 21.2, 0.1, 0.0, 1.3, 1.1, 8.1, 0.1, 0.0],  // G
-    [0.9, 10.0, 1.3, 0.2, 0.0, 3.2, 0.4, 1.0, 0.1, 0.0],  // H
-    [5.2, 0.7, 1.1, 0.2, 0.0, 1.0, 2.0, 1.6, 0.1, 0.0],   // I
-    [0.1, 0.7, 0.1, 0.0, 0.0, 1.1, 0.1, 0.1, 0.0, 0.0],   // J
+    [0.5, 0.6, 0.5, 0.1, 0.0, 10.1, 0.2, 0.5, 0.2, 0.0], // A
+    [0.6, 0.4, 2.3, 0.1, 0.0, 1.1, 0.6, 6.5, 0.1, 0.0],  // B
+    [1.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.2, 0.0, 0.0, 0.0],  // C
+    [0.1, 0.0, 0.9, 0.0, 0.0, 0.0, 0.1, 0.9, 0.0, 0.0],  // D
+    [2.0, 0.7, 4.3, 0.2, 0.0, 3.8, 4.2, 22.3, 0.4, 0.0], // E
+    [0.4, 0.2, 7.3, 0.0, 0.0, 0.3, 0.2, 1.3, 0.0, 0.0],  // F
+    [1.3, 0.6, 21.2, 0.1, 0.0, 1.3, 1.1, 8.1, 0.1, 0.0], // G
+    [0.9, 10.0, 1.3, 0.2, 0.0, 3.2, 0.4, 1.0, 0.1, 0.0], // H
+    [5.2, 0.7, 1.1, 0.2, 0.0, 1.0, 2.0, 1.6, 0.1, 0.0],  // I
+    [0.1, 0.7, 0.1, 0.0, 0.0, 1.1, 0.1, 0.1, 0.0, 0.0],  // J
     [3.3, 0.9, 31.2, 0.3, 0.0, 12.8, 9.2, 54.9, 1.0, 0.0], // K
-    [1.2, 1.1, 1.3, 0.2, 0.1, 54.9, 0.6, 1.5, 0.2, 0.0],  // L
+    [1.2, 1.1, 1.3, 0.2, 0.1, 54.9, 0.6, 1.5, 0.2, 0.0], // L
 ];
 
 /// Class labels in PAPER_TABLE6 row order.
@@ -208,10 +208,9 @@ pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
     // Top-3 flows per (type, era).
     let mut flows = Vec::new();
     for era in Era::ALL {
-        let months_in_era = StudyWindow::months()
-            .filter(|ym| Era::of_month(*ym) == Some(era))
-            .count()
-            .max(1) as f64;
+        let months_in_era =
+            StudyWindow::months().filter(|ym| Era::of_month(*ym) == Some(era)).count().max(1)
+                as f64;
         for ty in [ContractType::Exchange, ContractType::Purchase, ContractType::Sale] {
             let ti = type_idx(ty);
             let total = *type_era_totals.get(&(era, ti)).unwrap_or(&0);
@@ -219,10 +218,8 @@ pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
                 continue;
             }
             #[allow(clippy::type_complexity)]
-            let mut entries: Vec<(&(Era, usize, usize, usize), &u64)> = flow_counts
-                .iter()
-                .filter(|((e, t, _, _), _)| *e == era && *t == ti)
-                .collect();
+            let mut entries: Vec<(&(Era, usize, usize, usize), &u64)> =
+                flow_counts.iter().filter(|((e, t, _, _), _)| *e == era && *t == ti).collect();
             entries.sort_by(|a, b| b.1.cmp(a.1));
             for (key, count) in entries.into_iter().take(3) {
                 let (_, _, mc, tc) = *key;
@@ -247,15 +244,7 @@ pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
     }
     let transitions = TransitionMatrix::estimate(k, pairs);
 
-    LtmAnalysis {
-        fit,
-        labels,
-        made,
-        accepted,
-        flows,
-        transitions,
-        n_observations: rows.len(),
-    }
+    LtmAnalysis { fit, labels, made, accepted, flows, transitions, n_observations: rows.len() }
 }
 
 impl LtmAnalysis {
@@ -343,9 +332,8 @@ pub fn ltm_dynamics(dataset: &Dataset, analysis: &LtmAnalysis, seed: u64) -> Ltm
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x17A);
     let hmm = HmmLtm { k: analysis.fit.k }.fit(&sequences, Some(&analysis.fit), &mut rng);
-    let mut holding_times: Vec<(char, f64)> = (0..hmm.k)
-        .map(|c| (analysis.labels[c], hmm.expected_holding_time(c)))
-        .collect();
+    let mut holding_times: Vec<(char, f64)> =
+        (0..hmm.k).map(|c| (analysis.labels[c], hmm.expected_holding_time(c))).collect();
     holding_times.sort_by_key(|(label, _)| *label);
     LtmDynamics { hmm, labels: analysis.labels.clone(), holding_times }
 }
@@ -408,11 +396,7 @@ mod tests {
 
         // A SALE-taker power class must exist: some class accepts far more
         // Sales than it makes.
-        let has_sale_taker_power = a
-            .fit
-            .rates
-            .iter()
-            .any(|r| r[5] > 8.0 && r[5] > 4.0 * r[0]);
+        let has_sale_taker_power = a.fit.rates.iter().any(|r| r[5] > 8.0 && r[5] > 4.0 * r[0]);
         assert!(has_sale_taker_power, "rates: {:?}", a.fit.rates);
 
         // Figure 12: Sale transactions made are concentrated in classes
@@ -421,8 +405,10 @@ mod tests {
         assert!(sale_made_stable > 0);
 
         // Table 8 rows exist for each era and headline types.
-        assert!(a.flows.iter().any(|f| f.era == Era::Stable
-            && f.contract_type == ContractType::Sale));
+        assert!(a
+            .flows
+            .iter()
+            .any(|f| f.era == Era::Stable && f.contract_type == ContractType::Sale));
         // Shares are valid proportions and the top STABLE Sale flow is large.
         let top_sale = a
             .flows

@@ -126,8 +126,12 @@ mod tests {
         // full-scale gap is ~8.5x and ours is ~4x at scale 1.0 (see
         // EXPERIMENTS.md); at this 5% test scale the hubs are much smaller
         // and only a clear ordering is asserted.
-        assert!(d.created_max[1] as f64 > 1.4 * d.created_max[2] as f64,
-            "inbound {} vs outbound {}", d.created_max[1], d.created_max[2]);
+        assert!(
+            d.created_max[1] as f64 > 1.4 * d.created_max[2] as f64,
+            "inbound {} vs outbound {}",
+            d.created_max[1],
+            d.created_max[2]
+        );
         // Raw and inbound maxima nearly coincide (hubs are acceptors).
         assert!(d.created_max[0] as f64 / d.created_max[1] as f64 <= 1.3);
 

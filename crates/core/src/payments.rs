@@ -45,14 +45,9 @@ impl PaymentTable {
 /// True if a classified contract falls in the money categories §4.4
 /// examines.
 fn is_money_contract(cc: &ClassifiedContract<'_>) -> bool {
-    const MONEY: [TradeCategory; 3] = [
-        TradeCategory::CurrencyExchange,
-        TradeCategory::Payments,
-        TradeCategory::Giftcard,
-    ];
-    MONEY
-        .iter()
-        .any(|m| cc.maker_cats.contains(m) || cc.taker_cats.contains(m))
+    const MONEY: [TradeCategory; 3] =
+        [TradeCategory::CurrencyExchange, TradeCategory::Payments, TradeCategory::Giftcard];
+    MONEY.iter().any(|m| cc.maker_cats.contains(m) || cc.taker_cats.contains(m))
 }
 
 /// Computes Table 4.
@@ -69,22 +64,16 @@ pub fn payment_table(dataset: &Dataset) -> PaymentTable {
     let mut maker_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
     let mut taker_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
     let mut both_users: Vec<HashSet<UserId>> = vec![HashSet::new(); n];
-    let mut any = PaymentRow {
-        method: PaymentMethod::Bitcoin,
-        makers: (0, 0),
-        takers: (0, 0),
-        both: (0, 0),
-    };
+    let mut any =
+        PaymentRow { method: PaymentMethod::Bitcoin, makers: (0, 0), takers: (0, 0), both: (0, 0) };
     let mut any_makers = HashSet::new();
     let mut any_takers = HashSet::new();
     let mut any_users = HashSet::new();
 
     for cc in classified.iter().filter(|cc| is_money_contract(cc)) {
         let c = cc.contract;
-        let maker_methods =
-            lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
-        let taker_methods =
-            lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation)));
+        let maker_methods = lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
+        let taker_methods = lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation)));
         let mut union: HashSet<usize> = HashSet::new();
         for m in &maker_methods {
             let i = idx(*m);

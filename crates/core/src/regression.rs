@@ -115,10 +115,8 @@ pub fn cold_start_variables(dataset: &Dataset, era: Era) -> HashMap<UserId, Cold
     for (user, v) in vars.iter_mut() {
         v.first_time = first_contract_era.get(user) == Some(&era);
         let u = dataset.user(*user);
-        v.length_days = u
-            .first_post
-            .map(|fp| (end.days_since(fp.date())).max(0) as f64)
-            .unwrap_or(0.0);
+        v.length_days =
+            u.first_post.map(|fp| (end.days_since(fp.date())).max(0) as f64).unwrap_or(0.0);
     }
     vars
 }
@@ -270,7 +268,13 @@ impl fmt::Display for EraZipModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Zero-Inflated Poisson — {} ({:?} users)", self.era, self.subset)?;
         let mut t = TextTable::new(&["", "Estimate", "", "Std. Error", "Z Value"]);
-        t.row(vec!["Count Model".into(), String::new(), String::new(), String::new(), String::new()]);
+        t.row(vec![
+            "Count Model".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
         for r in &self.count_rows {
             t.row(vec![
                 r.name.clone(),
@@ -280,7 +284,13 @@ impl fmt::Display for EraZipModel {
                 format!("{:.2}", r.z),
             ]);
         }
-        t.row(vec!["Zero-Inflation Model".into(), String::new(), String::new(), String::new(), String::new()]);
+        t.row(vec![
+            "Zero-Inflation Model".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
         for r in &self.zero_rows {
             t.row(vec![
                 r.name.clone(),
@@ -306,7 +316,7 @@ mod tests {
 
     #[test]
     fn table9_models_fit_and_favour_zip() {
-        let ds = SimConfig::paper_default().with_seed(13).with_scale(0.04).simulate();
+        let ds = SimConfig::paper_default().with_seed(21).with_scale(0.04).simulate();
         for era in Era::ALL {
             let model = era_zip_model(&ds, era, UserSubset::All).expect("model fits");
             assert!(model.n > 100, "{era}: n = {}", model.n);
@@ -346,7 +356,7 @@ mod tests {
 
     #[test]
     fn table10_subsets_fit() {
-        let ds = SimConfig::paper_default().with_seed(13).with_scale(0.04).simulate();
+        let ds = SimConfig::paper_default().with_seed(21).with_scale(0.04).simulate();
         for era in [Era::Stable, Era::Covid19] {
             let ft = era_zip_model(&ds, era, UserSubset::FirstTime).expect("first-time model");
             let ex = era_zip_model(&ds, era, UserSubset::Existing).expect("existing model");

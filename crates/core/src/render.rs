@@ -34,13 +34,7 @@ impl TextTable {
 
 impl fmt::Display for TextTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cols = self
-            .rows
-            .iter()
-            .map(Vec::len)
-            .chain([self.header.len()])
-            .max()
-            .unwrap_or(0);
+        let cols = self.rows.iter().map(Vec::len).chain([self.header.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         let measure = |widths: &mut Vec<usize>, cells: &[String]| {
             for (i, c) in cells.iter().enumerate() {

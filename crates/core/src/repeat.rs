@@ -40,9 +40,8 @@ pub struct RepeatAnalysis {
 
 fn side_distribution(counts: &HashMap<UserId, usize>) -> SideDistribution {
     let n = counts.len().max(1) as f64;
-    let share = |pred: &dyn Fn(usize) -> bool| {
-        counts.values().filter(|c| pred(**c)).count() as f64 / n
-    };
+    let share =
+        |pred: &dyn Fn(usize) -> bool| counts.values().filter(|c| pred(**c)).count() as f64 / n;
     SideDistribution {
         share_one: share(&|c| c == 1),
         share_two: share(&|c| c == 2),
@@ -113,12 +112,8 @@ impl fmt::Display for RepeatAnalysis {
             self.takers.max
         )?;
         write!(f, "repeat rate per trader: ")?;
-        let tops: Vec<String> = self
-            .per_trader
-            .iter()
-            .take(4)
-            .map(|(m, r)| format!("{} {r:.2}", m.label()))
-            .collect();
+        let tops: Vec<String> =
+            self.per_trader.iter().take(4).map(|(m, r)| format!("{} {r:.2}", m.label())).collect();
         writeln!(f, "{}", tops.join(", "))
     }
 }

@@ -49,9 +49,7 @@ impl StimulusAnalysis {
     /// type mix).
     pub fn is_stimulus_not_transformation(&self) -> bool {
         self.volume_uplift >= 1.15
-            && self
-                .type_mix_test
-                .is_some_and(|t| t.cramers_v < self.small_effect_threshold)
+            && self.type_mix_test.is_some_and(|t| t.cramers_v < self.small_effect_threshold)
     }
 }
 
@@ -82,13 +80,12 @@ pub fn stimulus_analysis(dataset: &Dataset) -> StimulusAnalysis {
     };
     let stable_types = type_row(&in_stable);
     let covid_types = type_row(&in_covid);
-    let type_mix_test = if stable_types.iter().sum::<f64>() > 20.0
-        && covid_types.iter().sum::<f64>() > 20.0
-    {
-        Some(chi_square_test(&[stable_types, covid_types]))
-    } else {
-        None
-    };
+    let type_mix_test =
+        if stable_types.iter().sum::<f64>() > 20.0 && covid_types.iter().sum::<f64>() > 20.0 {
+            Some(chi_square_test(&[stable_types, covid_types]))
+        } else {
+            None
+        };
 
     // Product-mix homogeneity over the categorised completed public set.
     let classified = classify_completed_public(dataset);
@@ -111,13 +108,12 @@ pub fn stimulus_analysis(dataset: &Dataset) -> StimulusAnalysis {
     };
     let stable_cats = cat_row(&in_stable);
     let covid_cats = cat_row(&in_covid);
-    let product_mix_test = if stable_cats.iter().sum::<f64>() > 50.0
-        && covid_cats.iter().sum::<f64>() > 50.0
-    {
-        Some(chi_square_test(&[stable_cats, covid_cats]))
-    } else {
-        None
-    };
+    let product_mix_test =
+        if stable_cats.iter().sum::<f64>() > 50.0 && covid_cats.iter().sum::<f64>() > 50.0 {
+            Some(chi_square_test(&[stable_cats, covid_cats]))
+        } else {
+            None
+        };
 
     StimulusAnalysis {
         stable_monthly_volume: stable_volume,

@@ -110,7 +110,10 @@ mod tests {
 
         // Exchange completes at ~70%, more than double Sale's ~33%.
         assert!(t.completion_rate(ContractType::Exchange) > 0.6);
-        assert!(t.completion_rate(ContractType::Exchange) > 2.0 * t.completion_rate(ContractType::Sale) * 0.9);
+        assert!(
+            t.completion_rate(ContractType::Exchange)
+                > 2.0 * t.completion_rate(ContractType::Sale) * 0.9
+        );
 
         // Vouch Copy is the rarest type.
         for ty in [ContractType::Sale, ContractType::Purchase, ContractType::Exchange] {

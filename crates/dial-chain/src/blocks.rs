@@ -51,15 +51,10 @@ impl Chain {
                 .minutes()
                 .saturating_sub(genesis.minutes())
                 .div_euclid(BLOCK_SPACING_MINUTES) as u64;
-            let mined_at =
-                genesis.plus_minutes((height as i64 + 1) * BLOCK_SPACING_MINUTES);
+            let mined_at = genesis.plus_minutes((height as i64 + 1) * BLOCK_SPACING_MINUTES);
             match blocks.last_mut() {
                 Some(b) if b.height == height => b.tx_hashes.push(tx.hash.clone()),
-                _ => blocks.push(Block {
-                    height,
-                    mined_at,
-                    tx_hashes: vec![tx.hash.clone()],
-                }),
+                _ => blocks.push(Block { height, mined_at, tx_hashes: vec![tx.hash.clone()] }),
             }
         }
         Chain { blocks, genesis }

@@ -58,8 +58,7 @@ impl HashGen {
 
     /// A base58-looking P2PKH-style address beginning with `1`.
     pub fn address(&mut self) -> String {
-        const ALPHABET: &[u8] =
-            b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+        const ALPHABET: &[u8] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
         let mut out = String::with_capacity(34);
         out.push('1');
         let mut w = self.next_word(0xfeed_face);

@@ -78,6 +78,20 @@ impl Ledger {
         self
     }
 
+    /// A stable content fingerprint: FNV-1a over the canonical JSON
+    /// serialisation (transactions only — the indexes are rebuildable).
+    /// Used alongside `Dataset::fingerprint` to key snapshot-scoped
+    /// caches.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("ledger serialises");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in json.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Number of transactions recorded.
     pub fn len(&self) -> usize {
         self.txs.len()
@@ -237,5 +251,24 @@ mod tests {
         assert!(back.by_hash(&"aa".repeat(32)).is_none(), "indexes not serialised");
         let back = back.reindex();
         assert!(back.by_hash(&"aa".repeat(32)).is_some());
+    }
+
+    #[test]
+    fn fingerprint_survives_round_trip_and_tracks_content() {
+        let l = ledger();
+        let fp = l.fingerprint();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Ledger = serde_json::from_str::<Ledger>(&json).unwrap().reindex();
+        assert_eq!(back.fingerprint(), fp);
+
+        let mut grown = l.clone();
+        grown.insert(ChainTx {
+            hash: "ff".repeat(32),
+            to_address: "1Y".into(),
+            value_usd: 2.0,
+            confirmed_at: ts(2),
+        });
+        assert_ne!(grown.fingerprint(), fp);
+        assert_ne!(Ledger::new().fingerprint(), fp);
     }
 }

@@ -17,10 +17,7 @@ pub fn share_of_top(counts: &[f64], fraction: f64) -> f64 {
 /// (fractions in `[0,1]`), the share of total activity carried by that top
 /// slice. Output pairs are `(fraction, share)`.
 pub fn concentration_curve(counts: &[f64], percentiles: &[f64]) -> Vec<(f64, f64)> {
-    percentiles
-        .iter()
-        .map(|&p| (p, top_share(counts, p)))
-        .collect()
+    percentiles.iter().map(|&p| (p, top_share(counts, p))).collect()
 }
 
 #[cfg(test)]

@@ -104,11 +104,8 @@ impl ContractGraph {
         let inb = self.degrees(DegreeKind::Inbound);
         let out = self.degrees(DegreeKind::Outbound);
         let active = raw.iter().filter(|d| **d > 0).count();
-        let avg_raw = if active == 0 {
-            0.0
-        } else {
-            raw.iter().sum::<u64>() as f64 / active as f64
-        };
+        let avg_raw =
+            if active == 0 { 0.0 } else { raw.iter().sum::<u64>() as f64 / active as f64 };
         DegreeSummary {
             max_raw: raw.iter().copied().max().unwrap_or(0),
             max_inbound: inb.iter().copied().max().unwrap_or(0),

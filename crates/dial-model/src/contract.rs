@@ -250,7 +250,9 @@ impl Contract {
         {
             return Err(format!("{}: vouch copy before its introduction", self.id));
         }
-        if !self.is_public() && (!self.maker_obligation.is_empty() || !self.taker_obligation.is_empty()) {
+        if !self.is_public()
+            && (!self.maker_obligation.is_empty() || !self.taker_obligation.is_empty())
+        {
             return Err(format!("{}: private contract exposes obligations", self.id));
         }
         Ok(())

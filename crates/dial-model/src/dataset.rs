@@ -105,6 +105,16 @@ impl Dataset {
         &self.contracts[id.index()]
     }
 
+    /// A stable content fingerprint: FNV-1a over the canonical JSON
+    /// serialisation (which covers every entity but not the rebuildable
+    /// indexes). Two datasets fingerprint equal iff their serialised
+    /// content is identical, so the value is safe to use as a cache key
+    /// across process restarts.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("dataset serialises");
+        fnv1a(json.as_bytes())
+    }
+
     /// Looks up a thread by id.
     pub fn thread(&self, id: ThreadId) -> &Thread {
         &self.threads[id.index()]
@@ -112,20 +122,12 @@ impl Dataset {
 
     /// Contracts created by `user`, in creation order.
     pub fn contracts_made_by(&self, user: UserId) -> impl Iterator<Item = &Contract> {
-        self.by_maker
-            .get(&user)
-            .into_iter()
-            .flatten()
-            .map(move |id| self.contract(*id))
+        self.by_maker.get(&user).into_iter().flatten().map(move |id| self.contract(*id))
     }
 
     /// Contracts offered to `user` (whether or not accepted), in creation order.
     pub fn contracts_offered_to(&self, user: UserId) -> impl Iterator<Item = &Contract> {
-        self.by_taker
-            .get(&user)
-            .into_iter()
-            .flatten()
-            .map(move |id| self.contract(*id))
+        self.by_taker.get(&user).into_iter().flatten().map(move |id| self.contract(*id))
     }
 
     /// Contracts created in the given month.
@@ -151,10 +153,7 @@ impl Dataset {
 
     /// Count of contracts of a given type and status (a Table 1 cell).
     pub fn count_by_type_status(&self, ty: ContractType, status: ContractStatus) -> usize {
-        self.contracts
-            .iter()
-            .filter(|c| c.contract_type == ty && c.status == status)
-            .count()
+        self.contracts.iter().filter(|c| c.contract_type == ty && c.status == status).count()
     }
 
     /// Marketplace post count per user (a cold-start control variable).
@@ -180,10 +179,7 @@ impl Dataset {
     /// Validates every contract's structural invariants; returns all
     /// violations (empty ⇒ dataset is well-formed).
     pub fn validate(&self) -> Vec<String> {
-        self.contracts
-            .iter()
-            .filter_map(|c| c.validate().err())
-            .collect()
+        self.contracts.iter().filter_map(|c| c.validate().err()).collect()
     }
 
     /// Summary line used in logs and example output.
@@ -198,6 +194,16 @@ impl Dataset {
     }
 }
 
+/// 64-bit FNV-1a, the hash behind [`Dataset::fingerprint`].
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,8 +212,18 @@ mod tests {
 
     fn tiny_dataset() -> Dataset {
         let users = vec![
-            User { id: UserId(0), joined: Date::from_ymd(2018, 1, 1), first_post: None, reputation: 0 },
-            User { id: UserId(1), joined: Date::from_ymd(2018, 2, 1), first_post: None, reputation: 5 },
+            User {
+                id: UserId(0),
+                joined: Date::from_ymd(2018, 1, 1),
+                first_post: None,
+                reputation: 0,
+            },
+            User {
+                id: UserId(1),
+                joined: Date::from_ymd(2018, 2, 1),
+                first_post: None,
+                reputation: 5,
+            },
         ];
         let contracts = vec![Contract {
             id: ContractId(0),
@@ -261,5 +277,25 @@ mod tests {
         let back = back.reindex();
         assert_eq!(back.contracts().len(), ds.contracts().len());
         assert_eq!(back.contracts_made_by(UserId(0)).count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_round_trip_and_sensitive_to_content() {
+        let ds = tiny_dataset();
+        let fp = ds.fingerprint();
+        assert_eq!(fp, ds.clone().fingerprint(), "fingerprint must be deterministic");
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str::<Dataset>(&json).unwrap().reindex();
+        assert_eq!(back.fingerprint(), fp, "round-trip must preserve the fingerprint");
+
+        let mut users = ds.users().to_vec();
+        users[0].reputation += 1;
+        let changed = Dataset::new(
+            users,
+            ds.contracts().to_vec(),
+            ds.threads().to_vec(),
+            ds.posts().to_vec(),
+        );
+        assert_ne!(changed.fingerprint(), fp, "content change must change the fingerprint");
     }
 }

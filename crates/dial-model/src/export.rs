@@ -130,8 +130,18 @@ mod tests {
     #[test]
     fn csv_round_trip_field_count() {
         let users = vec![
-            User { id: UserId(0), joined: Date::from_ymd(2018, 1, 1), first_post: None, reputation: 1 },
-            User { id: UserId(1), joined: Date::from_ymd(2018, 2, 1), first_post: None, reputation: 2 },
+            User {
+                id: UserId(0),
+                joined: Date::from_ymd(2018, 1, 1),
+                first_post: None,
+                reputation: 1,
+            },
+            User {
+                id: UserId(1),
+                joined: Date::from_ymd(2018, 2, 1),
+                first_post: None,
+                reputation: 2,
+            },
         ];
         let contracts = vec![Contract {
             id: ContractId(0),
@@ -159,16 +169,14 @@ mod tests {
         // commas yields exactly the header's field count.
         let header_fields = lines[0].split(',').count();
         let mut in_quotes = false;
-        let data_fields = lines[1]
-            .chars()
-            .fold(1usize, |acc, c| match c {
-                '"' => {
-                    in_quotes = !in_quotes;
-                    acc
-                }
-                ',' if !in_quotes => acc + 1,
-                _ => acc,
-            });
+        let data_fields = lines[1].chars().fold(1usize, |acc, c| match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                acc
+            }
+            ',' if !in_quotes => acc + 1,
+            _ => acc,
+        });
         assert_eq!(data_fields, header_fields);
         assert!(csv.contains("\"\"rare\"\""), "embedded quotes doubled");
 

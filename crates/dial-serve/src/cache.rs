@@ -1,0 +1,100 @@
+//! Result cache: completed experiment responses keyed by snapshot
+//! fingerprint, experiment id, and analysis parameters.
+//!
+//! Reads vastly outnumber writes (every repeat query is a read), so the
+//! map sits behind an `RwLock`. Entries are `Arc<String>` so a hit hands
+//! back a shared body without copying the (potentially large) JSON.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Identity of one cached result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot content fingerprint (see `SnapshotStore::fingerprint`).
+    pub snapshot: String,
+    /// Experiment id, e.g. `"table1"`.
+    pub experiment: String,
+    /// Canonical analysis parameters, e.g. `"seed=53665&classes=12"`.
+    pub params: String,
+}
+
+/// A concurrent map from [`CacheKey`] to a finished response body.
+#[derive(Default)]
+pub struct ResultCache {
+    map: RwLock<HashMap<CacheKey, Arc<String>>>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached body for `key`, if present.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        self.map.read().expect("cache lock").get(key).cloned()
+    }
+
+    /// Stores `body` under `key`, returning the shared handle.
+    ///
+    /// If two workers raced on the same miss, the first insert wins and
+    /// both callers end up handing out the same body (the results are
+    /// deterministic, so either copy is correct).
+    pub fn insert(&self, key: CacheKey, body: String) -> Arc<String> {
+        let mut map = self.map.write().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(body)))
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(exp: &str) -> CacheKey {
+        CacheKey {
+            snapshot: "abc-def".into(),
+            experiment: exp.into(),
+            params: "seed=1&classes=12".into(),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ResultCache::new();
+        assert!(cache.get(&key("table1")).is_none());
+        cache.insert(key("table1"), "{\"x\":1}".into());
+        assert_eq!(cache.get(&key("table1")).unwrap().as_str(), "{\"x\":1}");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_params_are_distinct_entries() {
+        let cache = ResultCache::new();
+        cache.insert(key("table1"), "a".into());
+        let mut other = key("table1");
+        other.params = "seed=2&classes=12".into();
+        assert!(cache.get(&other).is_none());
+        cache.insert(other, "b".into());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn racing_inserts_converge_on_one_body() {
+        let cache = ResultCache::new();
+        let first = cache.insert(key("fig1"), "first".into());
+        let second = cache.insert(key("fig1"), "second".into());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(second.as_str(), "first");
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-rolled HTTP/1.1 front-end over `std::net::TcpListener`.
+//!
+//! The protocol surface is deliberately tiny: GET only, JSON responses,
+//! `Connection: close` on every reply. Each accepted connection gets its
+//! own short-lived thread (connections are cheap; the expensive part —
+//! running experiments — is bounded by the engine's worker pool and
+//! queue, which is where load is shed).
+
+use crate::engine::{AnalyzeError, Engine};
+use crate::store::StoreSummary;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
+    pub port: u16,
+    /// Worker threads running experiments.
+    pub threads: usize,
+    /// Bounded admission queue in front of the workers; a full queue
+    /// sheds requests with 503.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self { port: 8080, threads, queue_capacity: 64, read_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// A running server; dropping it without [`Server::shutdown`] leaves the
+/// accept thread running until process exit.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop, and returns immediately.
+    pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_handle = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            let read_timeout = cfg.read_timeout;
+            std::thread::Builder::new().name("dial-serve-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let engine = Arc::clone(&engine);
+                    let active = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let _ = std::thread::Builder::new().name("dial-serve-conn".into()).spawn(
+                        move || {
+                            let _ = handle_connection(stream, &engine, read_timeout);
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        },
+                    );
+                }
+            })?
+        };
+        Ok(Self { addr, engine, stop, active, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server is shut down from another thread.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight connections
+    /// (bounded wait), then stop the worker pool after it finishes the
+    /// queued jobs.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes `stop` around an accept, so poke
+        // it with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.engine.shutdown();
+    }
+}
+
+// Owned fields throughout: the vendored serde derive does not support
+// lifetime parameters, and these bodies are tiny.
+#[derive(Serialize)]
+struct UnknownExperimentBody {
+    error: String,
+    valid: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct HealthBody {
+    status: String,
+    snapshot: String,
+}
+
+#[derive(Serialize)]
+struct ExperimentRow {
+    id: String,
+    title: String,
+    paper_claim: String,
+}
+
+#[derive(Serialize)]
+struct SummaryBody {
+    snapshot: String,
+    params: String,
+    experiments: usize,
+    counts: StoreSummary,
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Engine,
+    read_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    let request_line = match read_request_line(&mut stream) {
+        Ok(line) => line,
+        Err(_) => {
+            // Slow or dead client: answer 408 best-effort and close.
+            return respond(&mut stream, 408, "{\"error\":\"request timeout\"}");
+        }
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut stream, 400, "{\"error\":\"malformed request\"}"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "{\"error\":\"only GET is supported\"}");
+    }
+    // Drop any query string: parameters are fixed per server instance.
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, body) = route(engine, path);
+    if status >= 500 {
+        engine.metrics().server_error();
+    }
+    respond(&mut stream, status, &body)
+}
+
+/// Dispatches a GET `path` to a `(status, JSON body)` pair.
+fn route(engine: &Engine, path: &str) -> (u16, String) {
+    match path {
+        "/healthz" => {
+            engine.metrics().request("/healthz");
+            let body = HealthBody {
+                status: "ok".to_string(),
+                snapshot: engine.store().fingerprint().to_string(),
+            };
+            (200, to_json(&body))
+        }
+        "/experiments" => {
+            engine.metrics().request("/experiments");
+            let rows: Vec<ExperimentRow> = engine
+                .experiments()
+                .iter()
+                .map(|e| ExperimentRow {
+                    id: e.id.clone(),
+                    title: e.title.clone(),
+                    paper_claim: e.paper_claim.clone(),
+                })
+                .collect();
+            (200, to_json(&rows))
+        }
+        "/summary" => {
+            engine.metrics().request("/summary");
+            let body = SummaryBody {
+                snapshot: engine.store().fingerprint().to_string(),
+                params: engine.params().to_string(),
+                experiments: engine.experiments().len(),
+                counts: engine.store().summary().clone(),
+            };
+            (200, to_json(&body))
+        }
+        "/metrics" => {
+            engine.metrics().request("/metrics");
+            (200, to_json(&engine.metrics().snapshot()))
+        }
+        _ if path.starts_with("/analyze/") => {
+            engine.metrics().request("/analyze");
+            let id = &path["/analyze/".len()..];
+            match engine.analyze(id) {
+                Ok(body) => (200, body.as_str().to_string()),
+                Err(AnalyzeError::Unknown { valid }) => {
+                    let body = UnknownExperimentBody {
+                        error: format!("unknown experiment `{id}`"),
+                        valid,
+                    };
+                    (404, to_json(&body))
+                }
+                Err(AnalyzeError::Saturated) => {
+                    engine.metrics().shed();
+                    // shed() already counts the 5xx; report 503 directly
+                    // so the generic 5xx hook doesn't double-count.
+                    (503, "{\"error\":\"server saturated, retry later\"}".to_string())
+                }
+                Err(AnalyzeError::Failed) => (500, "{\"error\":\"experiment failed\"}".to_string()),
+            }
+        }
+        _ => (404, "{\"error\":\"no such endpoint\"}".to_string()),
+    }
+}
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("response bodies serialise")
+}
+
+/// Reads up to the end of the request headers and returns the request
+/// line. Bounded at 16 KiB — anything larger is not a request this server
+/// understands.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    Ok(text.lines().next().unwrap_or_default().to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

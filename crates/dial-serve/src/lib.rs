@@ -1,0 +1,80 @@
+//! dial-serve: a concurrent analytics server over dial snapshots.
+//!
+//! The batch pipelines elsewhere in this workspace answer one question per
+//! process. This crate turns them into a long-running query service with
+//! four layers, each its own module:
+//!
+//! 1. [`store`] — loads a snapshot, rebuilds indexes, and pins a stable
+//!    content fingerprint that keys everything downstream.
+//! 2. [`scheduler`] — a fixed pool of plain worker threads behind a
+//!    bounded queue; a full queue sheds load instead of growing latency.
+//! 3. [`cache`] — finished response bodies keyed by (snapshot
+//!    fingerprint, experiment id, params) behind an `RwLock`.
+//! 4. [`http`] — a hand-rolled HTTP/1.1 front-end on
+//!    `std::net::TcpListener`, one short-lived thread per connection.
+//!
+//! [`engine`] composes layers 1–3 into the no-sockets pipeline that both
+//! the HTTP layer and the benches drive; [`metrics`] counts everything.
+//! Per DESIGN §7 there is no async runtime anywhere: experiment runs are
+//! CPU-bound, so plain threads + channels are the right concurrency model.
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod scheduler;
+pub mod store;
+
+pub use engine::{AnalyzeError, Engine};
+pub use http::{ServeConfig, Server};
+pub use store::{Snapshot, SnapshotStore};
+
+use dial_core::experiments::ExperimentContext;
+use std::sync::Arc;
+
+/// One servable experiment: the registry metadata plus a shareable run
+/// closure returning the machine-readable JSON result.
+#[derive(Clone)]
+pub struct ServeExperiment {
+    /// Stable id, e.g. `"table1"` — the `/analyze/{id}` path segment.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The paper claim this experiment reproduces.
+    pub paper_claim: String,
+    /// Runs the experiment and returns its JSON result.
+    pub run: Arc<dyn Fn(&ExperimentContext) -> String + Send + Sync>,
+}
+
+/// Every experiment in the dial-core registry (paper tables/figures plus
+/// extensions), wrapped for serving via [`Engine`].
+pub fn registry_experiments() -> Vec<ServeExperiment> {
+    dial_core::experiments::all_experiments()
+        .into_iter()
+        .chain(dial_core::experiments::extension_experiments())
+        .map(|e| ServeExperiment {
+            id: e.id.to_string(),
+            title: e.title.to_string(),
+            paper_claim: e.paper_claim.to_string(),
+            run: Arc::new(move |ctx| e.run_json(ctx)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_paper_and_extension_experiments() {
+        let exps = registry_experiments();
+        assert!(exps.len() >= 30, "expected the full registry, got {}", exps.len());
+        assert!(exps.iter().any(|e| e.id == "table1"));
+        assert!(exps.iter().any(|e| e.id == "ext-mixing"));
+        // Ids are unique — they are URL path segments and cache key parts.
+        let mut ids: Vec<_> = exps.iter().map(|e| e.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len());
+    }
+}

@@ -1,0 +1,170 @@
+//! Server metrics: request counters, cache hit/miss counters, and
+//! per-experiment latency histograms, all cheap enough to update on every
+//! request and rendered as JSON by `/metrics`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds in milliseconds; the final implicit
+/// bucket is unbounded.
+pub const LATENCY_BOUNDS_MS: [u64; 7] = [1, 5, 25, 100, 500, 2500, 10_000];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Observation counts per bucket; `buckets[i]` counts observations
+    /// `<= LATENCY_BOUNDS_MS[i]`, and the last slot is the overflow.
+    pub buckets: [u64; 8],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (milliseconds).
+    pub sum_ms: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, ms: f64) {
+        let idx = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|&b| ms <= b as f64)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+    }
+}
+
+/// Live counters, shared across connection and worker threads.
+#[derive(Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    responses_5xx: AtomicU64,
+    shed_total: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    by_endpoint: Mutex<BTreeMap<String, u64>>,
+    latency: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Point-in-time copy of every counter, serialized by `/metrics`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted (any endpoint, any outcome).
+    pub requests_total: u64,
+    /// Responses with a 5xx status (including shed requests).
+    pub responses_5xx: u64,
+    /// Requests shed with 503 because the scheduler queue was full.
+    pub shed_total: u64,
+    /// Analyze requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Analyze requests that had to run the experiment.
+    pub cache_misses: u64,
+    /// Requests per normalised endpoint (`/analyze/{id}` collapses to
+    /// `/analyze`).
+    pub by_endpoint: BTreeMap<String, u64>,
+    /// Experiment wall-clock latency per experiment id (cache misses
+    /// only — hits do not run anything worth timing).
+    pub latency_ms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request against a normalised endpoint name.
+    pub fn request(&self, endpoint: &str) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.by_endpoint.lock().expect("metrics lock");
+        *map.entry(endpoint.to_string()).or_default() += 1;
+    }
+
+    /// Counts a 5xx response.
+    pub fn server_error(&self) {
+        self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request shed with 503 (also a 5xx).
+    pub fn shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.server_error();
+    }
+
+    /// Counts a cache hit.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cache miss.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one experiment run's wall-clock latency.
+    pub fn observe_latency(&self, experiment: &str, ms: f64) {
+        let mut map = self.latency.lock().expect("metrics lock");
+        map.entry(experiment.to_string()).or_default().observe(ms);
+    }
+
+    /// Copies every counter into a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            by_endpoint: self.by_endpoint.lock().expect("metrics lock").clone(),
+            latency_ms: self.latency.lock().expect("metrics lock").clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.request("/healthz");
+        m.request("/analyze");
+        m.request("/analyze");
+        m.cache_hit();
+        m.cache_miss();
+        m.shed();
+        let s = m.snapshot();
+        assert_eq!(s.requests_total, 3);
+        assert_eq!(s.by_endpoint["/analyze"], 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.shed_total, 1);
+        assert_eq!(s.responses_5xx, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut h = Histogram::default();
+        h.observe(0.4); // <= 1ms
+        h.observe(12.0); // <= 25ms
+        h.observe(60_000.0); // overflow
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert_eq!(h.count, 3);
+        assert!(h.sum_ms > 60_012.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = Metrics::new();
+        m.request("/metrics");
+        m.observe_latency("table1", 3.2);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests_total, 1);
+        assert_eq!(back.latency_ms["table1"].count, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiment scheduler: a fixed pool of plain worker threads behind a
+//! bounded job queue.
+//!
+//! DESIGN §7 rules out async runtimes — experiment runs are CPU-bound, so
+//! the pool is sized to cores and the queue is the only elasticity. When
+//! the queue is full, [`Scheduler::submit`] fails fast and the HTTP layer
+//! sheds the request with a 503 instead of letting latency grow unbounded.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Returned by [`Scheduler::submit`] when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Saturated;
+
+/// A fixed-size worker pool with a bounded queue.
+pub struct Scheduler {
+    // `None` after shutdown; dropping the sender is what stops the workers.
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawns `threads` workers sharing a queue of `queue_capacity` slots.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        assert!(threads > 0, "scheduler needs at least one worker");
+        let (tx, rx) = sync_channel::<Job>(queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("dial-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { tx: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
+    }
+
+    /// Enqueues a job, failing fast with [`Saturated`] when every queue
+    /// slot is taken and no worker is free to hand off to.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Saturated> {
+        let guard = self.tx.lock().expect("scheduler sender lock");
+        let Some(tx) = guard.as_ref() else {
+            return Err(Saturated); // shutting down: shed everything
+        };
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(Saturated),
+        }
+    }
+
+    /// Drains the queue and joins every worker. In-flight jobs finish;
+    /// queued jobs still run; new submissions are shed.
+    pub fn shutdown(&self) {
+        // Dropping the sender closes the channel; workers exit when the
+        // queue is empty.
+        self.tx.lock().expect("scheduler sender lock").take();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("scheduler worker lock"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while receiving, not while running the job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_submitted_jobs_on_workers() {
+        let s = Scheduler::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            let done = done_tx.clone();
+            // A full queue here is fine — retry until accepted.
+            loop {
+                let c = Arc::clone(&counter);
+                let d = done.clone();
+                if s.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    d.send(()).unwrap();
+                })
+                .is_ok()
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        for _ in 0..32 {
+            done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn saturation_sheds_instead_of_blocking() {
+        let s = Scheduler::new(1, 1);
+        let (block_tx, block_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel();
+        // Occupy the single worker...
+        s.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        // ...fill the single queue slot...
+        s.submit(|| {}).unwrap();
+        // ...and the next job must shed.
+        assert_eq!(s.submit(|| {}), Err(Saturated));
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_work() {
+        let s = Scheduler::new(2, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            loop {
+                let c = Arc::clone(&counter);
+                if s.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .is_ok()
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        s.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        // Post-shutdown submissions shed.
+        assert_eq!(s.submit(|| {}), Err(Saturated));
+    }
+}

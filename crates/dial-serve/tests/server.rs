@@ -1,0 +1,202 @@
+//! End-to-end tests for the dial-serve HTTP server: real sockets on an
+//! ephemeral port, a plain `TcpStream` client, no mocks.
+
+use dial_serve::{Engine, ServeConfig, ServeExperiment, Server, SnapshotStore};
+use dial_sim::SimConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Minimal HTTP/1.1 GET; the server always closes the connection, so
+/// read-to-EOF yields the whole response.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn test_store() -> SnapshotStore {
+    let out = SimConfig::paper_default().with_seed(7).with_scale(0.01).simulate_full();
+    SnapshotStore::from_parts(out.dataset, out.ledger, 7, 4)
+}
+
+fn start_server(engine: Engine) -> Server {
+    let cfg = ServeConfig { port: 0, ..ServeConfig::default() };
+    Server::start(Arc::new(engine), &cfg).expect("bind ephemeral port")
+}
+
+#[test]
+fn analyze_twice_is_identical_and_second_call_hits_the_cache() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let (status_a, body_a) = http_get(addr, "/analyze/table1");
+    let (status_b, body_b) = http_get(addr, "/analyze/table1");
+    assert_eq!(status_a, 200);
+    assert_eq!(status_b, 200);
+    assert_eq!(body_a, body_b, "cached response must be byte-identical");
+
+    let (status_m, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status_m, 200);
+    let m: serde_json::Value = serde_json::from_str(&metrics).expect("metrics is JSON");
+    assert_eq!(m.get("cache_misses").as_u64(), Some(1));
+    assert_eq!(m.get("cache_hits").as_u64(), Some(1));
+
+    server.shutdown();
+}
+
+#[test]
+fn every_endpoint_answers_valid_json() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    for path in ["/healthz", "/experiments", "/summary", "/metrics", "/analyze/fig1"] {
+        let (status, body) = http_get(addr, path);
+        assert_eq!(status, 200, "{path} failed: {body}");
+        serde_json::from_str::<serde_json::Value>(&body)
+            .unwrap_or_else(|e| panic!("{path} returned invalid JSON ({e:?}): {body}"));
+    }
+
+    // Unknown experiment: 404 with the valid ids in the payload.
+    let (status, body) = http_get(addr, "/analyze/table99");
+    assert_eq!(status, 404);
+    assert!(body.contains("table1"), "404 body should list valid ids: {body}");
+
+    // Unknown path and unsupported method.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "POST /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405"), "POST should 405, got {raw:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn eight_parallel_clients_get_consistent_answers() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 4, 32);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                // Half hammer the same experiment, half walk other endpoints.
+                let path = if i % 2 == 0 { "/analyze/table2" } else { "/healthz" };
+                http_get(addr, path)
+            })
+        })
+        .collect();
+    let results: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let analyze_bodies: Vec<&String> = results
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, (status, body))| {
+            assert_eq!(*status, 200);
+            body
+        })
+        .collect();
+    // Concurrent misses may each compute, but every answer must agree.
+    for body in &analyze_bodies {
+        assert_eq!(*body, analyze_bodies[0]);
+    }
+    for (i, (status, _)) in results.iter().enumerate() {
+        assert_eq!(*status, 200, "client {i} failed");
+    }
+
+    server.shutdown();
+}
+
+/// `(started_count, released)` behind a condvar: experiments park here so
+/// the test controls exactly when the worker frees up.
+struct Gate {
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self { state: Mutex::new((0, false)), cv: Condvar::new() }
+    }
+
+    fn enter(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        self.cv.notify_all();
+        while !st.1 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn wait_started(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 < 1 {
+            let (next, timeout) = self.cv.wait_timeout(st, Duration::from_secs(10)).unwrap();
+            assert!(!timeout.timed_out(), "blocking experiment never started");
+            st = next;
+        }
+    }
+
+    fn release(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+#[test]
+fn saturated_queue_sheds_with_503() {
+    let gate = Arc::new(Gate::new());
+    let block = {
+        let gate = Arc::clone(&gate);
+        ServeExperiment {
+            id: "block".into(),
+            title: "parks until released".into(),
+            paper_claim: String::new(),
+            run: Arc::new(move |_| {
+                gate.enter();
+                "{\"blocked\":false}".to_string()
+            }),
+        }
+    };
+    // One worker, zero queue slots (rendezvous channel): once the worker
+    // is busy, every further submission must shed immediately.
+    let engine = Engine::new(test_store(), vec![block], 1, 0);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let first = std::thread::spawn(move || http_get(addr, "/analyze/block"));
+    gate.wait_started();
+
+    // The worker is parked inside the experiment, so this miss cannot be
+    // scheduled and the server sheds it.
+    let (status, body) = http_get(addr, "/analyze/block");
+    assert_eq!(status, 503, "expected shed, got {status}: {body}");
+    assert!(body.contains("saturated"));
+
+    gate.release();
+    let (status, body) = first.join().unwrap();
+    assert_eq!(status, 200, "parked request should finish: {body}");
+
+    let (_, metrics) = http_get(addr, "/metrics");
+    let m: serde_json::Value = serde_json::from_str(&metrics).unwrap();
+    assert!(m.get("shed_total").as_u64().unwrap() >= 1);
+    assert!(m.get("responses_5xx").as_u64().unwrap() >= 1);
+
+    server.shutdown();
+}

@@ -10,30 +10,53 @@ use dial_model::{ContractType, Visibility};
 fn main() {
     let ds = dial_sim::SimConfig::paper_default().with_seed(2020).with_scale(0.3).simulate();
     println!("type        compl%  target  pubC%  target  pubD%  target");
-    let targets = [(32.7, 8.0, 12.05), (53.1, 20.9, 24.2), (69.8, 18.1, 16.7), (56.4, 25.9, 26.5), (57.7, 18.7, 17.7)];
+    let targets = [
+        (32.7, 8.0, 12.05),
+        (53.1, 20.9, 24.2),
+        (69.8, 18.1, 16.7),
+        (56.4, 25.9, 26.5),
+        (57.7, 18.7, 17.7),
+    ];
     for (ty, t) in ContractType::ALL.into_iter().zip(targets) {
         let all: Vec<_> = ds.contracts().iter().filter(|c| c.contract_type == ty).collect();
         let compl = all.iter().filter(|c| c.is_complete()).count();
         let pub_c = all.iter().filter(|c| c.visibility == Visibility::Public).count();
-        let pub_d = all.iter().filter(|c| c.is_complete() && c.visibility == Visibility::Public).count();
+        let pub_d =
+            all.iter().filter(|c| c.is_complete() && c.visibility == Visibility::Public).count();
         println!(
             "{:<11} {:5.1}   {:5.1}  {:5.1}   {:5.1}  {:5.1}   {:5.1}",
             ty.label(),
-            100.0 * compl as f64 / all.len() as f64, t.0,
-            100.0 * pub_c as f64 / all.len() as f64, t.1,
-            100.0 * pub_d as f64 / compl.max(1) as f64, t.2,
+            100.0 * compl as f64 / all.len() as f64,
+            t.0,
+            100.0 * pub_c as f64 / all.len() as f64,
+            t.1,
+            100.0 * pub_d as f64 / compl.max(1) as f64,
+            t.2,
         );
     }
     let total = ds.contracts().len();
     let pub_all = ds.contracts().iter().filter(|c| c.visibility == Visibility::Public).count();
     let compl_all: Vec<_> = ds.contracts().iter().filter(|c| c.is_complete()).collect();
     let pub_compl = compl_all.iter().filter(|c| c.visibility == Visibility::Public).count();
-    println!("overall public created {:.1}% (target 12.0), completed {:.1}% (target 15.7)",
-        100.0*pub_all as f64/total as f64, 100.0*pub_compl as f64/compl_all.len() as f64);
+    println!(
+        "overall public created {:.1}% (target 12.0), completed {:.1}% (target 15.7)",
+        100.0 * pub_all as f64 / total as f64,
+        100.0 * pub_compl as f64 / compl_all.len() as f64
+    );
     // settlement correlation
-    let pub_contracts: Vec<_> = ds.contracts().iter().filter(|c| c.visibility == Visibility::Public).collect();
-    let priv_compl = ds.contracts().iter().filter(|c| c.visibility == Visibility::Private && c.is_complete()).count();
-    let pub_rate = pub_contracts.iter().filter(|c| c.is_complete()).count() as f64 / pub_contracts.len() as f64;
+    let pub_contracts: Vec<_> =
+        ds.contracts().iter().filter(|c| c.visibility == Visibility::Public).collect();
+    let priv_compl = ds
+        .contracts()
+        .iter()
+        .filter(|c| c.visibility == Visibility::Private && c.is_complete())
+        .count();
+    let pub_rate = pub_contracts.iter().filter(|c| c.is_complete()).count() as f64
+        / pub_contracts.len() as f64;
     let priv_rate = priv_compl as f64 / (total - pub_contracts.len()) as f64;
-    println!("completion: public {:.1}% (target 57.0) vs private {:.1}% (target 41.7)", pub_rate*100.0, priv_rate*100.0);
+    println!(
+        "completion: public {:.1}% (target 57.0) vs private {:.1}% (target 41.7)",
+        pub_rate * 100.0,
+        priv_rate * 100.0
+    );
 }

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 
 fn main() {
     for scale in [0.1f64, 0.3] {
-        let ds = dial_sim::SimConfig::paper_default().with_seed(0xD1A1).with_scale(scale).simulate();
+        let ds =
+            dial_sim::SimConfig::paper_default().with_seed(0xD1A1).with_scale(scale).simulate();
         let mut inb: HashMap<UserId, std::collections::HashSet<UserId>> = HashMap::new();
         let mut out: HashMap<UserId, std::collections::HashSet<UserId>> = HashMap::new();
         for c in ds.contracts() {
@@ -23,6 +24,9 @@ fn main() {
         }
         let maxi = inb.values().map(|s| s.len()).max().unwrap_or(0);
         let maxo = out.values().map(|s| s.len()).max().unwrap_or(0);
-        println!("scale {scale}: max inbound {maxi}, max outbound {maxo}, ratio {:.1}", maxi as f64 / maxo as f64);
+        println!(
+            "scale {scale}: max inbound {maxi}, max outbound {maxo}, ratio {:.1}",
+            maxi as f64 / maxo as f64
+        );
     }
 }

@@ -114,10 +114,7 @@ impl BehaviourClass {
             BehaviourClass::K => (31.2, 0.9, 3.3, 0.3, 0.0, 54.9, 9.2, 12.8, 1.0, 0.0),
             BehaviourClass::L => (1.3, 1.1, 1.2, 0.2, 0.1, 1.5, 0.6, 54.9, 0.2, 0.0),
         };
-        ClassRates {
-            make: [ms, mp, me, mt, mv],
-            accept: [aws, ap, ae, at, av],
-        }
+        ClassRates { make: [ms, mp, me, mt, mv], accept: [aws, ap, ae, at, av] }
     }
 
     /// Mean monthly contracts made of one type.

@@ -115,8 +115,7 @@ pub const MONTHLY_CREATED: [f64; 25] = [
     2400.0, 2600.0, 2800.0, 3000.0, 3200.0, 3500.0, 3800.0, 4100.0, 4400.0,
     // STABLE: Mar 2019 .. Feb 2020
     11950.0, 12400.0, 11300.0, 10600.0, 10000.0, 9600.0, 9200.0, 8800.0, 8500.0, 9000.0, 8300.0,
-    7800.0,
-    // COVID-19: Mar 2020 .. Jun 2020
+    7800.0, // COVID-19: Mar 2020 .. Jun 2020
     10400.0, 13100.0, 9900.0, 8200.0,
 ];
 
@@ -173,19 +172,14 @@ pub fn monthly_new_members(month_index: usize, no_covid: bool) -> f64 {
 pub fn type_mix(month_index: usize) -> [f64; 5] {
     let m = month_index as f64;
     let vouch = match month_index {
-        0..=19 => 0.0,                        // before Feb 2020
-        20 => 0.004,                          // Feb 2020 introduction
-        _ => 0.006 + 0.002 * (m - 20.0),      // grows through COVID-19
+        0..=19 => 0.0,                   // before Feb 2020
+        20 => 0.004,                     // Feb 2020 introduction
+        _ => 0.006 + 0.002 * (m - 20.0), // grows through COVID-19
     };
     let (sale, purchase, exchange, trade) = if month_index < 9 {
         // Drift across SET-UP: Exchange 50→41%, Sale 40→45%, Purchase 9→12%.
         let t = m / 8.0;
-        (
-            0.40 + 0.05 * t,
-            0.09 + 0.03 * t,
-            0.50 - 0.09 * t,
-            0.01 + 0.003 * t,
-        )
+        (0.40 + 0.05 * t, 0.09 + 0.03 * t, 0.50 - 0.09 * t, 0.01 + 0.003 * t)
     } else {
         // STABLE / COVID-19 plateau.
         (0.715, 0.105, 0.163, 0.013)
@@ -220,8 +214,8 @@ pub fn status_mix(ty: ContractType) -> [f64; 7] {
 pub fn dispute_multiplier(month_index: usize) -> f64 {
     match month_index {
         0..=2 => 1.0,
-        3..=8 => 2.6,  // late SET-UP spike
-        _ => 0.8,      // STABLE / COVID-19
+        3..=8 => 2.6, // late SET-UP spike
+        _ => 0.8,     // STABLE / COVID-19
     }
 }
 
@@ -315,15 +309,15 @@ pub fn class_arrival_mix(era: Era) -> [f64; 12] {
 
 fn raw_class_arrival_mix(era: Era) -> [f64; 12] {
     match era {
-        Era::SetUp => [
-            0.015, 0.050, 0.260, 0.160, 0.012, 0.050, 0.008, 0.040, 0.060, 0.330, 0.004, 0.001,
-        ],
-        Era::Stable => [
-            0.050, 0.050, 0.330, 0.115, 0.010, 0.040, 0.007, 0.035, 0.050, 0.300, 0.004, 0.005,
-        ],
-        Era::Covid19 => [
-            0.050, 0.060, 0.370, 0.115, 0.010, 0.040, 0.007, 0.040, 0.050, 0.245, 0.004, 0.005,
-        ],
+        Era::SetUp => {
+            [0.015, 0.050, 0.260, 0.160, 0.012, 0.050, 0.008, 0.040, 0.060, 0.330, 0.004, 0.001]
+        }
+        Era::Stable => {
+            [0.050, 0.050, 0.330, 0.115, 0.010, 0.040, 0.007, 0.035, 0.050, 0.300, 0.004, 0.005]
+        }
+        Era::Covid19 => {
+            [0.050, 0.060, 0.370, 0.115, 0.010, 0.040, 0.007, 0.040, 0.050, 0.245, 0.004, 0.005]
+        }
     }
 }
 

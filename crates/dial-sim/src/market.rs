@@ -128,9 +128,7 @@ impl Engine {
 
     fn spawn_user(&mut self, class: BehaviourClass, m: usize, ym: YearMonth, era: Era) -> u32 {
         let idx = self.users.len() as u32;
-        let activity_day = self
-            .rng
-            .random_range(0..ym.len_days() as i64);
+        let activity_day = self.rng.random_range(0..ym.len_days() as i64);
         let first_active = ym.first_day().plus_days(activity_day);
 
         // Established members (especially at launch) registered long before
@@ -207,8 +205,7 @@ impl Engine {
             .copied()
             .filter(|&u| self.users[u as usize].accepted > 0)
             .collect();
-        candidates
-            .sort_by_key(|&u| std::cmp::Reverse(self.users[u as usize].accepted));
+        candidates.sort_by_key(|&u| std::cmp::Reverse(self.users[u as usize].accepted));
         for &u in candidates.iter().take(attack.targets_per_month) {
             self.users[u as usize].rep_neg += attack.fakes_per_target;
         }
@@ -273,10 +270,7 @@ impl Engine {
         };
         if pool.len() > 512 {
             // Rejection sampling against the pool's max weight.
-            let max_w = pool
-                .iter()
-                .map(|&u| weight(&self.users, u))
-                .fold(1.0f64, f64::max);
+            let max_w = pool.iter().map(|&u| weight(&self.users, u)).fold(1.0f64, f64::max);
             for _ in 0..64 {
                 let cand = pool[self.rng.random_range(0..pool.len())];
                 if self.rng.random_range(0.0..1.0) < weight(&self.users, cand) / max_w {
@@ -403,8 +397,8 @@ impl Engine {
         let is_public = visibility == Visibility::Public;
         let mean = config::value_mean_usd(ty).max(8.0);
         let sigma = config::VALUE_SIGMA;
-        let mut value = log_normal(&mut self.rng, mean.ln() - sigma * sigma / 2.0, sigma)
-            .clamp(1.0, 9_861.0);
+        let mut value =
+            log_normal(&mut self.rng, mean.ln() - sigma * sigma / 2.0, sigma).clamp(1.0, 9_861.0);
         let high_value = is_public
             && status == ContractStatus::Complete
             && bernoulli(&mut self.rng, config::HIGH_VALUE_PROBABILITY);
@@ -416,15 +410,8 @@ impl Engine {
         // Obligation text, thread linkage and chain refs only exist for
         // public contracts.
         let (maker_obligation, taker_obligation, thread, chain_ref) = if is_public {
-            let content = textgen::generate(
-                &mut self.rng,
-                ty,
-                m,
-                value,
-                created.date(),
-                &self.rates,
-                typo,
-            );
+            let content =
+                textgen::generate(&mut self.rng, ty, m, value, created.date(), &self.rates, typo);
             let thread = if bernoulli(&mut self.rng, config::THREAD_LINK_PROBABILITY) {
                 Some(self.thread_for(maker, &content.thread_title, created))
             } else {
@@ -641,8 +628,7 @@ impl Engine {
                     hash: hash.clone(),
                     to_address: address.clone(),
                     value_usd,
-                    confirmed_at: confirm_time
-                        .plus_minutes(self.rng.random_range(-600..600)),
+                    confirmed_at: confirm_time.plus_minutes(self.rng.random_range(-600..600)),
                 });
                 with_hash.then_some(hash)
             }
@@ -699,11 +685,8 @@ mod tests {
 
         let completion = |ty| {
             let total = count(ty).max(1);
-            let done = ds
-                .contracts()
-                .iter()
-                .filter(|c| c.contract_type == ty && c.is_complete())
-                .count();
+            let done =
+                ds.contracts().iter().filter(|c| c.contract_type == ty && c.is_complete()).count();
             done as f64 / total as f64
         };
         assert!(completion(ContractType::Exchange) > 0.6);
@@ -717,11 +700,7 @@ mod tests {
         let public = ds.contracts().iter().filter(|c| c.is_public()).count();
         let share = public as f64 / ds.contracts().len() as f64;
         assert!((0.08..0.20).contains(&share), "public share {share}");
-        assert!(ds
-            .contracts()
-            .iter()
-            .filter(|c| c.is_disputed())
-            .all(Contract::is_public));
+        assert!(ds.contracts().iter().filter(|c| c.is_disputed()).all(Contract::is_public));
     }
 
     #[test]
@@ -763,12 +742,8 @@ mod tests {
         assert!(!out.dataset.threads().is_empty());
         assert!(out.dataset.posts().len() > out.dataset.threads().len());
         // Some public contracts link to threads.
-        let linked = out
-            .dataset
-            .contracts()
-            .iter()
-            .filter(|c| c.is_public() && c.thread.is_some())
-            .count();
+        let linked =
+            out.dataset.contracts().iter().filter(|c| c.is_public() && c.thread.is_some()).count();
         let public = out.dataset.contracts().iter().filter(|c| c.is_public()).count();
         let share = linked as f64 / public.max(1) as f64;
         assert!((0.5..0.85).contains(&share), "thread-link share {share}");
@@ -777,11 +752,8 @@ mod tests {
     #[test]
     fn counterfactual_removes_only_the_covid_stimulus() {
         let factual = SimConfig::paper_default().with_seed(6).with_scale(0.03).simulate();
-        let counter = SimConfig::paper_default()
-            .with_seed(6)
-            .with_scale(0.03)
-            .without_covid()
-            .simulate();
+        let counter =
+            SimConfig::paper_default().with_seed(6).with_scale(0.03).without_covid().simulate();
         let count_in = |ds: &Dataset, era: Era| ds.contracts_in_era(era).count();
         // SET-UP is untouched (same seed, same targets). STABLE differs
         // only through the 1–10 March 2020 sliver of the changed month, so
@@ -798,19 +770,24 @@ mod tests {
 
     #[test]
     fn sybil_attack_suppresses_early_hubs_most() {
-        let attack = |era| crate::config::SybilAttack {
-            era,
-            targets_per_month: 40,
-            fakes_per_target: 20,
-        };
-        let max_accepted = |ds: &Dataset| {
+        let attack =
+            |era| crate::config::SybilAttack { era, targets_per_month: 40, fakes_per_target: 20 };
+        // Aggregate acceptances of the era's top-40 takers: the attack hits
+        // exactly the monthly top-40, so this cohort's in-era volume is the
+        // direct suppression signal. (The single global maximum is not a
+        // stable metric: crushing the leading takers frees the
+        // preferential-attachment race for an unattacked newcomer, which on
+        // some seeds overshoots the baseline hub.)
+        let top40_in_era = |ds: &Dataset, era: Era| {
             let mut counts: HashMap<UserId, usize> = HashMap::new();
             for c in ds.contracts() {
-                if c.status.was_accepted() {
+                if c.status.was_accepted() && c.created_era() == Some(era) {
                     *counts.entry(c.taker).or_default() += 1;
                 }
             }
-            counts.values().copied().max().unwrap_or(0)
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_by_key(|&x| std::cmp::Reverse(x));
+            v.iter().take(40).sum::<usize>()
         };
         let base = SimConfig::paper_default().with_seed(9).with_scale(0.08).simulate();
         let early = SimConfig::paper_default()
@@ -818,13 +795,10 @@ mod tests {
             .with_scale(0.08)
             .with_sybil(attack(Era::SetUp))
             .simulate();
-        // The early attack measurably suppresses the top taker.
-        assert!(
-            max_accepted(&early) < max_accepted(&base),
-            "early {} vs base {}",
-            max_accepted(&early),
-            max_accepted(&base)
-        );
+        let (b, e) = (top40_in_era(&base, Era::SetUp), top40_in_era(&early, Era::SetUp));
+        // The attack measurably suppresses the top takers of the era it
+        // runs in (>5% is well clear of seed noise; typical is 10-30%).
+        assert!((e as f64) < 0.95 * b as f64, "early {e} vs base {b}");
         // Volumes stay calibrated: the attack redirects custom, it doesn't
         // destroy it.
         let diff = (early.contracts().len() as f64 / base.contracts().len() as f64 - 1.0).abs();

@@ -124,11 +124,9 @@ impl ProductKind {
                 "traffic promotion service",
                 "advert placement marketing",
             ],
-            ProductKind::Ewhoring => &[
-                "ewhoring pack",
-                "camgirl pack with pics",
-                "ewhore pack of pictures",
-            ],
+            ProductKind::Ewhoring => {
+                &["ewhoring pack", "camgirl pack with pics", "ewhore pack of pictures"]
+            }
             ProductKind::Delivery => &[
                 "refund service for parcels",
                 "dropshipping parcel service",
@@ -140,11 +138,9 @@ impl ProductKind {
                 "homework assignment solutions",
                 "coursework and thesis help",
             ],
-            ProductKind::Contest => &[
-                "giveaway entry",
-                "graphics contest award",
-                "raffle ticket for the lottery",
-            ],
+            ProductKind::Contest => {
+                &["giveaway entry", "graphics contest award", "raffle ticket for the lottery"]
+            }
             ProductKind::Misc => &[
                 "item as discussed",
                 "private deal",
@@ -163,7 +159,13 @@ impl ProductKind {
         let setup = month_index < 9;
         let covid = month_index >= 21;
         let late_covid = month_index >= 23;
-        let gaming = if setup { 0.14 } else if covid { 0.07 } else { 0.06 };
+        let gaming = if setup {
+            0.14
+        } else if covid {
+            0.07
+        } else {
+            0.06
+        };
         let hackforums = if setup {
             0.09
         } else if late_covid {
@@ -249,8 +251,8 @@ impl PayMethod {
         };
         let paypal = if month_index == 24 { 0.13 } else { 0.210 };
         [
-            0.405,  // Bitcoin
-            paypal, // PayPal
+            0.405,   // Bitcoin
+            paypal,  // PayPal
             0.092,   // AmazonGiftcard
             cashapp, // Cashapp
             0.034,   // Cash/USD
@@ -294,7 +296,11 @@ impl PayMethod {
                 return m;
             }
         }
-        if not == PayMethod::PayPal { PayMethod::Bitcoin } else { PayMethod::PayPal }
+        if not == PayMethod::PayPal {
+            PayMethod::Bitcoin
+        } else {
+            PayMethod::PayPal
+        }
     }
 
     /// True if this method settles on the Bitcoin chain (candidates for
@@ -426,8 +432,7 @@ pub fn generate(
                     a.render(value_usd * typo_factor, date, rates),
                     b.render(value_usd, date, rates),
                 );
-                let taker_service =
-                    if bernoulli(rng, 0.25) { " money transfer" } else { "" };
+                let taker_service = if bernoulli(rng, 0.25) { " money transfer" } else { "" };
                 let taker = format!(
                     "exchange sending {} for your {}{taker_service}",
                     b.render(value_usd, date, rates),
@@ -483,10 +488,8 @@ pub fn generate(
             let kind = ProductKind::sample(rng, month_index);
             let p = kind.phrase(rng);
             let m = PayMethod::sample_for_value(rng, month_index, value_usd);
-            let maker = format!(
-                "buying {p}, paying {}",
-                m.render(value_usd * typo_factor, date, rates)
-            );
+            let maker =
+                format!("buying {p}, paying {}", m.render(value_usd * typo_factor, date, rates));
             let taker = format!("providing {p}");
             ContractContent {
                 maker: RenderedSide { text: maker },
@@ -515,9 +518,7 @@ pub fn generate(
             let p = ProductKind::sample(rng, month_index).phrase(rng);
             ContractContent {
                 maker: RenderedSide { text: format!("vouch copy of {p}") },
-                taker: RenderedSide {
-                    text: "will leave vouch and honest review".into(),
-                },
+                taker: RenderedSide { text: "will leave vouch and honest review".into() },
                 btc_involved: false,
                 thread_title: format!("[Vouch Copy] {p}"),
             }

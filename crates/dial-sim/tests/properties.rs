@@ -103,15 +103,8 @@ fn textgen_money_round_trip() {
     let date = dial_time::Date::from_ymd(2019, 8, 15);
     for i in 0..500 {
         let value = 10.0 + f64::from(i % 90) * 7.0;
-        let content = textgen::generate(
-            &mut rng,
-            ContractType::Exchange,
-            14,
-            value,
-            date,
-            &rates,
-            false,
-        );
+        let content =
+            textgen::generate(&mut rng, ContractType::Exchange, 14, value, date, &rates, false);
         // The taker side always carries a money mention; the maker side
         // does whenever it quotes a leg ("sending ..."). The ~8% of
         // exchanges that swap goods quote value on the taker side only.

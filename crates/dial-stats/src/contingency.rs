@@ -110,11 +110,7 @@ pub fn chi_square_test(table: &[Vec<f64>]) -> ChiSquareTest {
     let dof = (eff_rows - 1) * (eff_cols - 1);
     let p_value = 1.0 - chi_square_cdf(statistic, dof);
     let k = (eff_rows.min(eff_cols) - 1) as f64;
-    let cramers_v = if grand > 0.0 && k > 0.0 {
-        (statistic / (grand * k)).sqrt()
-    } else {
-        0.0
-    };
+    let cramers_v = if grand > 0.0 && k > 0.0 { (statistic / (grand * k)).sqrt() } else { 0.0 };
     ChiSquareTest { statistic, dof, p_value, cramers_v }
 }
 

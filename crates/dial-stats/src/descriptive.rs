@@ -60,11 +60,7 @@ pub fn gini(xs: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, x)| (i as f64 + 1.0) * x)
-        .sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 

@@ -60,11 +60,8 @@ impl GlmFit {
             jittered.inverse_spd()
         })?;
         let std_err: Vec<f64> = (0..coef.len()).map(|i| cov[(i, i)].max(0.0).sqrt()).collect();
-        let z_values: Vec<f64> = coef
-            .iter()
-            .zip(&std_err)
-            .map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 })
-            .collect();
+        let z_values: Vec<f64> =
+            coef.iter().zip(&std_err).map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 }).collect();
         let p_values: Vec<f64> = z_values.iter().map(|z| two_sided_p(*z)).collect();
         Ok(Self { coef, std_err, z_values, p_values, log_lik, n, iterations })
     }
@@ -104,11 +101,7 @@ fn irls(
             }
             jittered.solve_spd(&rhs)
         })?;
-        let delta = new_beta
-            .iter()
-            .zip(&beta)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let delta = new_beta.iter().zip(&beta).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         beta = new_beta;
         if delta < TOL {
             break;
@@ -246,9 +239,8 @@ mod tests {
         let us = uniforms(2 * n, 42);
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i] * 2.0 - 1.0]).collect();
         let x = design_with_intercept(&rows);
-        let y: Vec<f64> = (0..n)
-            .map(|i| poisson_draw((0.5 + 0.8 * rows[i][0]).exp(), us[n + i]))
-            .collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| poisson_draw((0.5 + 0.8 * rows[i][0]).exp(), us[n + i])).collect();
         let fit = PoissonRegression::fit(&x, &y, None).unwrap();
         assert!((fit.coef[0] - 0.5).abs() < 0.06, "intercept {}", fit.coef[0]);
         assert!((fit.coef[1] - 0.8).abs() < 0.06, "slope {}", fit.coef[1]);

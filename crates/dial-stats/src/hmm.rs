@@ -43,11 +43,7 @@ pub struct HmmFit {
 }
 
 fn emission_log_prob(rates: &[f64], obs: &[f64]) -> f64 {
-    rates
-        .iter()
-        .zip(obs)
-        .map(|(lam, y)| y * lam.ln() - lam - ln_factorial(y.round() as u64))
-        .sum()
+    rates.iter().zip(obs).map(|(lam, y)| y * lam.ln() - lam - ln_factorial(y.round() as u64)).sum()
 }
 
 /// The latent transition model fitter.
@@ -259,9 +255,8 @@ impl HmmFit {
             }
         }
         let mut path = vec![0usize; t_len];
-        path[t_len - 1] = (0..k)
-            .max_by(|&a, &b| delta[t_len - 1][a].total_cmp(&delta[t_len - 1][b]))
-            .unwrap();
+        path[t_len - 1] =
+            (0..k).max_by(|&a, &b| delta[t_len - 1][a].total_cmp(&delta[t_len - 1][b])).unwrap();
         for t in (0..t_len - 1).rev() {
             path[t] = back[t + 1][path[t + 1]];
         }
@@ -379,8 +374,7 @@ mod tests {
     #[test]
     fn single_observation_sequences_degenerate_gracefully() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let seqs: Vec<Vec<Vec<f64>>> =
-            (0..30).map(|i| vec![vec![f64::from(i % 5), 1.0]]).collect();
+        let seqs: Vec<Vec<Vec<f64>>> = (0..30).map(|i| vec![vec![f64::from(i % 5), 1.0]]).collect();
         let fit = HmmLtm { k: 2 }.fit(&seqs, None, &mut rng);
         // No transitions observed: the matrix stays near its uniform prior.
         for row in &fit.transitions {

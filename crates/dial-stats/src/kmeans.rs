@@ -88,11 +88,8 @@ impl KMeans {
             }
         }
 
-        let inertia = rows
-            .iter()
-            .zip(&assignments)
-            .map(|(row, &a)| sq_dist(row, &centroids[a]))
-            .sum();
+        let inertia =
+            rows.iter().zip(&assignments).map(|(row, &a)| sq_dist(row, &centroids[a])).sum();
         KMeansFit { k, centroids, assignments, inertia, iterations }
     }
 

@@ -85,11 +85,7 @@ impl LcaFit {
     /// Maximum a-posteriori class for one observation.
     pub fn assign(&self, row: &[f64]) -> usize {
         let lj = self.log_joint(row);
-        lj.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        lj.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0)
     }
 }
 
@@ -188,9 +184,7 @@ pub fn select_k(
     restarts: usize,
     rng: &mut impl Rng,
 ) -> (Vec<LcaFit>, usize) {
-    let fits: Vec<LcaFit> = range
-        .map(|k| LcaModel { k }.fit_best(data, restarts, rng))
-        .collect();
+    let fits: Vec<LcaFit> = range.map(|k| LcaModel { k }.fit_best(data, restarts, rng)).collect();
     let best = fits
         .iter()
         .enumerate()

@@ -50,12 +50,12 @@ pub use correlation::{pearson, spearman};
 pub use glm::{GlmFit, LogisticRegression, PoissonRegression};
 pub use hierarchy::{adjusted_rand_index, agglomerative, Linkage};
 pub use hmm::{HmmFit, HmmLtm};
-pub use negbin::{NegBinFit, NegBinRegression};
-pub use overdispersion::{cameron_trivedi, OverdispersionTest};
 pub use kmeans::{KMeans, KMeansFit};
 pub use lca::{LcaFit, LcaModel};
 pub use lta::TransitionMatrix;
 pub use matrix::Matrix;
+pub use negbin::{NegBinFit, NegBinRegression};
+pub use overdispersion::{cameron_trivedi, OverdispersionTest};
 pub use powerlaw::PowerLawFit;
 pub use survival::{Duration, KaplanMeier};
 pub use zip::{VuongTest, ZipFit, ZipModel};

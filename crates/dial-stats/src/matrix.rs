@@ -74,9 +74,7 @@ impl Matrix {
     /// Matrix-vector product `self * v`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `Xᵀ W X` for a diagonal weight vector `w` (the IRLS normal matrix).

@@ -138,11 +138,8 @@ impl NegBinRegression {
             j.inverse_spd()
         })?;
         let std_err: Vec<f64> = (0..beta.len()).map(|i| cov[(i, i)].max(0.0).sqrt()).collect();
-        let z_values: Vec<f64> = beta
-            .iter()
-            .zip(&std_err)
-            .map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 })
-            .collect();
+        let z_values: Vec<f64> =
+            beta.iter().zip(&std_err).map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 }).collect();
         Ok(NegBinFit {
             p_values: z_values.iter().map(|z| two_sided_p(*z)).collect(),
             coef: beta,
@@ -245,9 +242,8 @@ mod tests {
         let n = 5000;
         let us = uniforms(2 * n, 4);
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i]]).collect();
-        let y: Vec<f64> = (0..n)
-            .map(|i| poisson_draw((1.0 + 0.4 * rows[i][0]).exp(), us[n + i]))
-            .collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| poisson_draw((1.0 + 0.4 * rows[i][0]).exp(), us[n + i])).collect();
         let x = design_with_intercept(&rows);
         let pois = PoissonRegression::fit(&x, &y, None).unwrap();
         let nb = NegBinRegression::fit(&x, &y, &pois).unwrap();

@@ -95,9 +95,8 @@ mod tests {
         let n = 4000;
         let us = uniforms(2 * n, 3);
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i]]).collect();
-        let y: Vec<f64> = (0..n)
-            .map(|i| poisson_draw((1.0 + 0.5 * rows[i][0]).exp(), us[n + i]))
-            .collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| poisson_draw((1.0 + 0.5 * rows[i][0]).exp(), us[n + i])).collect();
         let x = design_with_intercept(&rows);
         let fit = PoissonRegression::fit(&x, &y, None).unwrap();
         let test = cameron_trivedi(&x, &y, &fit);

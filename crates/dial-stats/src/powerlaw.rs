@@ -82,7 +82,8 @@ impl PowerLawFit {
         if sum_ln <= 0.0 {
             return None; // all values equal x_min = 1: no tail to fit
         }
-        let neg_ll = |alpha: f64| alpha * sum_ln + n as f64 * hurwitz_zeta(alpha, x_min as f64).ln();
+        let neg_ll =
+            |alpha: f64| alpha * sum_ln + n as f64 * hurwitz_zeta(alpha, x_min as f64).ln();
         let alpha = golden_section_min(neg_ll, 1.01, 8.0, 1e-7);
 
         // KS distance over the observed support.
@@ -156,11 +157,7 @@ mod tests {
         for &alpha in &[1.8f64, 2.5, 3.0] {
             let xs = power_law_sample(alpha, 20_000, 777);
             let fit = PowerLawFit::fit_from_one(&xs).unwrap();
-            assert!(
-                (fit.alpha - alpha).abs() < 0.12,
-                "planted α={alpha}, got {}",
-                fit.alpha
-            );
+            assert!((fit.alpha - alpha).abs() < 0.12, "planted α={alpha}, got {}", fit.alpha);
             assert!(fit.ks_distance < 0.05, "KS = {}", fit.ks_distance);
         }
     }

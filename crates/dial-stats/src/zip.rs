@@ -99,19 +99,10 @@ fn zip_ll_obs(y: f64, eta_count: f64, eta_zero: f64) -> f64 {
 }
 
 /// Total ZIP log-likelihood for stacked parameters.
-fn zip_ll_total(
-    x_count: &Matrix,
-    x_zero: &Matrix,
-    y: &[f64],
-    beta: &[f64],
-    gamma: &[f64],
-) -> f64 {
+fn zip_ll_total(x_count: &Matrix, x_zero: &Matrix, y: &[f64], beta: &[f64], gamma: &[f64]) -> f64 {
     let eta_c = x_count.mul_vec(beta);
     let eta_z = x_zero.mul_vec(gamma);
-    y.iter()
-        .zip(eta_c.iter().zip(&eta_z))
-        .map(|(yi, (ec, ez))| zip_ll_obs(*yi, *ec, *ez))
-        .sum()
+    y.iter().zip(eta_c.iter().zip(&eta_z)).map(|(yi, (ec, ez))| zip_ll_obs(*yi, *ec, *ez)).sum()
 }
 
 impl ZipModel {
@@ -182,16 +173,10 @@ impl ZipModel {
         // Standard errors from the observed information (numerical Hessian of
         // the full log-likelihood at the optimum).
         let (count_se, zero_se) = Self::standard_errors(x_count, x_zero, y, &beta, &gamma)?;
-        let count_z: Vec<f64> = beta
-            .iter()
-            .zip(&count_se)
-            .map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 })
-            .collect();
-        let zero_z: Vec<f64> = gamma
-            .iter()
-            .zip(&zero_se)
-            .map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 })
-            .collect();
+        let count_z: Vec<f64> =
+            beta.iter().zip(&count_se).map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 }).collect();
+        let zero_z: Vec<f64> =
+            gamma.iter().zip(&zero_se).map(|(b, s)| if *s > 0.0 { b / s } else { 0.0 }).collect();
 
         // Null model for McFadden's R²: intercept-only ZIP.
         let null_ll = Self::null_log_lik(y)?;
@@ -256,9 +241,7 @@ impl ZipModel {
         let pc = beta.len();
         let pz = gamma.len();
         let p = pc + pz;
-        let ll = |theta: &[f64]| {
-            zip_ll_total(x_count, x_zero, y, &theta[..pc], &theta[pc..])
-        };
+        let ll = |theta: &[f64]| zip_ll_total(x_count, x_zero, y, &theta[..pc], &theta[pc..]);
         let mut theta: Vec<f64> = beta.iter().chain(gamma).copied().collect();
         let h = 1e-5;
         let mut hess = Matrix::zeros(p, p);
@@ -266,10 +249,7 @@ impl ZipModel {
         for a in 0..p {
             for b in a..p {
                 let (ta, tb) = (theta[a], theta[b]);
-                
-                
-                
-                
+
                 if a == b {
                     theta[a] = ta + h;
                     let fp = ll(&theta);
@@ -358,18 +338,13 @@ impl VuongTest {
             .map(|i| {
                 let ll_zip = zip_ll_obs(y[i], eta_c[i], eta_z[i]);
                 let lambda = eta_p[i].clamp(-CAP, CAP).exp();
-                let ll_pois =
-                    y[i] * lambda.ln() - lambda - ln_factorial(y[i].round() as u64);
+                let ll_pois = y[i] * lambda.ln() - lambda - ln_factorial(y[i].round() as u64);
                 ll_zip - ll_pois
             })
             .collect();
         let mbar = m.iter().sum::<f64>() / n as f64;
         let s2 = m.iter().map(|v| (v - mbar).powi(2)).sum::<f64>() / n as f64;
-        let statistic = if s2 > 0.0 {
-            (n as f64).sqrt() * mbar / s2.sqrt()
-        } else {
-            0.0
-        };
+        let statistic = if s2 > 0.0 { (n as f64).sqrt() * mbar / s2.sqrt() } else { 0.0 };
         VuongTest { statistic, p_value: 1.0 - normal_cdf(statistic) }
     }
 }
@@ -456,9 +431,8 @@ mod tests {
         let n = 3000;
         let us = uniforms(2 * n, 11);
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![us[i]]).collect();
-        let y: Vec<f64> = (0..n)
-            .map(|i| poisson_draw((0.8 + 0.3 * rows[i][0]).exp(), us[n + i]))
-            .collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| poisson_draw((0.8 + 0.3 * rows[i][0]).exp(), us[n + i])).collect();
         let xm = design_with_intercept(&rows);
         let zip = ZipModel::fit(&xm, &xm, &y).unwrap();
         let pois = PoissonRegression::fit(&xm, &y, None).unwrap();

@@ -119,10 +119,7 @@ mod tests {
     fn min_count_filters_noise() {
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         struct Only;
-        let corpus = vec![
-            (toks("common common common rare"), Only),
-            (toks("common common"), Only),
-        ];
+        let corpus = vec![(toks("common common common rare"), Only), (toks("common common"), Only)];
         let report = distinctive_tokens(&corpus, 10, 2);
         let tokens: Vec<&str> = report[0].keywords.iter().map(|(t, _)| t.as_str()).collect();
         assert!(tokens.contains(&"common"));

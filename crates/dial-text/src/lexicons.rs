@@ -184,8 +184,20 @@ impl fmt::Display for PaymentMethod {
 /// Canonical tokens that denote a currency/payment instrument; used to gate
 /// the `exchange`/`swap` patterns of the currency-exchange bucket.
 const CURRENCY_TOKENS: &[&str] = &[
-    "bitcoin", "paypal", "ethereum", "bitcoincash", "litecoin", "monero", "cashapp", "venmo",
-    "zelle", "usd", "giftcard", "vbucks", "skrill", "crypto",
+    "bitcoin",
+    "paypal",
+    "ethereum",
+    "bitcoincash",
+    "litecoin",
+    "monero",
+    "cashapp",
+    "venmo",
+    "zelle",
+    "usd",
+    "giftcard",
+    "vbucks",
+    "skrill",
+    "crypto",
 ];
 
 /// The trading-activity matcher (Table 3 buckets).
@@ -196,8 +208,10 @@ pub fn activity_lexicon() -> CategoryMatcher<TradeCategory> {
     // Currency exchange: explicit exchange verbs gated on a currency token,
     // or canonical "X for Y" currency pairs.
     for cur in CURRENCY_TOKENS {
-        rules.push(Rule::any(CurrencyExchange, &["exchange", "swap", "convert", "trade"])
-            .requiring(&[cur]));
+        rules.push(
+            Rule::any(CurrencyExchange, &["exchange", "swap", "convert", "trade"])
+                .requiring(&[cur]),
+        );
     }
     rules.push(Rule::any(
         CurrencyExchange,
@@ -241,8 +255,20 @@ pub fn activity_lexicon() -> CategoryMatcher<TradeCategory> {
     rules.push(Rule::any(
         GamingRelated,
         &[
-            "fortnite", "minecraft", "steam", "csgo", "league", "runescape", "skin", "vbucks",
-            "gaming", "game", "ingame", "osrs", "gold", "coin",
+            "fortnite",
+            "minecraft",
+            "steam",
+            "csgo",
+            "league",
+            "runescape",
+            "skin",
+            "vbucks",
+            "gaming",
+            "game",
+            "ingame",
+            "osrs",
+            "gold",
+            "coin",
         ],
     ));
     rules.push(Rule::any(
@@ -252,22 +278,49 @@ pub fn activity_lexicon() -> CategoryMatcher<TradeCategory> {
     rules.push(Rule::any(
         Multimedia,
         &[
-            "logo", "banner", "design", "illustration", "thumbnail", "video editing", "edit",
-            "animation", "graphics", "gfx", "intro",
+            "logo",
+            "banner",
+            "design",
+            "illustration",
+            "thumbnail",
+            "video editing",
+            "edit",
+            "animation",
+            "graphics",
+            "gfx",
+            "intro",
         ],
     ));
     rules.push(Rule::any(
         HackingProgramming,
         &[
-            "hacking", "exploit", "pentest", "crypter", "programming", "coding", "developer",
-            "script", "website development", "web development", "rat setup", "fud",
+            "hacking",
+            "exploit",
+            "pentest",
+            "crypter",
+            "programming",
+            "coding",
+            "developer",
+            "script",
+            "website development",
+            "web development",
+            "rat setup",
+            "fud",
         ],
     ));
     rules.push(Rule::any(
         SocialNetworkBoost,
         &[
-            "follower", "like", "view", "subscribers", "instagram boost", "social boost",
-            "social network", "upvote", "retweets", "engagement",
+            "follower",
+            "like",
+            "view",
+            "subscribers",
+            "instagram boost",
+            "social boost",
+            "social network",
+            "upvote",
+            "retweets",
+            "engagement",
         ],
     ));
     rules.push(Rule::any(

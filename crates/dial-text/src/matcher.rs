@@ -75,10 +75,7 @@ impl<C: Copy + Eq + std::hash::Hash> CategoryMatcher<C> {
             if seen.contains(&rule.category) {
                 continue;
             }
-            let required_ok = rule
-                .require_all
-                .iter()
-                .all(|req| pattern_matches(tokens, req));
+            let required_ok = rule.require_all.iter().all(|req| pattern_matches(tokens, req));
             if required_ok && rule.any_of.iter().any(|p| pattern_matches(tokens, p)) {
                 seen.insert(rule.category);
                 out.push(rule.category);
@@ -123,9 +120,8 @@ mod tests {
 
     #[test]
     fn require_all_gates_the_rule() {
-        let m = CategoryMatcher::new(vec![
-            Rule::any(Cat::A, &["exchange"]).requiring(&["bitcoin"]),
-        ]);
+        let m =
+            CategoryMatcher::new(vec![Rule::any(Cat::A, &["exchange"]).requiring(&["bitcoin"])]);
         assert!(m.matches(&toks("exchange paypal")).is_empty());
         assert_eq!(m.matches(&toks("exchange bitcoin")), vec![Cat::A]);
     }

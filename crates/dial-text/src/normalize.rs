@@ -15,13 +15,77 @@ pub struct Normalizer {
 
 /// Stop-words observed to carry no category signal in obligation text.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "and", "or", "of", "to", "for", "in", "on", "with", "my", "your", "our",
-    "their", "his", "her", "its", "i", "you", "we", "they", "me", "will", "send", "sending",
-    "receive", "receiving", "give", "giving", "get", "getting", "provide", "providing", "after",
-    "before", "once", "upon", "per", "via", "as", "is", "are", "be", "been", "this", "that",
-    "each", "both", "all", "any", "some", "new", "one", "two", "first", "then", "from", "by",
-    "at", "it", "within", "hours", "hrs", "days", "instant", "instantly", "fast", "cheap",
-    "worth", "x",
+    "a",
+    "an",
+    "the",
+    "and",
+    "or",
+    "of",
+    "to",
+    "for",
+    "in",
+    "on",
+    "with",
+    "my",
+    "your",
+    "our",
+    "their",
+    "his",
+    "her",
+    "its",
+    "i",
+    "you",
+    "we",
+    "they",
+    "me",
+    "will",
+    "send",
+    "sending",
+    "receive",
+    "receiving",
+    "give",
+    "giving",
+    "get",
+    "getting",
+    "provide",
+    "providing",
+    "after",
+    "before",
+    "once",
+    "upon",
+    "per",
+    "via",
+    "as",
+    "is",
+    "are",
+    "be",
+    "been",
+    "this",
+    "that",
+    "each",
+    "both",
+    "all",
+    "any",
+    "some",
+    "new",
+    "one",
+    "two",
+    "first",
+    "then",
+    "from",
+    "by",
+    "at",
+    "it",
+    "within",
+    "hours",
+    "hrs",
+    "days",
+    "instant",
+    "instantly",
+    "fast",
+    "cheap",
+    "worth",
+    "x",
 ];
 
 /// Synonym table unifying the spellings seen in the wild to canonical forms.
@@ -156,9 +220,8 @@ impl Normalizer {
         let mut i = 0;
         while i < tokens.len() {
             if i + 1 < tokens.len() {
-                if let Some((_, _, merged)) = BIGRAMS
-                    .iter()
-                    .find(|(a, b, _)| tokens[i] == *a && tokens[i + 1] == *b)
+                if let Some((_, _, merged)) =
+                    BIGRAMS.iter().find(|(a, b, _)| tokens[i] == *a && tokens[i + 1] == *b)
                 {
                     out.push((*merged).to_string());
                     i += 2;

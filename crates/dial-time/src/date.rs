@@ -28,11 +28,7 @@ pub struct InvalidDate {
 
 impl fmt::Display for InvalidDate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid date: {:04}-{:02}-{:02}",
-            self.year, self.month, self.day
-        )
+        write!(f, "invalid date: {:04}-{:02}-{:02}", self.year, self.month, self.day)
     }
 }
 
@@ -182,14 +178,8 @@ mod tests {
 
     #[test]
     fn plus_days_crosses_month_and_year() {
-        assert_eq!(
-            Date::from_ymd(2019, 12, 31).plus_days(1),
-            Date::from_ymd(2020, 1, 1)
-        );
-        assert_eq!(
-            Date::from_ymd(2020, 3, 1).plus_days(-1),
-            Date::from_ymd(2020, 2, 29)
-        );
+        assert_eq!(Date::from_ymd(2019, 12, 31).plus_days(1), Date::from_ymd(2020, 1, 1));
+        assert_eq!(Date::from_ymd(2020, 3, 1).plus_days(-1), Date::from_ymd(2020, 2, 29));
     }
 
     #[test]

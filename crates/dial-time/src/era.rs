@@ -51,9 +51,7 @@ impl Era {
 
     /// The era containing `date`, or `None` outside the study window.
     pub fn of(date: Date) -> Option<Era> {
-        Era::ALL
-            .into_iter()
-            .find(|e| date >= e.start() && date <= e.end())
+        Era::ALL.into_iter().find(|e| date >= e.start() && date <= e.end())
     }
 
     /// Short figure label used by the paper (E1/E2/E3).

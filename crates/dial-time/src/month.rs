@@ -104,9 +104,8 @@ mod tests {
 
     #[test]
     fn range_covers_study_window() {
-        let months: Vec<_> = YearMonth::new(2018, 6)
-            .range_inclusive(YearMonth::new(2020, 6))
-            .collect();
+        let months: Vec<_> =
+            YearMonth::new(2018, 6).range_inclusive(YearMonth::new(2020, 6)).collect();
         assert_eq!(months.len(), 25);
         assert_eq!(months[0], YearMonth::new(2018, 6));
         assert_eq!(months[24], YearMonth::new(2020, 6));

@@ -71,18 +71,12 @@ impl<T> MonthlySeries<T> {
 
     /// Iterates `(month, &value)` pairs in chronological order.
     pub fn iter(&self) -> impl Iterator<Item = (YearMonth, &T)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(move |(i, v)| (self.start.plus_months(i as i64), v))
+        self.values.iter().enumerate().map(move |(i, v)| (self.start.plus_months(i as i64), v))
     }
 
     /// Applies `f` to every value, preserving alignment.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> MonthlySeries<U> {
-        MonthlySeries {
-            start: self.start,
-            values: self.values.iter().map(&mut f).collect(),
-        }
+        MonthlySeries { start: self.start, values: self.values.iter().map(&mut f).collect() }
     }
 
     /// Pointwise join of two series. Panics if they are not aligned (same
@@ -96,12 +90,7 @@ impl<T> MonthlySeries<T> {
         assert_eq!(self.values.len(), other.values.len(), "misaligned series length");
         MonthlySeries {
             start: self.start,
-            values: self
-                .values
-                .iter()
-                .zip(other.values.iter())
-                .map(|(a, b)| f(a, b))
-                .collect(),
+            values: self.values.iter().zip(other.values.iter()).map(|(a, b)| f(a, b)).collect(),
         }
     }
 

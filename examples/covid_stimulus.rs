@@ -30,7 +30,9 @@ fn main() {
     // 2. The non-transformation: type shares stay put.
     let mix = type_mix::type_mix_series(&dataset);
     println!("created-contract type shares (SALE / PURCHASE / EXCHANGE):");
-    for (label, ym) in [("Feb 2020", YearMonth::new(2020, 2)), ("Apr 2020", YearMonth::new(2020, 4))] {
+    for (label, ym) in
+        [("Feb 2020", YearMonth::new(2020, 2)), ("Apr 2020", YearMonth::new(2020, 4))]
+    {
         let row = mix.created.get(ym).unwrap();
         println!(
             "  {label}: {:.0}% / {:.0}% / {:.0}%",

@@ -31,9 +31,8 @@ fn main() {
 
     // Chain-level view: assemble blocks over the ledger and check how many
     // verified settlements were final (≥6 confirmations) within a day.
-    let genesis = dial_market::time::Timestamp::at_midnight(
-        dial_market::time::StudyWindow::start(),
-    );
+    let genesis =
+        dial_market::time::Timestamp::at_midnight(dial_market::time::StudyWindow::start());
     let chain = dial_market::chain::Chain::assemble(&out.ledger, genesis);
     let mut final_within_day = 0usize;
     let mut checked = 0usize;

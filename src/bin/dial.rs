@@ -7,9 +7,14 @@
 //! dial summary market.json
 //!     Print the dataset's headline statistics.
 //!
-//! dial analyze market.json --experiment table1 [--experiment fig7 ...]
+//! dial analyze market.json --experiment table1,fig7 [--experiment table2 ...]
 //! dial analyze market.json --all [--classes 12]
-//!     Regenerate paper tables/figures from a snapshot.
+//!     Regenerate paper tables/figures from a snapshot. `--experiment`
+//!     takes comma-separated lists and may repeat; unknown ids abort
+//!     with the valid ids listed.
+//!
+//! dial serve --snapshot market.json [--port 8080] [--threads N]
+//!     Serve the snapshot as a long-running JSON query service.
 //!
 //! dial list
 //!     List the available experiment ids.
@@ -17,15 +22,8 @@
 
 use dial_market::core::experiments::{all_experiments, extension_experiments, ExperimentContext};
 use dial_market::prelude::*;
-use serde::{Deserialize, Serialize};
+use dial_serve::{Engine, ServeConfig, Server, Snapshot, SnapshotStore};
 use std::process::ExitCode;
-
-/// The on-disk snapshot: everything an analysis needs.
-#[derive(Serialize, Deserialize)]
-struct Snapshot {
-    dataset: Dataset,
-    ledger: dial_chain::Ledger,
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +31,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[1..]),
         Some("summary") => summary(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("export") => export(&args[1..]),
         Some("list") => {
             for e in all_experiments().into_iter().chain(extension_experiments()) {
@@ -41,10 +40,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dial <generate|summary|analyze|export|list> [options]");
+            eprintln!("usage: dial <generate|summary|analyze|serve|export|list> [options]");
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
-            eprintln!("  dial analyze market.json --experiment table1 | --all [--classes 12]");
+            eprintln!("  dial analyze market.json --experiment table1,fig7 | --all [--classes 12]");
+            eprintln!(
+                "  dial serve --snapshot market.json [--port 8080] [--threads N] [--queue 64]"
+            );
             eprintln!("  dial export market.json --dir csv_out");
             ExitCode::FAILURE
         }
@@ -156,30 +158,97 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
     let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
+    // Each `--experiment` value is a comma-separated list; the flag may
+    // also repeat, so `--experiment table1,fig7 --experiment table2` works.
     let wanted: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|(_, a)| *a == "--experiment")
-        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .filter_map(|(i, _)| args.get(i + 1))
+        .flat_map(|v| v.split(','))
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
         .collect();
     let run_all = args.iter().any(|a| a == "--all");
     if wanted.is_empty() && !run_all {
-        eprintln!("nothing to run: pass --experiment <id> (see `dial list`) or --all");
+        eprintln!("nothing to run: pass --experiment <id>[,<id>...] (see `dial list`) or --all");
+        return ExitCode::FAILURE;
+    }
+
+    let registry: Vec<_> = all_experiments().into_iter().chain(extension_experiments()).collect();
+    let unknown: Vec<&String> =
+        wanted.iter().filter(|w| !registry.iter().any(|e| e.id == w.as_str())).collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s): {unknown:?}");
+        eprintln!("valid ids: {}", registry.iter().map(|e| e.id).collect::<Vec<_>>().join(", "));
         return ExitCode::FAILURE;
     }
 
     let ctx = ExperimentContext::new(snap.dataset, snap.ledger, 0xD1A1, classes);
-    let mut matched = false;
-    for e in all_experiments().into_iter().chain(extension_experiments()) {
+    for e in &registry {
         if run_all || wanted.iter().any(|w| w == e.id) {
-            matched = true;
             println!("== [{}] {} ==", e.id, e.title);
             println!("{}\n", (e.run)(&ctx));
         }
     }
-    if !matched {
-        eprintln!("no experiment matched {wanted:?}; see `dial list`");
+    ExitCode::SUCCESS
+}
+
+/// Boots the dial-serve subsystem on a snapshot and blocks until killed.
+fn serve(args: &[String]) -> ExitCode {
+    let Some(path) = opt(args, "--snapshot") else {
+        eprintln!(
+            "usage: dial serve --snapshot <snapshot.json> [--port 8080] [--threads N] [--queue 64]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = ServeConfig::default();
+    if let Some(p) = opt(args, "--port").and_then(|v| v.parse().ok()) {
+        cfg.port = p;
+    }
+    if let Some(t) = opt(args, "--threads").and_then(|v| v.parse().ok()) {
+        cfg.threads = t;
+    }
+    if let Some(q) = opt(args, "--queue").and_then(|v| v.parse().ok()) {
+        cfg.queue_capacity = q;
+    }
+    if cfg.threads == 0 {
+        eprintln!("--threads must be at least 1");
         return ExitCode::FAILURE;
     }
-    ExitCode::SUCCESS
+    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
+    let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
+
+    eprintln!("loading snapshot {path}...");
+    let store = match SnapshotStore::load(&path, seed, classes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("snapshot {} loaded ({} contracts)", store.fingerprint(), store.summary().contracts);
+    let engine = std::sync::Arc::new(Engine::new(
+        store,
+        dial_serve::registry_experiments(),
+        cfg.threads,
+        cfg.queue_capacity,
+    ));
+    match Server::start(engine, &cfg) {
+        Ok(server) => {
+            eprintln!(
+                "serving on http://{} ({} workers, queue {})",
+                server.addr(),
+                cfg.threads,
+                cfg.queue_capacity
+            );
+            server.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bind 127.0.0.1:{}: {e}", cfg.port);
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -28,7 +28,15 @@ fn every_registered_experiment_produces_output() {
 fn extension_registry_is_complete_and_disjoint() {
     let paper_ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     let ext_ids: Vec<&str> = extension_experiments().iter().map(|e| e.id).collect();
-    for id in ["ext-stimulus", "ext-disputes", "ext-repeat", "ext-mixing", "ext-forum", "ext-eras", "ext-dynamics"] {
+    for id in [
+        "ext-stimulus",
+        "ext-disputes",
+        "ext-repeat",
+        "ext-mixing",
+        "ext-forum",
+        "ext-eras",
+        "ext-dynamics",
+    ] {
         assert!(ext_ids.contains(&id), "missing {id}");
     }
     for id in &ext_ids {

@@ -24,10 +24,7 @@ fn dataset_json_round_trip_preserves_analyses() {
 
     // The reindexed dataset's secondary indexes work.
     let user = original.contracts()[0].maker;
-    assert_eq!(
-        original.contracts_made_by(user).count(),
-        reloaded.contracts_made_by(user).count()
-    );
+    assert_eq!(original.contracts_made_by(user).count(), reloaded.contracts_made_by(user).count());
 }
 
 #[test]

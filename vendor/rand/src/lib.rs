@@ -1,0 +1,294 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin API subset it actually uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::random_range`] over integer
+//! and float ranges. Semantics follow rand 0.9 (unbiased integer ranges
+//! via widening-multiply rejection, `[lo, hi)` floats from 53 random
+//! bits); the exact value streams are not guaranteed to match the
+//! upstream crate, which the workspace never relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-width seed accepted by [`SeedableRng::from_seed`].
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the same construction rand uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the standard seed expander.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range from which a uniform sample can be drawn.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types supporting uniform range sampling.
+///
+/// The parametric blanket impls of [`SampleRange`] below are what let
+/// `rng.random_range(0..n)` infer its output type, exactly like rand's
+/// own `uniform` module.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[low, high)` (`inclusive == false`) or
+    /// `[low, high]` (`inclusive == true`). Bounds are already validated.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($($t:ty => $wide:ty, $unsigned:ty);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as $unsigned as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                // span == 0 here means the full inclusive domain of a
+                // 64-bit type; uniform_below treats 0 as 2^64.
+                low.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int_impl! {
+    u8 => u16, u8;
+    u16 => u32, u16;
+    u32 => u64, u32;
+    u64 => u128, u64;
+    usize => u128, u64;
+    i8 => i16, u8;
+    i16 => i32, u16;
+    i32 => i64, u32;
+    i64 => i128, u64;
+    isize => i128, u64;
+}
+
+/// Uniform `u64` in `[0, span)` (`span == 0` means the full 2^64 range),
+/// by Lemire's widening-multiply method with rejection.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = span.wrapping_neg() % span; // 2^64 mod span
+    loop {
+        let wide = (rng.next_u64() as u128).wrapping_mul(span as u128);
+        let lo = wide as u64;
+        if lo >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_float_impl {
+    ($($t:ty, $bits:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let denom = if inclusive {
+                    ((1u64 << $bits) - 1) as $t
+                } else {
+                    (1u64 << $bits) as $t
+                };
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t / denom;
+                let v = low + (high - low) * unit;
+                if inclusive || v < high {
+                    v
+                } else {
+                    // Guard against rounding up to the excluded endpoint.
+                    high.next_down().max(low)
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float_impl! {
+    f64, 53;
+    f32, 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..2000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-50..=50);
+            assert!((-50..=50).contains(&w));
+            let u: usize = rng.random_range(0..9);
+            assert!(u < 9);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(9);
+        for _ in 0..2000 {
+            let v: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w: f64 = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inference_picks_the_range_element_type() {
+        let mut rng = Counter(5);
+        // Regression for the real-world call shape `m * rng.random_range(..)`
+        // where the target type is only constrained by the arithmetic.
+        let m: f64 = 2.0;
+        let scaled = m * rng.random_range(0.3..3.0);
+        assert!(scaled > 0.0);
+    }
+
+    #[test]
+    fn full_width_ranges_do_not_panic() {
+        let mut rng = Counter(11);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = Counter(13);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! JSON deserialization: a recursive-descent parser plus impls of
+//! [`Deserialize`] for primitives and std containers.
+
+use crate::Deserialize;
+use std::fmt;
+
+/// A deserialization error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl Error {
+    /// Builds an error at `pos`.
+    pub fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Self { msg: msg.into(), pos }
+    }
+
+    /// Error for a missing required field, raised by derived impls.
+    pub fn missing_field(name: &str) -> Self {
+        Self { msg: format!("missing field `{name}`"), pos: 0 }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A single-pass JSON parser over a borrowed string.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing at the beginning of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(msg, self.pos)
+    }
+
+    /// Skips whitespace and returns the next byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Consumes `expected` (after whitespace) or errors.
+    pub fn expect(&mut self, expected: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => {
+                Err(self.err(format!("expected `{}`, found `{}`", expected as char, b as char)))
+            }
+            None => Err(self.err(format!("expected `{}`, found end of input", expected as char))),
+        }
+    }
+
+    /// Consumes `expected` if it is next; returns whether it did.
+    pub fn consume_if(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the literal `null` if it is next; returns whether it did.
+    pub fn consume_null(&mut self) -> bool {
+        self.peek();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a JSON string literal.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the
+                            // serializer (it emits raw UTF-8), but accept
+                            // lone BMP escapes.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Returns the raw text of the next number token.
+    pub fn parse_number_token(&mut self) -> Result<&'a str, Error> {
+        self.peek();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap())
+    }
+
+    /// Skips one complete JSON value (used for unknown object keys).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if !self.consume_if(b'}') {
+                    loop {
+                        self.parse_string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if self.consume_if(b',') {
+                            continue;
+                        }
+                        self.expect(b'}')?;
+                        break;
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if !self.consume_if(b']') {
+                    loop {
+                        self.skip_value()?;
+                        if self.consume_if(b',') {
+                            continue;
+                        }
+                        self.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                bool::deserialize_json(self)?;
+            }
+            Some(b'n') => {
+                if !self.consume_null() {
+                    return Err(self.err("expected null"));
+                }
+            }
+            Some(_) => {
+                self.parse_number_token()?;
+            }
+            None => return Err(self.err("unexpected end of input")),
+        }
+        Ok(())
+    }
+
+    /// Errors unless the whole input has been consumed (trailing
+    /// whitespace allowed).
+    pub fn finish(&mut self) -> Result<(), Error> {
+        if self.peek().is_some() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(())
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+macro_rules! int_de_impl {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let pos = p.pos;
+                let tok = p.parse_number_token()?;
+                tok.parse::<$t>().map_err(|e| Error::new(
+                    format!("invalid {}: `{tok}` ({e})", stringify!($t)), pos))
+            }
+        }
+    )*};
+}
+
+int_de_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_de_impl {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                // The serializer writes non-finite floats as null.
+                if p.peek() == Some(b'n') && p.consume_null() {
+                    return Ok(<$t>::NAN);
+                }
+                let pos = p.pos;
+                let tok = p.parse_number_token()?;
+                tok.parse::<$t>().map_err(|e| Error::new(
+                    format!("invalid {}: `{tok}` ({e})", stringify!($t)), pos))
+            }
+        }
+    )*};
+}
+
+float_de_impl!(f32, f64);
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.peek();
+        if p.bytes[p.pos..].starts_with(b"true") {
+            p.pos += 4;
+            Ok(true)
+        } else if p.bytes[p.pos..].starts_with(b"false") {
+            p.pos += 5;
+            Ok(false)
+        } else {
+            Err(p.err("expected `true` or `false`"))
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_string()
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let pos = p.pos;
+        let s = p.parse_string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected a single-character string", pos)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.peek() == Some(b'n') && p.consume_null() {
+            Ok(None)
+        } else {
+            T::deserialize_json(p).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        T::deserialize_json(p).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect(b'[')?;
+        let mut out = Vec::new();
+        if p.consume_if(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.consume_if(b',') {
+                continue;
+            }
+            p.expect(b']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let pos = p.pos;
+        let v = Vec::<T>::deserialize_json(p)?;
+        let got = v.len();
+        v.try_into()
+            .map_err(|_| Error::new(format!("expected array of length {N}, got {got}"), pos))
+    }
+}
+
+macro_rules! tuple_de_impl {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                p.expect(b'[')?;
+                let mut first = true;
+                $(
+                    if !first { p.expect(b',')?; }
+                    first = false;
+                    let $name = $name::deserialize_json(p)?;
+                )+
+                let _ = first;
+                p.expect(b']')?;
+                Ok(($($name,)+))
+            }
+        }
+    )*};
+}
+
+tuple_de_impl! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+impl Deserialize for () {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.consume_null() {
+            Ok(())
+        } else {
+            Err(p.err("expected null"))
+        }
+    }
+}
+
+/// Parses one JSON object key as a `K`.
+///
+/// JSON keys are always strings, so the raw quoted token is first offered
+/// to `K`'s own impl (covers `String`, `char` and enum unit variants);
+/// when that fails the unquoted content is retried (covers integer and
+/// bool keys, which serde_json stringifies on serialization).
+fn parse_key<K: Deserialize>(p: &mut Parser<'_>) -> Result<K, Error> {
+    p.peek();
+    let start = p.pos;
+    let inner = p.parse_string()?;
+    let raw = std::str::from_utf8(&p.bytes[start..p.pos])
+        .map_err(|_| Error::new("invalid UTF-8 in map key", start))?;
+    for candidate in [raw, inner.as_str()] {
+        let mut sub = Parser::new(candidate);
+        if let Ok(key) = K::deserialize_json(&mut sub) {
+            if sub.finish().is_ok() {
+                return Ok(key);
+            }
+        }
+    }
+    Err(Error::new(format!("invalid map key `{inner}`"), start))
+}
+
+fn map_de_entries<K: Deserialize, V: Deserialize>(
+    p: &mut Parser<'_>,
+    mut insert: impl FnMut(K, V),
+) -> Result<(), Error> {
+    p.expect(b'{')?;
+    if p.consume_if(b'}') {
+        return Ok(());
+    }
+    loop {
+        let key = parse_key(p)?;
+        p.expect(b':')?;
+        let value = V::deserialize_json(p)?;
+        insert(key, value);
+        if p.consume_if(b',') {
+            continue;
+        }
+        p.expect(b'}')?;
+        return Ok(());
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut out = Self::new();
+        map_de_entries(p, |k, v| {
+            out.insert(k, v);
+        })?;
+        Ok(out)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut out = Self::new();
+        map_de_entries(p, |k, v| {
+            out.insert(k, v);
+        })?;
+        Ok(out)
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal serialization framework under the same crate and trait names.
+//! Unlike real serde there is no format-generic data model: the only
+//! format the workspace uses is JSON, so [`Serialize`] writes JSON text
+//! directly and [`Deserialize`] reads from a JSON [`de::Parser`]. The
+//! derive macros (`#[derive(Serialize, Deserialize)]`, honouring
+//! `#[serde(skip)]`) generate impls of these traits with serde's
+//! externally-tagged representation, so snapshots written by one build
+//! remain readable by the next.
+
+pub mod de;
+pub mod ser;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can be read back from JSON.
+pub trait Deserialize: Sized {
+    /// Parses one JSON value from the parser's current position.
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}

@@ -1,0 +1,586 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! (no `syn`/`quote`, which are unavailable offline). They parse the item
+//! with a small token walker and generate impls of the vendored serde's
+//! JSON traits, using serde's externally-tagged data layout:
+//!
+//! * named struct        → `{"field": value, ...}`
+//! * newtype struct      → the inner value
+//! * tuple struct        → `[v0, v1, ...]`
+//! * unit struct         → `null`
+//! * unit enum variant   → `"Variant"`
+//! * struct enum variant → `{"Variant": {"field": value, ...}}`
+//! * tuple enum variant  → `{"Variant": value}` / `{"Variant": [v0, ...]}`
+//!
+//! Supported attribute: `#[serde(skip)]` — the field is not serialized
+//! and is rebuilt with `Default::default()` on deserialization.
+//!
+//! Limitations (deliberate, matching the workspace's usage): no `where`
+//! clauses, no lifetimes on derived types, type parameters must be plain
+//! idents without declared bounds.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Item { name, generics, kind }
+}
+
+/// Skips `#[...]` attribute groups; returns whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            skip |= attr_is_serde_skip(g.stream());
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let parts: Vec<TokenTree> = attr.into_iter().collect();
+    match (parts.first(), parts.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<T, C, ...>` after the type name, returning the parameter idents.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde_derive: lifetimes on derived types are not supported")
+            }
+            Some(TokenTree::Ident(id)) if expect_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde_derive: const generics on derived types are not supported");
+                }
+                params.push(s);
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name: fields.len().to_string(), skip });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-depth aware;
+/// bracketed/parenthesised types arrive as single groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                skip_type(&tokens, &mut i);
+            }
+        }
+        variants.push(Variant { name, payload });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<T: ::serde::Trait, ...> ::serde::Trait for Name<T, ...>` header.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let bound = format!("::serde::{trait_name}");
+    if item.generics.is_empty() {
+        format!("impl {bound} for {}", item.name)
+    } else {
+        let params: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        format!(
+            "impl<{}> {bound} for {}<{}>",
+            params.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => ser_named_fields(fields, "self.", ""),
+        Kind::TupleStruct(fields) => {
+            let live: Vec<usize> =
+                fields.iter().enumerate().filter(|(_, f)| !f.skip).map(|(i, _)| i).collect();
+            match live.as_slice() {
+                [] => "out.push_str(\"null\");".to_string(),
+                [single] => {
+                    format!("::serde::Serialize::serialize_json(&self.{single}, out);")
+                }
+                many => {
+                    let mut code = String::from("out.push('[');");
+                    for (pos, idx) in many.iter().enumerate() {
+                        if pos > 0 {
+                            code.push_str("out.push(',');");
+                        }
+                        code.push_str(&format!(
+                            "::serde::Serialize::serialize_json(&self.{idx}, out);"
+                        ));
+                    }
+                    code.push_str("out.push(']');");
+                    code
+                }
+            }
+        }
+        Kind::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Kind::Enum(variants) => ser_enum(item, variants),
+    };
+    format!(
+        "{header} {{\
+             fn serialize_json(&self, out: &mut String) {{ {body} }}\
+         }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+/// Serializes named fields as a JSON object; `access` is the prefix for
+/// reaching each field (`self.` for structs, `` for bound variant fields).
+fn ser_named_fields(fields: &[Field], access: &str, prefix: &str) -> String {
+    let mut code = String::from("out.push('{');");
+    let mut first = true;
+    for f in fields.iter().filter(|f| !f.skip) {
+        let sep = if first { "" } else { "," };
+        first = false;
+        code.push_str(&format!(
+            "out.push_str(\"{sep}\\\"{name}\\\":\");\
+             ::serde::Serialize::serialize_json(&{access}{prefix}{name}, out);",
+            name = f.name,
+        ));
+    }
+    code.push_str("out.push('}');");
+    code
+}
+
+fn ser_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.payload {
+            Payload::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),"
+                ));
+            }
+            Payload::Named(fields) => {
+                let binds: Vec<String> =
+                    fields.iter().map(|f| f.name.clone()).collect();
+                let inner = ser_named_fields(fields, "", "");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\
+                         out.push_str(\"{{\\\"{vname}\\\":\");\
+                         {inner}\
+                         out.push('}}');\
+                     }},",
+                    binds = binds.join(", "),
+                ));
+            }
+            Payload::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                let mut inner = String::new();
+                if *n == 1 {
+                    inner.push_str("::serde::Serialize::serialize_json(__v0, out);");
+                } else {
+                    inner.push_str("out.push('[');");
+                    for (i, b) in binds.iter().enumerate() {
+                        if i > 0 {
+                            inner.push_str("out.push(',');");
+                        }
+                        inner.push_str(&format!(
+                            "::serde::Serialize::serialize_json({b}, out);"
+                        ));
+                    }
+                    inner.push_str("out.push(']');");
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {{\
+                         out.push_str(\"{{\\\"{vname}\\\":\");\
+                         {inner}\
+                         out.push('}}');\
+                     }},",
+                    binds = binds.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{ {arms} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => de_named_fields(fields, "Self", &item.name),
+        Kind::TupleStruct(fields) => de_tuple_struct(fields),
+        Kind::UnitStruct => "if p.consume_null() { Ok(Self) } else { \
+             Err(::serde::de::Error::new(\"expected null\", 0)) }"
+            .to_string(),
+        Kind::Enum(variants) => de_enum(item, variants),
+    };
+    format!(
+        "{header} {{\
+             fn deserialize_json(p: &mut ::serde::de::Parser<'_>) \
+                 -> Result<Self, ::serde::de::Error> {{ {body} }}\
+         }}",
+        header = impl_header(item, "Deserialize"),
+    )
+}
+
+/// Parses `{"field": value, ...}` into `ctor { field: .., }`.
+fn de_named_fields(fields: &[Field], ctor: &str, context: &str) -> String {
+    let mut code = String::from("p.expect(b'{')?;");
+    for f in fields.iter().filter(|f| !f.skip) {
+        code.push_str(&format!("let mut __f_{} = None;", f.name));
+    }
+    let mut arms = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        arms.push_str(&format!(
+            "\"{name}\" => {{ __f_{name} = \
+                 Some(::serde::Deserialize::deserialize_json(p)?); }},",
+            name = f.name,
+        ));
+    }
+    code.push_str(&format!(
+        "if !p.consume_if(b'}}') {{\
+             loop {{\
+                 let __key = p.parse_string()?;\
+                 p.expect(b':')?;\
+                 match __key.as_str() {{ {arms} _ => {{ p.skip_value()?; }} }}\
+                 if p.consume_if(b',') {{ continue; }}\
+                 p.expect(b'}}')?;\
+                 break;\
+             }}\
+         }}"
+    ));
+    let mut inits = Vec::new();
+    for f in fields {
+        if f.skip {
+            inits.push(format!("{}: ::core::default::Default::default()", f.name));
+        } else {
+            inits.push(format!(
+                "{name}: __f_{name}.ok_or_else(|| \
+                     ::serde::de::Error::missing_field(\"{context}.{name}\"))?",
+                name = f.name,
+            ));
+        }
+    }
+    code.push_str(&format!("Ok({ctor} {{ {} }})", inits.join(", ")));
+    code
+}
+
+fn de_tuple_struct(fields: &[Field]) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    match live.as_slice() {
+        [] => "if p.consume_null() { Ok(Self(Default::default())) } else { \
+             Err(::serde::de::Error::new(\"expected null\", 0)) }"
+            .to_string(),
+        [_] if fields.len() == 1 => {
+            "Ok(Self(::serde::Deserialize::deserialize_json(p)?))".to_string()
+        }
+        _ => {
+            // General tuple structs (all fields live): `[v0, v1, ...]`.
+            let mut code = String::from("p.expect(b'[')?;");
+            let mut vals = Vec::new();
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("p.expect(b',')?;");
+                }
+                if f.skip {
+                    panic!("serde_derive: #[serde(skip)] in multi-field tuple structs \
+                            is not supported");
+                }
+                code.push_str(&format!(
+                    "let __v{i} = ::serde::Deserialize::deserialize_json(p)?;"
+                ));
+                vals.push(format!("__v{i}"));
+            }
+            code.push_str("p.expect(b']')?;");
+            code.push_str(&format!("Ok(Self({}))", vals.join(", ")));
+            code
+        }
+    }
+}
+
+fn de_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.payload {
+            Payload::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+            }
+            Payload::Named(fields) => {
+                let inner =
+                    de_named_fields(fields, &format!("{name}::{vname}"), &v.name);
+                payload_arms.push_str(&format!(
+                    "\"{vname}\" => {{ let __out = {{ {inner} }}; __out }},"
+                ));
+            }
+            Payload::Tuple(n) => {
+                let inner = if *n == 1 {
+                    format!(
+                        "Ok({name}::{vname}(::serde::Deserialize::deserialize_json(p)?))"
+                    )
+                } else {
+                    let mut code = String::from("p.expect(b'[')?;");
+                    let mut vals = Vec::new();
+                    for i in 0..*n {
+                        if i > 0 {
+                            code.push_str("p.expect(b',')?;");
+                        }
+                        code.push_str(&format!(
+                            "let __v{i} = ::serde::Deserialize::deserialize_json(p)?;"
+                        ));
+                        vals.push(format!("__v{i}"));
+                    }
+                    code.push_str("p.expect(b']')?;");
+                    code.push_str(&format!("Ok({name}::{vname}({}))", vals.join(", ")));
+                    format!("{{ {code} }}")
+                };
+                payload_arms.push_str(&format!("\"{vname}\" => {{ {inner} }},"));
+            }
+        }
+    }
+    format!(
+        "match p.peek() {{\
+             Some(b'\"') => {{\
+                 let __v = p.parse_string()?;\
+                 match __v.as_str() {{\
+                     {unit_arms}\
+                     other => Err(::serde::de::Error::new(\
+                         format!(\"unknown {name} variant `{{other}}`\"), 0)),\
+                 }}\
+             }}\
+             Some(b'{{') => {{\
+                 p.expect(b'{{')?;\
+                 let __key = p.parse_string()?;\
+                 p.expect(b':')?;\
+                 let __result = match __key.as_str() {{\
+                     {payload_arms}\
+                     other => Err(::serde::de::Error::new(\
+                         format!(\"unknown {name} variant `{{other}}`\"), 0)),\
+                 }};\
+                 p.expect(b'}}')?;\
+                 __result\
+             }}\
+             _ => Err(::serde::de::Error::new(\
+                 \"expected a {name} variant\", 0)),\
+         }}"
+    )
+}

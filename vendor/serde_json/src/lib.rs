@@ -1,0 +1,194 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde's
+//! JSON-native traits. Provides the `to_string` / `from_str` pair the
+//! workspace uses plus a dynamic [`Value`] for building ad-hoc JSON
+//! (used by the `dial-serve` HTTP endpoints).
+
+use serde::de::Parser;
+pub use serde::de::Error;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// Always succeeds (the vendored serializer is infallible); the `Result`
+/// mirrors the real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string, requiring the whole input to
+/// be one JSON value.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(input);
+    let value = T::deserialize_json(&mut parser)?;
+    parser.finish()?;
+    Ok(value)
+}
+
+/// A dynamically-typed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as f64, like javascript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; `BTreeMap` keeps rendering deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member access for objects; returns [`Value::Null`] otherwise.
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+
+    /// The f64 payload of a number value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The u64 payload of an integral number value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string payload of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members of an object value.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out),
+            Value::Number(n) => n.serialize_json(out),
+            Value::String(s) => s.serialize_json(out),
+            Value::Array(items) => items.serialize_json(out),
+            Value::Object(map) => map.serialize_json(out),
+        }
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        match p.peek() {
+            Some(b'n') => {
+                if p.consume_null() {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new("expected null", 0))
+                }
+            }
+            Some(b't') | Some(b'f') => Ok(Value::Bool(bool::deserialize_json(p)?)),
+            Some(b'"') => Ok(Value::String(p.parse_string()?)),
+            Some(b'[') => {
+                p.expect(b'[')?;
+                let mut items = Vec::new();
+                if p.consume_if(b']') {
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(Value::deserialize_json(p)?);
+                    if p.consume_if(b',') {
+                        continue;
+                    }
+                    p.expect(b']')?;
+                    return Ok(Value::Array(items));
+                }
+            }
+            Some(b'{') => {
+                p.expect(b'{')?;
+                let mut map = BTreeMap::new();
+                if p.consume_if(b'}') {
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    let key = p.parse_string()?;
+                    p.expect(b':')?;
+                    map.insert(key, Value::deserialize_json(p)?);
+                    if p.consume_if(b',') {
+                        continue;
+                    }
+                    p.expect(b'}')?;
+                    return Ok(Value::Object(map));
+                }
+            }
+            _ => Ok(Value::Number(f64::deserialize_json(p)?)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders through the serializer so Display and `to_string` agree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        serde::Serialize::serialize_json(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let text = r#"{"a":[1,2.5,"x"],"b":{"c":true,"d":null}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+        assert_eq!(v.get("a").as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").get("c"), &Value::Bool(true));
+        assert_eq!(v.get("missing"), &Value::Null);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Value::String("line\nquote\"backslash\\tab\tünïcode".into());
+        let json = to_string(&v).unwrap();
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
