@@ -9,10 +9,16 @@ cargo fmt --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy -p dial-par (warnings are errors)"
+cargo clippy -p dial-par --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
+
+echo "==> serial/parallel byte-equivalence (all registry experiments)"
+cargo test -q --test parallel_equivalence
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,72 @@
+//! Scaling benchmarks for the dial-par work-stealing pool.
+//!
+//! Each workload runs on pools of 1/2/4/8 threads via
+//! [`dial_par::with_pool`], so one process measures the whole scaling
+//! curve; the 1-thread rows are the serial baseline (scoped primitives
+//! run inline there). Expect near-linear speedup on the bootstrap (pure
+//! fan-out), and more modest gains on k-means (the Lloyd sweeps
+//! synchronise every iteration). On a single-core container every row
+//! collapses to the serial time — the comparison is only meaningful on
+//! multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_bench::bench_market;
+use dial_core::centralisation::key_share_series;
+use dial_stats::bootstrap_ci;
+use dial_stats::descriptive::gini;
+use dial_stats::kmeans::KMeans;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Pool widths measured; 1 is the serial baseline.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel(c: &mut Criterion) {
+    let (dataset, _) = bench_market();
+    let values: Vec<f64> = dataset.contracts().iter().map(|ct| ct.id.0 as f64 % 97.0).collect();
+    let rows: Vec<Vec<f64>> = (0..600)
+        .map(|i| (0..8).map(|j| ((i * 31 + j * 7) % 101) as f64 / 101.0).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+
+    for threads in WIDTHS {
+        let pool = dial_par::Pool::new(threads);
+        g.bench_function(format!("bootstrap_gini_t{threads}"), |b| {
+            b.iter(|| {
+                dial_par::with_pool(&pool, || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    black_box(bootstrap_ci(black_box(&values), gini, 500, 0.95, &mut rng))
+                })
+            })
+        });
+    }
+
+    for threads in WIDTHS {
+        let pool = dial_par::Pool::new(threads);
+        g.bench_function(format!("kmeans_restarts_t{threads}"), |b| {
+            b.iter(|| {
+                dial_par::with_pool(&pool, || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    black_box(KMeans::fit_best(black_box(&rows), 4, 8, &mut rng))
+                })
+            })
+        });
+    }
+
+    for threads in WIDTHS {
+        let pool = dial_par::Pool::new(threads);
+        g.bench_function(format!("fig6_key_shares_t{threads}"), |b| {
+            b.iter(|| {
+                dial_par::with_pool(&pool, || black_box(key_share_series(black_box(dataset))))
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -41,8 +41,11 @@ fn involvement_counts(
 pub fn concentration_curves(dataset: &Dataset) -> ConcentrationCurves {
     let percentiles: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
     let curve = |values: Vec<f64>| concentration_curve(&values, &percentiles);
-    let (users_c, threads_c) = involvement_counts(dataset.contracts().iter());
-    let (users_d, threads_d) = involvement_counts(dataset.completed_contracts());
+    // The created and completed tallies are independent full passes.
+    let ((users_c, threads_c), (users_d, threads_d)) = dial_par::join(
+        || involvement_counts(dataset.contracts().iter()),
+        || involvement_counts(dataset.completed_contracts()),
+    );
     ConcentrationCurves {
         users_created: curve(users_c.into_values().collect()),
         users_completed: curve(users_d.into_values().collect()),
@@ -121,11 +124,18 @@ pub fn key_share_series(dataset: &Dataset) -> KeyShareSeries {
             }
         })
     };
+    // The four series are independent per-era passes over the dataset;
+    // fan them out and destructure in fixed order.
+    let mut series = dial_par::parallel_map(
+        vec![(false, false), (true, false), (false, true), (true, true)],
+        |(completed_only, over_threads)| build(completed_only, over_threads),
+    )
+    .into_iter();
     KeyShareSeries {
-        members_created: build(false, false),
-        members_completed: build(true, false),
-        threads_created: build(false, true),
-        threads_completed: build(true, true),
+        members_created: series.next().unwrap(),
+        members_completed: series.next().unwrap(),
+        threads_created: series.next().unwrap(),
+        threads_completed: series.next().unwrap(),
     }
 }
 

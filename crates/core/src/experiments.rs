@@ -542,14 +542,15 @@ pub fn extension_experiments() -> Vec<Experiment> {
 }
 
 /// Runs every experiment, returning `(id, title, paper claim, output)`.
+///
+/// Experiments fan out across the pool and the results are collected in
+/// registry order; each experiment only reads the shared context (the LTM
+/// cache is a `OnceLock`, so concurrent first use is race-free).
 pub fn run_all(ctx: &ExperimentContext) -> Vec<(String, String, String, String)> {
-    all_experiments()
-        .into_iter()
-        .map(|e| {
-            let output = (e.run)(ctx);
-            (e.id.to_string(), e.title.to_string(), e.paper_claim.to_string(), output)
-        })
-        .collect()
+    dial_par::parallel_map(all_experiments(), |e| {
+        let output = (e.run)(ctx);
+        (e.id.to_string(), e.title.to_string(), e.paper_claim.to_string(), output)
+    })
 }
 
 #[cfg(test)]

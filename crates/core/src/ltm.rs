@@ -220,7 +220,9 @@ pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
             #[allow(clippy::type_complexity)]
             let mut entries: Vec<(&(Era, usize, usize, usize), &u64)> =
                 flow_counts.iter().filter(|((e, t, _, _), _)| *e == era && *t == ti).collect();
-            entries.sort_by(|a, b| b.1.cmp(a.1));
+            // Tie-break equal counts by (maker, taker) class index so the
+            // top-3 pick never depends on HashMap iteration order.
+            entries.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
             for (key, count) in entries.into_iter().take(3) {
                 let (_, _, mc, tc) = *key;
                 flows.push(FlowRow {

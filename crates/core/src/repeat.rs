@@ -67,12 +67,20 @@ pub fn repeat_analysis(dataset: &Dataset) -> RepeatAnalysis {
     let lexicon = payment_lexicon();
     let mut tx_count: HashMap<PaymentMethod, usize> = HashMap::new();
     let mut traders: HashMap<PaymentMethod, HashSet<UserId>> = HashMap::new();
-    for cc in &classified {
+    // Per-contract tokenising and lexicon matching dominates this pass;
+    // fan it out and fold the exact-integer tallies serially in order.
+    let matched: Vec<Vec<PaymentMethod>> =
+        dial_par::parallel_map((0..classified.len()).collect(), |i| {
+            let c = classified[i].contract;
+            let mut methods =
+                lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
+            methods.extend(lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation))));
+            methods.sort();
+            methods.dedup();
+            methods
+        });
+    for (cc, methods) in classified.iter().zip(matched) {
         let c = cc.contract;
-        let mut methods = lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
-        methods.extend(lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation))));
-        methods.sort();
-        methods.dedup();
         for m in methods {
             *tx_count.entry(m).or_default() += 1;
             traders.entry(m).or_default().insert(c.maker);

@@ -108,12 +108,98 @@ fn side_value(text: &str, date: dial_time::Date, rates: &SyntheticRates) -> Opti
     Some(total / mentions.len() as f64)
 }
 
+/// One contract's outcome from the parallel extraction pass: the verdict
+/// (it feeds the verification tally even when the contract is excluded)
+/// plus the resolved values when the contract is kept.
+struct ExtractedValue {
+    verdict: Option<Verdict>,
+    row: Option<ExtractedRow>,
+}
+
+/// The per-contract numbers and lexicon matches whose computation
+/// dominates the §4.5 pipeline.
+struct ExtractedRow {
+    maker_usd: f64,
+    taker_usd: f64,
+    value: f64,
+    maker_pay: Vec<PaymentMethod>,
+    taker_pay: Vec<PaymentMethod>,
+}
+
 /// Runs the full §4.5 value pipeline.
+///
+/// The expensive per-contract work (money scanning, FX conversion, chain
+/// verification, lexicon matching) fans out across the pool; the float
+/// accumulations then fold serially over the ordered results, so the
+/// report is bit-identical to a fully serial run at any pool width.
 pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
     let rates = SyntheticRates;
     let classified = classify_completed_public(dataset);
     let normalizer = Normalizer::default();
     let pay_lexicon = payment_lexicon();
+
+    let extracted: Vec<Option<ExtractedValue>> =
+        dial_par::parallel_map((0..classified.len()).collect(), |i| {
+            let cc = &classified[i];
+            let c = cc.contract;
+            if c.contract_type == ContractType::VouchCopy {
+                return None; // reputation proof, not an economic trade
+            }
+            let date = c.created.date();
+            let maker = side_value(&c.maker_obligation, date, &rates);
+            let taker = side_value(&c.taker_obligation, date, &rates);
+            let (mut maker_usd, mut taker_usd) = match (maker, taker) {
+                (None, None) => return None, // neither side estimable: excluded
+                (Some(m), None) => (m, m),
+                (None, Some(t)) => (t, t),
+                (Some(m), Some(t)) => (m, t),
+            };
+            let mut value = (maker_usd + taker_usd) / 2.0;
+            let mut verdict = None;
+
+            // High-value verification against the chain.
+            if value > HIGH_VALUE_USD {
+                if c.chain_ref.is_none() && value > 10_000.0 {
+                    // The manual check found claims above $10,000 are
+                    // overwhelmingly typing errors; with no chain reference
+                    // to correct against, the contract is excluded.
+                    return None;
+                }
+                if let Some(chain_ref) = &c.chain_ref {
+                    let completed = c.completed.unwrap_or_else(|| c.created.plus_hours(24.0));
+                    let v = ledger.verify(
+                        value,
+                        chain_ref.tx_hash.as_deref(),
+                        &chain_ref.address,
+                        completed,
+                        VERIFY_WINDOW_HOURS,
+                    );
+                    verdict = Some(v);
+                    match v {
+                        Verdict::Confirmed => {}
+                        Verdict::Mismatch { observed_usd } => {
+                            // Update the contract details per the observed value.
+                            value = observed_usd;
+                            maker_usd = observed_usd;
+                            taker_usd = observed_usd;
+                        }
+                        Verdict::NotFound => {
+                            // Unverifiable high-value claim: excluded, but
+                            // the verdict still counts in the tally.
+                            return Some(ExtractedValue { verdict, row: None });
+                        }
+                    }
+                }
+            }
+            let maker_pay =
+                pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation)));
+            let taker_pay =
+                pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation)));
+            Some(ExtractedValue {
+                verdict,
+                row: Some(ExtractedRow { maker_usd, taker_usd, value, maker_pay, taker_pay }),
+            })
+        });
 
     let mut contracts = Vec::new();
     let mut verification = [0usize; 3];
@@ -121,86 +207,44 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
     let mut by_payment: HashMap<PaymentMethod, (f64, f64)> = HashMap::new();
     let mut by_type: HashMap<ContractType, TypeValue> = HashMap::new();
 
-    for cc in &classified {
+    for (cc, ex) in classified.iter().zip(extracted) {
+        let Some(ex) = ex else { continue };
+        match ex.verdict {
+            Some(Verdict::Confirmed) => verification[0] += 1,
+            Some(Verdict::Mismatch { .. }) => verification[1] += 1,
+            Some(Verdict::NotFound) => verification[2] += 1,
+            None => {}
+        }
+        let Some(row) = ex.row else { continue };
         let c = cc.contract;
-        if c.contract_type == ContractType::VouchCopy {
-            continue; // reputation proof, not an economic trade
-        }
-        let date = c.created.date();
-        let maker = side_value(&c.maker_obligation, date, &rates);
-        let taker = side_value(&c.taker_obligation, date, &rates);
-        let (mut maker_usd, mut taker_usd) = match (maker, taker) {
-            (None, None) => continue, // neither side estimable: excluded
-            (Some(m), None) => (m, m),
-            (None, Some(t)) => (t, t),
-            (Some(m), Some(t)) => (m, t),
-        };
-        let mut value = (maker_usd + taker_usd) / 2.0;
-        let mut verdict = None;
-
-        // High-value verification against the chain.
-        if value > HIGH_VALUE_USD {
-            if c.chain_ref.is_none() && value > 10_000.0 {
-                // The manual check found claims above $10,000 are
-                // overwhelmingly typing errors; with no chain reference to
-                // correct against, the contract is excluded.
-                continue;
-            }
-            if let Some(chain_ref) = &c.chain_ref {
-                let completed = c.completed.unwrap_or_else(|| c.created.plus_hours(24.0));
-                let v = ledger.verify(
-                    value,
-                    chain_ref.tx_hash.as_deref(),
-                    &chain_ref.address,
-                    completed,
-                    VERIFY_WINDOW_HOURS,
-                );
-                verdict = Some(v);
-                match v {
-                    Verdict::Confirmed => verification[0] += 1,
-                    Verdict::Mismatch { observed_usd } => {
-                        verification[1] += 1;
-                        // Update the contract details per the observed value.
-                        value = observed_usd;
-                        maker_usd = observed_usd;
-                        taker_usd = observed_usd;
-                    }
-                    Verdict::NotFound => {
-                        verification[2] += 1;
-                        // Unverifiable high-value claim: excluded.
-                        continue;
-                    }
-                }
-            }
-        }
 
         // Attribute side values to the activities matched on each side.
         for cat in &cc.maker_cats {
-            by_activity.entry(*cat).or_default().0 += maker_usd;
+            by_activity.entry(*cat).or_default().0 += row.maker_usd;
         }
         for cat in &cc.taker_cats {
-            by_activity.entry(*cat).or_default().1 += taker_usd;
+            by_activity.entry(*cat).or_default().1 += row.taker_usd;
         }
         // And to payment methods quoted per side.
-        for m in pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.maker_obligation))) {
-            by_payment.entry(m).or_default().0 += maker_usd;
+        for m in row.maker_pay {
+            by_payment.entry(m).or_default().0 += row.maker_usd;
         }
-        for m in pay_lexicon.matches(&normalizer.normalize(&tokenize(&c.taker_obligation))) {
-            by_payment.entry(m).or_default().1 += taker_usd;
+        for m in row.taker_pay {
+            by_payment.entry(m).or_default().1 += row.taker_usd;
         }
 
         let tv = by_type.entry(c.contract_type).or_default();
-        tv.total += value;
-        tv.max = tv.max.max(value);
+        tv.total += row.value;
+        tv.max = tv.max.max(row.value);
         tv.count += 1;
 
         contracts.push(ValuedContract {
             contract_index: c.id.index(),
             contract_type: c.contract_type,
-            maker_usd,
-            taker_usd,
-            contract_usd: value,
-            verdict,
+            maker_usd: row.maker_usd,
+            taker_usd: row.taker_usd,
+            contract_usd: row.value,
+            verdict: ex.verdict,
         });
     }
 
@@ -304,26 +348,34 @@ pub fn value_evolution(dataset: &Dataset, ledger: &Ledger) -> ValueEvolution {
     let mut by_payment: HashMap<PaymentMethod, Vec<f64>> = HashMap::new();
     let mut by_product: HashMap<TradeCategory, Vec<f64>> = HashMap::new();
 
-    for vc in &report.contracts {
-        let cc = class_by_index[&vc.contract_index];
-        let Some(mi) = StudyWindow::month_index(cc.contract.created_month()) else { continue };
+    // Per-contract tokenising and lexicon matching fan out; the monthly
+    // float accumulation folds serially over the ordered results.
+    type MonthlyPrep = Option<(usize, Vec<PaymentMethod>, Vec<TradeCategory>)>;
+    let prepared: Vec<MonthlyPrep> =
+        dial_par::parallel_map((0..report.contracts.len()).collect(), |i| {
+            let vc = &report.contracts[i];
+            let cc = class_by_index[&vc.contract_index];
+            let mi = StudyWindow::month_index(cc.contract.created_month())?;
+            let mut methods = pay_lexicon
+                .matches(&normalizer.normalize(&tokenize(&cc.contract.maker_obligation)));
+            methods.extend(
+                pay_lexicon
+                    .matches(&normalizer.normalize(&tokenize(&cc.contract.taker_obligation))),
+            );
+            methods.sort();
+            methods.dedup();
+            let mut cats = cc.maker_cats.clone();
+            cats.extend(cc.taker_cats.iter().copied());
+            cats.sort();
+            cats.dedup();
+            Some((mi, methods, cats))
+        });
+    for (vc, prep) in report.contracts.iter().zip(prepared) {
+        let Some((mi, methods, cats)) = prep else { continue };
         by_type[type_idx(vc.contract_type)][mi] += vc.contract_usd;
-
-        let mut methods =
-            pay_lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.maker_obligation)));
-        methods.extend(
-            pay_lexicon.matches(&normalizer.normalize(&tokenize(&cc.contract.taker_obligation))),
-        );
-        methods.sort();
-        methods.dedup();
         for m in methods {
             by_payment.entry(m).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
         }
-
-        let mut cats = cc.maker_cats.clone();
-        cats.extend(cc.taker_cats.iter().copied());
-        cats.sort();
-        cats.dedup();
         for cat in cats {
             if cat == TradeCategory::CurrencyExchange || cat == TradeCategory::Payments {
                 continue;

@@ -1,0 +1,99 @@
+//! Stress tests for the work-stealing pool: nested scoped calls issued
+//! from pool workers, and panic containment in stolen tasks.
+
+use dial_par::{join, parallel_map, try_parallel_map, with_pool, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Workers must be able to submit subtasks from inside their own tasks
+/// without deadlock: every level of this map nests another map and a
+/// join, far past the depth guard, on a pool narrower than the fan-out.
+#[test]
+fn nested_scopes_from_pool_workers_do_not_deadlock() {
+    let pool = Pool::new(4);
+    let total = with_pool(&pool, || {
+        let per_branch = parallel_map((0u64..32).collect(), |branch| {
+            let inner = parallel_map((0u64..16).collect(), |leaf| {
+                let (a, b) = join(|| branch * 1000 + leaf, || leaf * 2);
+                a + b
+            });
+            inner.into_iter().sum::<u64>()
+        });
+        per_branch.into_iter().sum::<u64>()
+    });
+    let expect: u64 = (0u64..32)
+        .map(|branch| (0u64..16).map(|leaf| branch * 1000 + leaf + leaf * 2).sum::<u64>())
+        .sum();
+    assert_eq!(total, expect);
+}
+
+/// Deeply recursive joins from worker context: the depth guard must turn
+/// the tail inline instead of exhausting queue space or stack.
+#[test]
+fn recursive_joins_terminate_via_depth_guard() {
+    fn sum_range(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 8 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = join(|| sum_range(lo, mid), || sum_range(mid, hi));
+        a + b
+    }
+    let pool = Pool::new(4);
+    let total = with_pool(&pool, || sum_range(0, 4096));
+    assert_eq!(total, (0u64..4096).sum::<u64>());
+}
+
+/// A panic inside a stolen chunk must surface as `Err` on the calling
+/// thread, and the pool must stay fully usable afterwards.
+#[test]
+fn panic_in_stolen_task_surfaces_as_err_without_poisoning() {
+    let pool = Pool::new(4);
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let err = with_pool(&pool, || {
+        try_parallel_map((0usize..64).collect(), |i| {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            if i == 37 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        })
+    })
+    .expect_err("a panicking chunk must yield Err");
+    assert!(err.message.contains("boom at 37"), "payload preserved: {}", err.message);
+
+    // The same pool keeps working, repeatedly, with correct ordering.
+    for round in 0..8u64 {
+        let out = with_pool(&pool, || parallel_map((0u64..128).collect(), |i| i + round));
+        assert_eq!(out, (0u64..128).map(|i| i + round).collect::<Vec<_>>());
+    }
+}
+
+/// Panics propagate out of `join` from either side without killing the
+/// pool's workers.
+#[test]
+fn join_panics_propagate_and_pool_survives() {
+    let pool = Pool::new(2);
+    let caught = with_pool(&pool, || {
+        std::panic::catch_unwind(|| join(|| 1u64, || -> u64 { panic!("b side died") }))
+    });
+    assert!(caught.is_err(), "join must re-raise the b-side panic");
+    let (a, b) = with_pool(&pool, || join(|| 40u64, || 2u64));
+    assert_eq!(a + b, 42);
+}
+
+/// Many concurrent external callers sharing one pool: results stay
+/// ordered and isolated per caller.
+#[test]
+fn concurrent_external_callers_share_the_pool() {
+    let pool = Pool::new(4);
+    std::thread::scope(|s| {
+        for t in 0u64..8 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let out = with_pool(&pool, || parallel_map((0u64..200).collect(), |i| i * t));
+                assert_eq!(out, (0u64..200).map(|i| i * t).collect::<Vec<_>>());
+            });
+        }
+    });
+}

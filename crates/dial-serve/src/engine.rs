@@ -8,7 +8,7 @@ use crate::scheduler::Scheduler;
 use crate::store::SnapshotStore;
 use crate::ServeExperiment;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,6 +24,14 @@ pub enum AnalyzeError {
     Saturated,
     /// The experiment panicked or the worker disappeared.
     Failed,
+}
+
+/// An analyze call that has been admitted but not yet collected.
+enum Pending {
+    /// The cache already held the body; nothing was submitted.
+    Cached(Arc<String>),
+    /// The run is on the pool; `finish` blocks on the channel.
+    Submitted { key: CacheKey, rx: Receiver<std::thread::Result<String>>, started: Instant },
 }
 
 /// The concurrent query engine behind the HTTP front-end.
@@ -81,6 +89,41 @@ impl Engine {
     /// body. Bodies are byte-for-byte identical between the computing
     /// call and every later cache hit.
     pub fn analyze(&self, id: &str) -> Result<Arc<String>, AnalyzeError> {
+        let pending = self.begin(id)?;
+        self.finish(pending)
+    }
+
+    /// Runs (or recalls) several experiments concurrently, returning
+    /// `(id, outcome)` pairs in request order.
+    ///
+    /// Validation is all-or-nothing: if *any* id is unknown, nothing is
+    /// submitted and the whole batch fails with [`AnalyzeError::Unknown`].
+    /// Likewise a saturated scheduler sheds the whole batch (already
+    /// submitted jobs still finish and warm the cache). Per-experiment
+    /// failures do not abort the rest — they come back as `Err` entries.
+    #[allow(clippy::type_complexity)]
+    pub fn analyze_many(
+        &self,
+        ids: &[String],
+    ) -> Result<Vec<(String, Result<Arc<String>, AnalyzeError>)>, AnalyzeError> {
+        if ids.iter().any(|id| !self.experiments.iter().any(|e| &e.id == id)) {
+            return Err(AnalyzeError::Unknown {
+                valid: self.experiments.iter().map(|e| e.id.clone()).collect(),
+            });
+        }
+        // Fan out first (cache misses land on the shared pool), then
+        // collect in request order; the calling thread only ever blocks
+        // on jobs that are already admitted, so this cannot deadlock.
+        let mut pending = Vec::with_capacity(ids.len());
+        for id in ids {
+            pending.push(self.begin(id)?);
+        }
+        Ok(ids.iter().cloned().zip(pending.into_iter().map(|p| self.finish(p))).collect())
+    }
+
+    /// Resolves `id`, consults the cache, and on a miss submits the run
+    /// to the scheduler — without waiting for the result.
+    fn begin(&self, id: &str) -> Result<Pending, AnalyzeError> {
         let Some(exp) = self.experiments.iter().find(|e| e.id == id) else {
             return Err(AnalyzeError::Unknown {
                 valid: self.experiments.iter().map(|e| e.id.clone()).collect(),
@@ -93,14 +136,14 @@ impl Engine {
         };
         if let Some(body) = self.cache.get(&key) {
             self.metrics.cache_hit();
-            return Ok(body);
+            return Ok(Pending::Cached(body));
         }
         self.metrics.cache_miss();
 
-        // Run on the worker pool; this thread blocks on the result. Two
-        // concurrent misses for the same key both compute — the cache
-        // converges on the first insert and both answers are identical,
-        // so the only cost is the duplicated work.
+        // Run on the shared pool; the caller blocks on the result in
+        // `finish`. Two concurrent misses for the same key both compute —
+        // the cache converges on the first insert and both answers are
+        // identical, so the only cost is the duplicated work.
         let ctx = self.store.context();
         let run = Arc::clone(&exp.run);
         let (tx, rx) = channel();
@@ -111,8 +154,15 @@ impl Engine {
                 let _ = tx.send(result);
             })
             .map_err(|_| AnalyzeError::Saturated)?;
+        Ok(Pending::Submitted { key, rx, started: Instant::now() })
+    }
 
-        let started = Instant::now();
+    /// Blocks until a [`Pending`] run settles and caches the body.
+    fn finish(&self, pending: Pending) -> Result<Arc<String>, AnalyzeError> {
+        let (key, rx, started) = match pending {
+            Pending::Cached(body) => return Ok(body),
+            Pending::Submitted { key, rx, started } => (key, rx, started),
+        };
         let result = rx.recv().map_err(|_| AnalyzeError::Failed)?;
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         match result {
@@ -180,6 +230,37 @@ mod tests {
             }
             other => panic!("expected Unknown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_many_returns_results_in_request_order() {
+        let engine = tiny_engine(2, 8);
+        let ids = vec!["table2".to_string(), "table1".to_string(), "table2".to_string()];
+        let results = engine.analyze_many(&ids).unwrap();
+        assert_eq!(results.len(), 3);
+        for ((id, body), want) in results.iter().zip(&ids) {
+            assert_eq!(id, want);
+            let v: serde_json::Value = serde_json::from_str(body.as_ref().unwrap()).unwrap();
+            assert_eq!(v.get("id").as_str(), Some(want.as_str()));
+        }
+        // The duplicated id computes at most once thanks to the cache
+        // (the second occurrence may race the first, so only the bodies
+        // are asserted identical).
+        assert_eq!(results[0].1.as_ref().unwrap(), results[2].1.as_ref().unwrap());
+    }
+
+    #[test]
+    fn analyze_many_rejects_the_whole_batch_on_one_unknown_id() {
+        let engine = tiny_engine(2, 8);
+        let ids = vec!["table1".to_string(), "nope".to_string()];
+        match engine.analyze_many(&ids) {
+            Err(AnalyzeError::Unknown { valid }) => {
+                assert!(valid.iter().any(|v| v == "table1"));
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // Nothing was submitted: no cache misses were recorded.
+        assert_eq!(engine.metrics().snapshot().cache_misses, 0);
     }
 
     #[test]

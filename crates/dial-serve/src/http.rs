@@ -3,12 +3,29 @@
 //! The protocol surface is deliberately tiny: GET only, JSON responses,
 //! `Connection: close` on every reply. Each accepted connection gets its
 //! own short-lived thread (connections are cheap; the expensive part —
-//! running experiments — is bounded by the engine's worker pool and
-//! queue, which is where load is shed).
+//! running experiments — is bounded by the engine's admission scheduler,
+//! which is where load is shed).
+//!
+//! # API v1
+//!
+//! All endpoints live under `/v1`; the original unversioned paths answer
+//! `308 Permanent Redirect` with a `Location` header pointing at their
+//! `/v1` successor, so old clients keep working with one extra hop.
+//! Every non-200 response carries the same JSON envelope:
+//!
+//! ```json
+//! {"error": {"code": "<machine_code>", "message": "<human text>", "detail": {...}}}
+//! ```
+//!
+//! `code` is stable and machine-matchable; `detail` carries structured
+//! context (the valid ids on `unknown_experiment`, the target on
+//! `moved_permanently`) and is `{}` when there is nothing to add.
 
 use crate::engine::{AnalyzeError, Engine};
 use crate::store::StoreSummary;
 use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -21,10 +38,10 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
     pub port: u16,
-    /// Worker threads running experiments.
+    /// Concurrent experiment runs admitted onto the shared pool.
     pub threads: usize,
-    /// Bounded admission queue in front of the workers; a full queue
-    /// sheds requests with 503.
+    /// Bounded admission queue in front of the running slots; a full
+    /// queue sheds requests with 503.
     pub queue_capacity: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
@@ -93,8 +110,8 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight connections
-    /// (bounded wait), then stop the worker pool after it finishes the
-    /// queued jobs.
+    /// (bounded wait), then stop the admission scheduler after it
+    /// finishes the queued jobs.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop only observes `stop` around an accept, so poke
@@ -114,9 +131,15 @@ impl Server {
 // Owned fields throughout: the vendored serde derive does not support
 // lifetime parameters, and these bodies are tiny.
 #[derive(Serialize)]
-struct UnknownExperimentBody {
-    error: String,
-    valid: Vec<String>,
+struct ErrorEnvelope {
+    error: ErrorBody,
+}
+
+#[derive(Serialize)]
+struct ErrorBody {
+    code: String,
+    message: String,
+    detail: Value,
 }
 
 #[derive(Serialize)]
@@ -140,6 +163,46 @@ struct SummaryBody {
     counts: StoreSummary,
 }
 
+/// One routed reply: status, JSON body, and (for 308) a `Location`.
+struct Response {
+    status: u16,
+    body: String,
+    location: Option<String>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self { status, body, location: None }
+    }
+
+    /// The uniform error envelope; `detail` is `{}` when `None`.
+    fn error(status: u16, code: &str, message: String, detail: Option<Value>) -> Self {
+        let envelope = ErrorEnvelope {
+            error: ErrorBody {
+                code: code.to_string(),
+                message,
+                detail: detail.unwrap_or_else(|| Value::Object(Default::default())),
+            },
+        };
+        Self::json(status, to_json(&envelope))
+    }
+
+    /// A 308 to `location`, with the envelope as body for JSON clients
+    /// that do not follow redirects.
+    fn redirect(location: String) -> Self {
+        let mut detail = BTreeMap::new();
+        detail.insert("location".to_string(), Value::String(location.clone()));
+        let mut r = Self::error(
+            308,
+            "moved_permanently",
+            format!("this endpoint moved to {location}"),
+            Some(Value::Object(detail)),
+        );
+        r.location = Some(location);
+        r
+    }
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     engine: &Engine,
@@ -150,40 +213,67 @@ fn handle_connection(
         Ok(line) => line,
         Err(_) => {
             // Slow or dead client: answer 408 best-effort and close.
-            return respond(&mut stream, 408, "{\"error\":\"request timeout\"}");
+            let r = Response::error(
+                408,
+                "request_timeout",
+                "request did not arrive in time".to_string(),
+                None,
+            );
+            return respond(&mut stream, &r);
         }
     };
     let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
+    let (method, raw_path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
-        _ => return respond(&mut stream, 400, "{\"error\":\"malformed request\"}"),
+        _ => {
+            let r = Response::error(
+                400,
+                "malformed_request",
+                "could not parse the request line".to_string(),
+                None,
+            );
+            return respond(&mut stream, &r);
+        }
     };
     if method != "GET" {
-        return respond(&mut stream, 405, "{\"error\":\"only GET is supported\"}");
+        let r = Response::error(
+            405,
+            "method_not_allowed",
+            format!("method {method} is not supported; use GET"),
+            None,
+        );
+        return respond(&mut stream, &r);
     }
-    // Drop any query string: parameters are fixed per server instance.
-    let path = path.split('?').next().unwrap_or(path);
+    // Split the query off for routing but keep `raw_path` whole so
+    // redirects preserve it verbatim.
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (raw_path, None),
+    };
 
-    let (status, body) = route(engine, path);
-    if status >= 500 {
+    let response = route(engine, path, query, raw_path);
+    if response.status >= 500 {
         engine.metrics().server_error();
     }
-    respond(&mut stream, status, &body)
+    respond(&mut stream, &response)
 }
 
-/// Dispatches a GET `path` to a `(status, JSON body)` pair.
-fn route(engine: &Engine, path: &str) -> (u16, String) {
+/// The unversioned v0 endpoints, kept answering as permanent redirects.
+const LEGACY_PREFIXES: [&str; 5] = ["/healthz", "/experiments", "/summary", "/metrics", "/analyze"];
+
+/// Dispatches a GET to a [`Response`].
+fn route(engine: &Engine, path: &str, query: Option<&str>, raw_path: &str) -> Response {
     match path {
-        "/healthz" => {
-            engine.metrics().request("/healthz");
+        "/v1/healthz" => {
+            engine.metrics().request("/v1/healthz");
             let body = HealthBody {
                 status: "ok".to_string(),
                 snapshot: engine.store().fingerprint().to_string(),
             };
-            (200, to_json(&body))
+            Response::json(200, to_json(&body))
         }
-        "/experiments" => {
-            engine.metrics().request("/experiments");
+        "/v1/experiments" => {
+            engine.metrics().request("/v1/experiments");
             let rows: Vec<ExperimentRow> = engine
                 .experiments()
                 .iter()
@@ -193,49 +283,147 @@ fn route(engine: &Engine, path: &str) -> (u16, String) {
                     paper_claim: e.paper_claim.clone(),
                 })
                 .collect();
-            (200, to_json(&rows))
+            Response::json(200, to_json(&rows))
         }
-        "/summary" => {
-            engine.metrics().request("/summary");
+        "/v1/summary" => {
+            engine.metrics().request("/v1/summary");
             let body = SummaryBody {
                 snapshot: engine.store().fingerprint().to_string(),
                 params: engine.params().to_string(),
                 experiments: engine.experiments().len(),
                 counts: engine.store().summary().clone(),
             };
-            (200, to_json(&body))
+            Response::json(200, to_json(&body))
         }
-        "/metrics" => {
-            engine.metrics().request("/metrics");
-            (200, to_json(&engine.metrics().snapshot()))
+        "/v1/metrics" => {
+            engine.metrics().request("/v1/metrics");
+            Response::json(200, to_json(&engine.metrics().snapshot()))
         }
-        _ if path.starts_with("/analyze/") => {
-            engine.metrics().request("/analyze");
-            let id = &path["/analyze/".len()..];
+        "/v1/analyze" => {
+            engine.metrics().request("/v1/analyze?ids");
+            route_batch(engine, query)
+        }
+        _ if path.starts_with("/v1/analyze/") => {
+            engine.metrics().request("/v1/analyze");
+            let id = &path["/v1/analyze/".len()..];
             match engine.analyze(id) {
-                Ok(body) => (200, body.as_str().to_string()),
-                Err(AnalyzeError::Unknown { valid }) => {
-                    let body = UnknownExperimentBody {
-                        error: format!("unknown experiment `{id}`"),
-                        valid,
-                    };
-                    (404, to_json(&body))
-                }
-                Err(AnalyzeError::Saturated) => {
-                    engine.metrics().shed();
-                    // shed() already counts the 5xx; report 503 directly
-                    // so the generic 5xx hook doesn't double-count.
-                    (503, "{\"error\":\"server saturated, retry later\"}".to_string())
-                }
-                Err(AnalyzeError::Failed) => (500, "{\"error\":\"experiment failed\"}".to_string()),
+                Ok(body) => Response::json(200, body.as_str().to_string()),
+                Err(err) => analyze_error_response(engine, &err, id),
             }
         }
-        _ => (404, "{\"error\":\"no such endpoint\"}".to_string()),
+        _ if LEGACY_PREFIXES.iter().any(|p| {
+            path == *p || (path.starts_with(*p) && path.as_bytes().get(p.len()) == Some(&b'/'))
+        }) =>
+        {
+            Response::redirect(format!("/v1{raw_path}"))
+        }
+        _ => Response::error(404, "unknown_endpoint", format!("no such endpoint: {path}"), None),
+    }
+}
+
+/// `GET /v1/analyze?ids=a,b,c`: runs the batch concurrently on the shared
+/// pool and returns `{"results": {id: body}, "errors": {id: envelope}}`.
+fn route_batch(engine: &Engine, query: Option<&str>) -> Response {
+    let Some(ids_param) = query.and_then(|q| {
+        q.split('&').find_map(|pair| pair.strip_prefix("ids=")).filter(|v| !v.is_empty())
+    }) else {
+        return Response::error(
+            400,
+            "missing_ids",
+            "batch analyze needs a non-empty `ids` query parameter, e.g. /v1/analyze?ids=table1,fig2".to_string(),
+            None,
+        );
+    };
+    // Deduplicate while keeping first-occurrence order, so the response
+    // maps have one entry per id.
+    let mut ids: Vec<String> = Vec::new();
+    for id in ids_param.split(',').filter(|s| !s.is_empty()) {
+        if !ids.iter().any(|seen| seen == id) {
+            ids.push(id.to_string());
+        }
+    }
+    if ids.is_empty() {
+        return Response::error(
+            400,
+            "missing_ids",
+            "the `ids` parameter contained no experiment ids".to_string(),
+            None,
+        );
+    }
+
+    let outcomes = match engine.analyze_many(&ids) {
+        Ok(outcomes) => outcomes,
+        // Name only the offending ids in the message, not the whole batch.
+        Err(err) => {
+            let label = match &err {
+                AnalyzeError::Unknown { valid } => ids
+                    .iter()
+                    .filter(|id| !valid.contains(id))
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                _ => ids.join(", "),
+            };
+            return analyze_error_response(engine, &err, &label);
+        }
+    };
+
+    // Splice cached bodies in verbatim: each `results` value stays
+    // byte-identical to its single-experiment `/v1/analyze/{id}` body.
+    let mut results = Vec::new();
+    let mut errors = Vec::new();
+    for (id, outcome) in &outcomes {
+        match outcome {
+            Ok(body) => results.push(format!("{}:{}", json_str(id), body)),
+            Err(err) => {
+                let r = analyze_error_response(engine, err, id);
+                errors.push(format!("{}:{}", json_str(id), r.body));
+            }
+        }
+    }
+    let body =
+        format!("{{\"results\":{{{}}},\"errors\":{{{}}}}}", results.join(","), errors.join(","));
+    Response::json(200, body)
+}
+
+/// Maps an [`AnalyzeError`] to its enveloped response.
+fn analyze_error_response(engine: &Engine, err: &AnalyzeError, id: &str) -> Response {
+    match err {
+        AnalyzeError::Unknown { valid } => {
+            let mut detail = BTreeMap::new();
+            detail.insert(
+                "valid".to_string(),
+                Value::Array(valid.iter().map(|v| Value::String(v.clone())).collect()),
+            );
+            Response::error(
+                404,
+                "unknown_experiment",
+                format!("unknown experiment `{id}`"),
+                Some(Value::Object(detail)),
+            )
+        }
+        AnalyzeError::Saturated => {
+            engine.metrics().shed();
+            // shed() already counts the 5xx; report 503 directly so the
+            // generic 5xx hook doesn't double-count.
+            Response::error(503, "saturated", "server saturated, retry later".to_string(), None)
+        }
+        AnalyzeError::Failed => Response::error(
+            500,
+            "experiment_failed",
+            format!("experiment `{id}` failed to run"),
+            None,
+        ),
     }
 }
 
 fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string(value).expect("response bodies serialise")
+}
+
+/// JSON string literal for `s` (quotes + escaping).
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).expect("strings serialise")
 }
 
 /// Reads up to the end of the request headers and returns the request
@@ -258,9 +446,10 @@ fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
     Ok(text.lines().next().unwrap_or_default().to_string())
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let reason = match status {
+fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
         200 => "OK",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -268,11 +457,14 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let location =
+        response.location.as_ref().map(|l| format!("Location: {l}\r\n")).unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\n{location}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }

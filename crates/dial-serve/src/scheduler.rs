@@ -1,14 +1,21 @@
-//! Experiment scheduler: a fixed pool of plain worker threads behind a
-//! bounded job queue.
+//! Experiment scheduler: bounded admission in front of the shared
+//! [`dial_par`] work-stealing pool.
 //!
 //! DESIGN §7 rules out async runtimes — experiment runs are CPU-bound, so
-//! the pool is sized to cores and the queue is the only elasticity. When
-//! the queue is full, [`Scheduler::submit`] fails fast and the HTTP layer
-//! sheds the request with a 503 instead of letting latency grow unbounded.
+//! execution belongs on the process-wide compute pool and the queue is the
+//! only elasticity. The scheduler no longer owns threads: it is an
+//! *admission facade*. At most `threads` jobs are in flight on the shared
+//! pool at once; up to `queue_capacity` more wait in a FIFO queue; beyond
+//! that [`Scheduler::submit`] fails fast and the HTTP layer sheds the
+//! request with a 503 instead of letting latency grow unbounded.
+//!
+//! Sharing one pool means an experiment that itself calls
+//! [`dial_par::parallel_map`] fans its chunks out over the same workers —
+//! nested submission is deadlock-free because pool workers steal while
+//! they wait (see `dial-par`'s scope module).
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -16,56 +23,78 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Saturated;
 
-/// A fixed-size worker pool with a bounded queue.
+/// Bounded admission over the shared compute pool.
 pub struct Scheduler {
-    // `None` after shutdown; dropping the sender is what stops the workers.
-    tx: Mutex<Option<SyncSender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    pool: Arc<dial_par::Pool>,
+    threads: usize,
+    queue_capacity: usize,
+    state: Mutex<State>,
+    // Signalled on every job completion; `shutdown` waits on it.
+    drained: Condvar,
+}
+
+struct State {
+    /// Jobs dispatched to the pool and not yet finished.
+    running: usize,
+    /// Jobs admitted but waiting for a running slot.
+    queue: VecDeque<Job>,
+    /// Once set, new submissions shed; queued jobs still run.
+    shut: bool,
 }
 
 impl Scheduler {
-    /// Spawns `threads` workers sharing a queue of `queue_capacity` slots.
+    /// Builds a facade admitting at most `threads` concurrent jobs onto
+    /// the shared pool, with `queue_capacity` waiting slots behind them.
     ///
     /// # Panics
     /// Panics if `threads` is zero.
     pub fn new(threads: usize, queue_capacity: usize) -> Self {
-        assert!(threads > 0, "scheduler needs at least one worker");
-        let (tx, rx) = sync_channel::<Job>(queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..threads)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("dial-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self { tx: Mutex::new(Some(tx)), workers: Mutex::new(workers) }
-    }
-
-    /// Enqueues a job, failing fast with [`Saturated`] when every queue
-    /// slot is taken and no worker is free to hand off to.
-    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Saturated> {
-        let guard = self.tx.lock().expect("scheduler sender lock");
-        let Some(tx) = guard.as_ref() else {
-            return Err(Saturated); // shutting down: shed everything
-        };
-        match tx.try_send(Box::new(job)) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => Err(Saturated),
+        assert!(threads > 0, "scheduler needs at least one running slot");
+        Self {
+            inner: Arc::new(Inner {
+                pool: Arc::clone(dial_par::global()),
+                threads,
+                queue_capacity,
+                state: Mutex::new(State { running: 0, queue: VecDeque::new(), shut: false }),
+                drained: Condvar::new(),
+            }),
         }
     }
 
-    /// Drains the queue and joins every worker. In-flight jobs finish;
-    /// queued jobs still run; new submissions are shed.
+    /// Admits a job, failing fast with [`Saturated`] when every running
+    /// slot and every queue slot is taken (or after shutdown).
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Saturated> {
+        let job: Job = Box::new(job);
+        {
+            let mut st = self.inner.state.lock().expect("scheduler state lock");
+            if st.shut {
+                return Err(Saturated);
+            }
+            if st.running >= self.inner.threads {
+                if st.queue.len() >= self.inner.queue_capacity {
+                    return Err(Saturated);
+                }
+                st.queue.push_back(job);
+                return Ok(());
+            }
+            st.running += 1;
+        }
+        dispatch(&self.inner, job);
+        Ok(())
+    }
+
+    /// Sheds new submissions and blocks until the queue is drained and
+    /// every in-flight job has finished. The shared pool itself stays up —
+    /// other users of `dial_par::global()` are unaffected.
     pub fn shutdown(&self) {
-        // Dropping the sender closes the channel; workers exit when the
-        // queue is empty.
-        self.tx.lock().expect("scheduler sender lock").take();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("scheduler worker lock"));
-        for w in workers {
-            let _ = w.join();
+        let mut st = self.inner.state.lock().expect("scheduler state lock");
+        st.shut = true;
+        while st.running > 0 || !st.queue.is_empty() {
+            st = self.inner.drained.wait(st).expect("scheduler state lock");
         }
     }
 }
@@ -76,16 +105,33 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
-    loop {
-        // Hold the lock only while receiving, not while running the job.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
+/// Runs `job` on the shared pool; the guard hands the slot to the next
+/// queued job (or releases it) even if the job panics.
+fn dispatch(inner: &Arc<Inner>, job: Job) {
+    let guard_inner = Arc::clone(inner);
+    inner.pool.spawn(move || {
+        let _slot = SlotGuard(guard_inner);
+        job();
+    });
+}
+
+struct SlotGuard(Arc<Inner>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let next = {
+            let mut st = self.0.state.lock().expect("scheduler state lock");
+            let next = st.queue.pop_front();
+            if next.is_none() {
+                st.running -= 1;
+            }
+            self.0.drained.notify_all();
+            next
         };
-        match job {
-            Ok(job) => job(),
-            Err(_) => return, // channel closed: shutdown
+        // Hand the freed slot straight to the head of the queue. `running`
+        // is unchanged in that case: the slot transfers, it is not freed.
+        if let Some(job) = next {
+            dispatch(&self.0, job);
         }
     }
 }
@@ -130,7 +176,7 @@ mod tests {
         let s = Scheduler::new(1, 1);
         let (block_tx, block_rx) = channel::<()>();
         let (started_tx, started_rx) = channel();
-        // Occupy the single worker...
+        // Occupy the single running slot...
         s.submit(move || {
             started_tx.send(()).unwrap();
             block_rx.recv().unwrap();
@@ -165,5 +211,21 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 8);
         // Post-shutdown submissions shed.
         assert_eq!(s.submit(|| {}), Err(Saturated));
+    }
+
+    #[test]
+    fn panicking_job_releases_its_slot() {
+        let s = Scheduler::new(1, 4);
+        let (done_tx, done_rx) = channel();
+        s.submit(|| panic!("injected scheduler panic")).unwrap();
+        // The slot frees despite the panic, so a later job still runs.
+        loop {
+            let d = done_tx.clone();
+            if s.submit(move || d.send(()).unwrap()).is_ok() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
     }
 }

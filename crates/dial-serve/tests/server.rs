@@ -8,9 +8,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// Minimal HTTP/1.1 GET; the server always closes the connection, so
-/// read-to-EOF yields the whole response.
-fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+/// Minimal HTTP/1.1 GET returning `(status, headers, body)`; the server
+/// always closes the connection, so read-to-EOF yields the whole response.
+fn http_get_full(addr: SocketAddr, path: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
         .expect("send request");
@@ -21,7 +21,12 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
-    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http_get_full(addr, path);
     (status, body)
 }
 
@@ -35,19 +40,29 @@ fn start_server(engine: Engine) -> Server {
     Server::start(Arc::new(engine), &cfg).expect("bind ephemeral port")
 }
 
+/// Asserts `body` is the uniform error envelope and returns its parts.
+fn parse_envelope(body: &str) -> (String, serde_json::Value) {
+    let v: serde_json::Value = serde_json::from_str(body)
+        .unwrap_or_else(|e| panic!("error body is not JSON ({e:?}): {body}"));
+    let err = v.get("error").as_object().unwrap_or_else(|| panic!("no error object: {body}"));
+    let code = err["code"].as_str().expect("code is a string").to_string();
+    assert!(err["message"].as_str().is_some(), "message missing: {body}");
+    (code, err["detail"].clone())
+}
+
 #[test]
 fn analyze_twice_is_identical_and_second_call_hits_the_cache() {
     let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
     let server = start_server(engine);
     let addr = server.addr();
 
-    let (status_a, body_a) = http_get(addr, "/analyze/table1");
-    let (status_b, body_b) = http_get(addr, "/analyze/table1");
+    let (status_a, body_a) = http_get(addr, "/v1/analyze/table1");
+    let (status_b, body_b) = http_get(addr, "/v1/analyze/table1");
     assert_eq!(status_a, 200);
     assert_eq!(status_b, 200);
     assert_eq!(body_a, body_b, "cached response must be byte-identical");
 
-    let (status_m, metrics) = http_get(addr, "/metrics");
+    let (status_m, metrics) = http_get(addr, "/v1/metrics");
     assert_eq!(status_m, 200);
     let m: serde_json::Value = serde_json::from_str(&metrics).expect("metrics is JSON");
     assert_eq!(m.get("cache_misses").as_u64(), Some(1));
@@ -62,26 +77,113 @@ fn every_endpoint_answers_valid_json() {
     let server = start_server(engine);
     let addr = server.addr();
 
-    for path in ["/healthz", "/experiments", "/summary", "/metrics", "/analyze/fig1"] {
+    for path in ["/v1/healthz", "/v1/experiments", "/v1/summary", "/v1/metrics", "/v1/analyze/fig1"]
+    {
         let (status, body) = http_get(addr, path);
         assert_eq!(status, 200, "{path} failed: {body}");
         serde_json::from_str::<serde_json::Value>(&body)
             .unwrap_or_else(|e| panic!("{path} returned invalid JSON ({e:?}): {body}"));
     }
 
-    // Unknown experiment: 404 with the valid ids in the payload.
-    let (status, body) = http_get(addr, "/analyze/table99");
+    // Unknown experiment: enveloped 404 with the valid ids in the detail.
+    let (status, body) = http_get(addr, "/v1/analyze/table99");
     assert_eq!(status, 404);
-    assert!(body.contains("table1"), "404 body should list valid ids: {body}");
+    let (code, detail) = parse_envelope(&body);
+    assert_eq!(code, "unknown_experiment");
+    let valid = detail.get("valid").as_array().expect("detail.valid is an array");
+    assert!(valid.iter().any(|v| v.as_str() == Some("table1")), "{body}");
 
-    // Unknown path and unsupported method.
-    let (status, _) = http_get(addr, "/nope");
+    // Unknown path and unsupported method, both enveloped.
+    let (status, body) = http_get(addr, "/nope");
     assert_eq!(status, 404);
+    assert_eq!(parse_envelope(&body).0, "unknown_endpoint");
     let mut stream = TcpStream::connect(addr).unwrap();
-    write!(stream, "POST /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    write!(stream, "POST /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
     let mut raw = String::new();
     stream.read_to_string(&mut raw).unwrap();
     assert!(raw.starts_with("HTTP/1.1 405"), "POST should 405, got {raw:?}");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or_default();
+    assert_eq!(parse_envelope(body).0, "method_not_allowed");
+
+    server.shutdown();
+}
+
+#[test]
+fn legacy_paths_redirect_permanently_to_v1() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    for (old, new) in [
+        ("/healthz", "/v1/healthz"),
+        ("/experiments", "/v1/experiments"),
+        ("/summary", "/v1/summary"),
+        ("/metrics", "/v1/metrics"),
+        ("/analyze/table1", "/v1/analyze/table1"),
+        ("/analyze?ids=table1,fig1", "/v1/analyze?ids=table1,fig1"),
+    ] {
+        let (status, head, body) = http_get_full(addr, old);
+        assert_eq!(status, 308, "{old} should 308: {body}");
+        let location = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Location: "))
+            .unwrap_or_else(|| panic!("{old}: no Location header in {head}"));
+        assert_eq!(location, new);
+        let (code, detail) = parse_envelope(&body);
+        assert_eq!(code, "moved_permanently");
+        assert_eq!(detail.get("location").as_str(), Some(new));
+
+        // Following the redirect reaches a working endpoint.
+        let (status, body) = http_get(addr, location);
+        assert_eq!(status, 200, "{location} after redirect failed: {body}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_analyze_returns_every_result_keyed_by_id() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 4, 32);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let (status, body) = http_get(addr, "/v1/analyze?ids=table1,fig1,table1");
+    assert_eq!(status, 200, "batch failed: {body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("batch body is JSON");
+    let results = v.get("results").as_object().expect("results object");
+    assert_eq!(results.len(), 2, "duplicate ids collapse: {body}");
+    assert!(v.get("errors").as_object().is_some_and(|e| e.is_empty()), "{body}");
+
+    // Each batch entry is byte-identical to its single-experiment body.
+    for id in ["table1", "fig1"] {
+        let (status, single) = http_get(addr, &format!("/v1/analyze/{id}"));
+        assert_eq!(status, 200);
+        let single_v: serde_json::Value = serde_json::from_str(&single).unwrap();
+        assert_eq!(results[id], single_v, "batch and single bodies disagree for {id}");
+    }
+
+    // Missing or empty ids: enveloped 400.
+    for path in ["/v1/analyze", "/v1/analyze?ids=", "/v1/analyze?ids=,,"] {
+        let (status, body) = http_get(addr, path);
+        assert_eq!(status, 400, "{path}: {body}");
+        assert_eq!(parse_envelope(&body).0, "missing_ids");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_analyze_rejects_whole_request_on_unknown_id() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 4, 32);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let (status, body) = http_get(addr, "/v1/analyze?ids=table1,definitely-not-real");
+    assert_eq!(status, 404, "unknown id must fail the whole batch: {body}");
+    let (code, detail) = parse_envelope(&body);
+    assert_eq!(code, "unknown_experiment");
+    let valid = detail.get("valid").as_array().expect("valid ids listed");
+    assert!(valid.iter().any(|v| v.as_str() == Some("table1")), "{body}");
 
     server.shutdown();
 }
@@ -96,7 +198,7 @@ fn eight_parallel_clients_get_consistent_answers() {
         .map(|i| {
             std::thread::spawn(move || {
                 // Half hammer the same experiment, half walk other endpoints.
-                let path = if i % 2 == 0 { "/analyze/table2" } else { "/healthz" };
+                let path = if i % 2 == 0 { "/v1/analyze/table2" } else { "/v1/healthz" };
                 http_get(addr, path)
             })
         })
@@ -124,7 +226,7 @@ fn eight_parallel_clients_get_consistent_answers() {
 }
 
 /// `(started_count, released)` behind a condvar: experiments park here so
-/// the test controls exactly when the worker frees up.
+/// the test controls exactly when the running slot frees up.
 struct Gate {
     state: Mutex<(usize, bool)>,
     cv: Condvar,
@@ -159,11 +261,9 @@ impl Gate {
     }
 }
 
-#[test]
-fn saturated_queue_sheds_with_503() {
-    let gate = Arc::new(Gate::new());
+fn blocking_engine(gate: &Arc<Gate>) -> Engine {
     let block = {
-        let gate = Arc::clone(&gate);
+        let gate = Arc::clone(gate);
         ServeExperiment {
             id: "block".into(),
             title: "parks until released".into(),
@@ -174,29 +274,56 @@ fn saturated_queue_sheds_with_503() {
             }),
         }
     };
-    // One worker, zero queue slots (rendezvous channel): once the worker
-    // is busy, every further submission must shed immediately.
-    let engine = Engine::new(test_store(), vec![block], 1, 0);
-    let server = start_server(engine);
+    // One running slot, zero queue slots: once the slot is busy, every
+    // further submission must shed immediately.
+    Engine::new(test_store(), vec![block], 1, 0)
+}
+
+#[test]
+fn saturated_queue_sheds_with_503() {
+    let gate = Arc::new(Gate::new());
+    let server = start_server(blocking_engine(&gate));
     let addr = server.addr();
 
-    let first = std::thread::spawn(move || http_get(addr, "/analyze/block"));
+    let first = std::thread::spawn(move || http_get(addr, "/v1/analyze/block"));
     gate.wait_started();
 
-    // The worker is parked inside the experiment, so this miss cannot be
-    // scheduled and the server sheds it.
-    let (status, body) = http_get(addr, "/analyze/block");
+    // The slot is parked inside the experiment, so this miss cannot be
+    // admitted and the server sheds it with the enveloped 503.
+    let (status, body) = http_get(addr, "/v1/analyze/block");
     assert_eq!(status, 503, "expected shed, got {status}: {body}");
+    let (code, _) = parse_envelope(&body);
+    assert_eq!(code, "saturated");
     assert!(body.contains("saturated"));
 
     gate.release();
     let (status, body) = first.join().unwrap();
     assert_eq!(status, 200, "parked request should finish: {body}");
 
-    let (_, metrics) = http_get(addr, "/metrics");
+    let (_, metrics) = http_get(addr, "/v1/metrics");
     let m: serde_json::Value = serde_json::from_str(&metrics).unwrap();
     assert!(m.get("shed_total").as_u64().unwrap() >= 1);
     assert!(m.get("responses_5xx").as_u64().unwrap() >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn saturated_batch_sheds_whole_request_with_503() {
+    let gate = Arc::new(Gate::new());
+    let server = start_server(blocking_engine(&gate));
+    let addr = server.addr();
+
+    let first = std::thread::spawn(move || http_get(addr, "/v1/analyze/block"));
+    gate.wait_started();
+
+    let (status, body) = http_get(addr, "/v1/analyze?ids=block");
+    assert_eq!(status, 503, "batch should shed whole: {status}: {body}");
+    assert_eq!(parse_envelope(&body).0, "saturated");
+
+    gate.release();
+    let (status, _) = first.join().unwrap();
+    assert_eq!(status, 200);
 
     server.shutdown();
 }

@@ -28,7 +28,7 @@ pub struct BootstrapInterval {
 /// Panics on an empty sample, `replicates == 0`, or a level outside (0, 1).
 pub fn bootstrap_ci(
     sample: &[f64],
-    statistic: impl Fn(&[f64]) -> f64,
+    statistic: impl Fn(&[f64]) -> f64 + Sync,
     replicates: usize,
     level: f64,
     rng: &mut impl Rng,
@@ -39,14 +39,15 @@ pub fn bootstrap_ci(
 
     let point = statistic(sample);
     let n = sample.len();
-    let mut stats = Vec::with_capacity(replicates);
-    let mut resample = vec![0.0; n];
-    for _ in 0..replicates {
-        for slot in resample.iter_mut() {
-            *slot = sample[rng.random_range(0..n)];
-        }
-        stats.push(statistic(&resample));
-    }
+    // Pre-draw every replicate's index vector serially, so the RNG stream
+    // is consumed in exactly the legacy order and the interval is
+    // bit-identical to the serial path at any pool width.
+    let draws: Vec<Vec<u32>> =
+        (0..replicates).map(|_| (0..n).map(|_| rng.random_range(0..n) as u32).collect()).collect();
+    let mut stats = dial_par::parallel_map(draws, |indices| {
+        let resample: Vec<f64> = indices.iter().map(|&i| sample[i as usize]).collect();
+        statistic(&resample)
+    });
     stats.sort_by(f64::total_cmp);
     let tail = (1.0 - level) / 2.0;
     let lo_idx = ((replicates as f64) * tail).floor() as usize;

@@ -36,23 +36,40 @@ impl KMeans {
     /// Panics if `k == 0` or `k > rows.len()`.
     pub fn fit(rows: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> KMeansFit {
         assert!(k > 0 && k <= rows.len(), "k must be in 1..=n");
+        let init = Self::plus_plus_init(rows, k, rng);
+        Self::fit_with_init(rows, init)
+    }
+
+    /// Lloyd's algorithm from explicit starting centroids. Consumes no
+    /// randomness — `fit`/`fit_best` layer k-means++ seeding on top, which
+    /// is what lets restarts run in parallel with a pre-drawn RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `init` is empty or has more centroids than rows.
+    pub fn fit_with_init(rows: &[Vec<f64>], init: Vec<Vec<f64>>) -> KMeansFit {
+        let k = init.len();
+        assert!(k > 0 && k <= rows.len(), "k must be in 1..=n");
         let n = rows.len();
-        let mut centroids = Self::plus_plus_init(rows, k, rng);
+        let mut centroids = init;
         let mut assignments = vec![0usize; n];
         let mut iterations = 0;
 
         for iter in 1..=MAX_ITER {
             iterations = iter;
-            // Assignment step.
-            let mut changed = false;
-            for (i, row) in rows.iter().enumerate() {
-                let best = (0..k)
+            // Assignment step: each row's nearest centroid is independent,
+            // so the search fans out; the write-back stays serial.
+            let best_of: Vec<usize> = dial_par::parallel_map((0..n).collect(), |i| {
+                (0..k)
                     .min_by(|&a, &b| {
-                        sq_dist(row, &centroids[a]).total_cmp(&sq_dist(row, &centroids[b]))
+                        sq_dist(&rows[i], &centroids[a])
+                            .total_cmp(&sq_dist(&rows[i], &centroids[b]))
                     })
-                    .unwrap();
-                if assignments[i] != best {
-                    assignments[i] = best;
+                    .unwrap()
+            });
+            let mut changed = false;
+            for (slot, best) in assignments.iter_mut().zip(best_of) {
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -94,10 +111,18 @@ impl KMeans {
     }
 
     /// Runs `fit` `restarts` times and keeps the lowest-inertia solution.
+    ///
+    /// Seedings are pre-drawn serially (Lloyd itself consumes no RNG), so
+    /// the restarts run in parallel while the RNG stream and the winning
+    /// fit — ties keep the earliest restart — match the serial loop
+    /// exactly at any pool width.
     pub fn fit_best(rows: &[Vec<f64>], k: usize, restarts: usize, rng: &mut impl Rng) -> KMeansFit {
+        assert!(k > 0 && k <= rows.len(), "k must be in 1..=n");
+        let inits: Vec<Vec<Vec<f64>>> =
+            (0..restarts.max(1)).map(|_| Self::plus_plus_init(rows, k, rng)).collect();
+        let fits = dial_par::parallel_map(inits, |init| Self::fit_with_init(rows, init));
         let mut best: Option<KMeansFit> = None;
-        for _ in 0..restarts.max(1) {
-            let fit = Self::fit(rows, k, rng);
+        for fit in fits {
             if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
                 best = Some(fit);
             }
@@ -149,12 +174,13 @@ pub fn silhouette(rows: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
     for &a in assignments {
         cluster_sizes[a] += 1;
     }
-    let mut total = 0.0;
-    let mut counted = 0usize;
-    for i in 0..n {
+    // Per-row contributions are independent; the float accumulation folds
+    // serially over the ordered results so the mean matches the legacy
+    // loop bit-for-bit.
+    let contributions: Vec<Option<f64>> = dial_par::parallel_map((0..n).collect(), |i| {
         let own = assignments[i];
         if cluster_sizes[own] <= 1 {
-            continue; // silhouette undefined for singleton members
+            return None; // silhouette undefined for singleton members
         }
         let mut sums = vec![0.0; k];
         for j in 0..n {
@@ -167,10 +193,13 @@ pub fn silhouette(rows: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
             .filter(|&c| c != own && cluster_sizes[c] > 0)
             .map(|c| sums[c] / cluster_sizes[c] as f64)
             .fold(f64::INFINITY, f64::min);
-        if b.is_finite() {
-            total += (b - a) / a.max(b);
-            counted += 1;
-        }
+        b.is_finite().then(|| (b - a) / a.max(b))
+    });
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for c in contributions.into_iter().flatten() {
+        total += c;
+        counted += 1;
     }
     if counted == 0 {
         0.0

@@ -96,23 +96,41 @@ impl LcaModel {
     /// # Panics
     /// Panics if `data` is empty, ragged, or `k == 0`.
     pub fn fit(&self, data: &[Vec<f64>], rng: &mut impl Rng) -> LcaFit {
-        let k = self.k;
-        let n = data.len();
-        assert!(k > 0, "k must be positive");
-        assert!(n > 0, "no data");
-        let d = data[0].len();
-        assert!(data.iter().all(|r| r.len() == d), "ragged data");
+        let resp = self.draw_init(data.len(), rng);
+        self.fit_with_init(data, resp)
+    }
 
-        // Initialise responsibilities as a perturbed uniform so classes
-        // break symmetry, then run M-step first.
-        let mut resp: Vec<Vec<f64>> = (0..n)
+    /// Draws the random-responsibility initialisation for one restart: a
+    /// perturbed uniform per observation so classes break symmetry. Split
+    /// out from [`LcaModel::fit`] so `fit_best` can pre-draw every
+    /// restart's initialisation serially and run the EM fits in parallel.
+    pub fn draw_init(&self, n: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+        let k = self.k;
+        (0..n)
             .map(|_| {
                 let mut row: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..1.0)).collect();
                 let s: f64 = row.iter().sum();
                 row.iter_mut().for_each(|v| *v /= s);
                 row
             })
-            .collect();
+            .collect()
+    }
+
+    /// Runs EM from explicit initial responsibilities (consumes no
+    /// randomness).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty, ragged, `k == 0`, or `init` does not
+    /// have one responsibility row per observation.
+    pub fn fit_with_init(&self, data: &[Vec<f64>], init: Vec<Vec<f64>>) -> LcaFit {
+        let k = self.k;
+        let n = data.len();
+        assert!(k > 0, "k must be positive");
+        assert!(n > 0, "no data");
+        let d = data[0].len();
+        assert!(data.iter().all(|r| r.len() == d), "ragged data");
+        assert!(init.len() == n, "one responsibility row per observation");
+        let mut resp = init;
 
         let mut weights = vec![1.0 / k as f64; k];
         let mut rates = vec![vec![1.0; d]; k];
@@ -121,19 +139,31 @@ impl LcaModel {
 
         for iter in 1..=MAX_ITER {
             iterations = iter;
-            // M-step.
-            for c in 0..k {
+            // M-step: classes are independent given the responsibilities,
+            // so each class's weight/rate sums run on their own lane; the
+            // per-class serial sums over observations are untouched, so
+            // the floats match the legacy loop bit-for-bit.
+            let per_class: Vec<(f64, Vec<f64>)> = dial_par::parallel_map((0..k).collect(), |c| {
                 let nc: f64 = resp.iter().map(|r| r[c]).sum();
-                weights[c] = (nc / n as f64).max(1e-10);
-                for dd in 0..d {
-                    let s: f64 = resp.iter().zip(data).map(|(r, row)| r[c] * row[dd]).sum();
-                    rates[c][dd] = (s / nc.max(1e-12)).max(RATE_FLOOR);
-                }
+                let weight = (nc / n as f64).max(1e-10);
+                let class_rates: Vec<f64> = (0..d)
+                    .map(|dd| {
+                        let s: f64 = resp.iter().zip(data).map(|(r, row)| r[c] * row[dd]).sum();
+                        (s / nc.max(1e-12)).max(RATE_FLOOR)
+                    })
+                    .collect();
+                (weight, class_rates)
+            });
+            for (c, (weight, class_rates)) in per_class.into_iter().enumerate() {
+                weights[c] = weight;
+                rates[c] = class_rates;
             }
             let wsum: f64 = weights.iter().sum();
             weights.iter_mut().for_each(|w| *w /= wsum);
 
-            // E-step.
+            // E-step: per-row posteriors fan out; the log-likelihood folds
+            // serially over the ordered norms, preserving the legacy
+            // accumulation order exactly.
             let fit = LcaFit {
                 k,
                 d,
@@ -143,14 +173,15 @@ impl LcaModel {
                 log_lik: 0.0,
                 iterations,
             };
-            let mut new_ll = 0.0;
-            for (i, row) in data.iter().enumerate() {
-                let lj = fit.log_joint(row);
+            let posteriors: Vec<(Vec<f64>, f64)> = dial_par::parallel_map((0..n).collect(), |i| {
+                let lj = fit.log_joint(&data[i]);
                 let norm = log_sum_exp(&lj);
+                (lj.iter().map(|l| (l - norm).exp()).collect(), norm)
+            });
+            let mut new_ll = 0.0;
+            for (i, (row, norm)) in posteriors.into_iter().enumerate() {
                 new_ll += norm;
-                for c in 0..k {
-                    resp[i][c] = (lj[c] - norm).exp();
-                }
+                resp[i] = row;
             }
 
             let improved = (new_ll - log_lik) / n as f64;
@@ -165,10 +196,17 @@ impl LcaModel {
 
     /// Fits with `restarts` random initialisations, keeping the best
     /// log-likelihood (EM is sensitive to initialisation).
+    ///
+    /// Initialisations are pre-drawn serially (EM itself consumes no
+    /// RNG), so the restarts run in parallel while the RNG stream and the
+    /// winner — ties keep the earliest restart — match the serial loop
+    /// exactly at any pool width.
     pub fn fit_best(&self, data: &[Vec<f64>], restarts: usize, rng: &mut impl Rng) -> LcaFit {
+        let inits: Vec<Vec<Vec<f64>>> =
+            (0..restarts.max(1)).map(|_| self.draw_init(data.len(), rng)).collect();
+        let fits = dial_par::parallel_map(inits, |init| self.fit_with_init(data, init));
         let mut best: Option<LcaFit> = None;
-        for _ in 0..restarts.max(1) {
-            let fit = self.fit(data, rng);
+        for fit in fits {
             if best.as_ref().is_none_or(|b| fit.log_lik > b.log_lik) {
                 best = Some(fit);
             }

@@ -19,10 +19,25 @@ impl TransitionMatrix {
     /// `pairs` contains `(class_at_t, class_at_t_plus_1)` observations.
     /// Rows with no observations get a uniform distribution.
     pub fn estimate(k: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let pairs: Vec<(usize, usize)> = pairs.into_iter().collect();
+        // Counting is exact integer arithmetic, so chunked tallies merge
+        // to the same matrix in any order; chunks fan out across the pool.
+        let chunk = pairs.len().div_ceil(dial_par::current_threads().max(1) * 4).max(1);
+        let partials = dial_par::parallel_map(pairs.chunks(chunk).collect(), |part| {
+            let mut tally = vec![vec![0u64; k]; k];
+            for &(from, to) in part {
+                assert!(from < k && to < k, "class index out of range");
+                tally[from][to] += 1;
+            }
+            tally
+        });
         let mut counts = vec![vec![0u64; k]; k];
-        for (from, to) in pairs {
-            assert!(from < k && to < k, "class index out of range");
-            counts[from][to] += 1;
+        for tally in partials {
+            for (row, tally_row) in counts.iter_mut().zip(tally) {
+                for (slot, v) in row.iter_mut().zip(tally_row) {
+                    *slot += v;
+                }
+            }
         }
         let probs = counts
             .iter()

@@ -8,13 +8,17 @@
 //!     Print the dataset's headline statistics.
 //!
 //! dial analyze market.json --experiment table1,fig7 [--experiment table2 ...]
-//! dial analyze market.json --all [--classes 12]
+//! dial analyze market.json --all [--classes 12] [--threads N]
 //!     Regenerate paper tables/figures from a snapshot. `--experiment`
 //!     takes comma-separated lists and may repeat; unknown ids abort
-//!     with the valid ids listed.
+//!     with the valid ids listed. `--threads` sizes the shared compute
+//!     pool (default: available parallelism); `--threads 1` is the
+//!     documented serial path and produces byte-identical output.
 //!
 //! dial serve --snapshot market.json [--port 8080] [--threads N]
 //!     Serve the snapshot as a long-running JSON query service.
+//!     `--threads` both sizes the shared compute pool and caps the
+//!     number of concurrently admitted experiment runs.
 //!
 //! dial list
 //!     List the available experiment ids.
@@ -43,7 +47,9 @@ fn main() -> ExitCode {
             eprintln!("usage: dial <generate|summary|analyze|serve|export|list> [options]");
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
-            eprintln!("  dial analyze market.json --experiment table1,fig7 | --all [--classes 12]");
+            eprintln!(
+                "  dial analyze market.json --experiment table1,fig7 | --all [--classes 12] [--threads N]"
+            );
             eprintln!(
                 "  dial serve --snapshot market.json [--port 8080] [--threads N] [--queue 64]"
             );
@@ -56,6 +62,27 @@ fn main() -> ExitCode {
 /// Reads `--flag value` style options.
 fn opt(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Resolves `--threads` (default: available parallelism), sizes the
+/// process-wide compute pool with it, and reports the choice. Returns
+/// `None` (after printing the error) when the value is invalid.
+fn configure_threads(args: &[String]) -> Option<usize> {
+    let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = match opt(args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(t) if t >= 1 => t,
+            _ => {
+                eprintln!("--threads must be an integer >= 1, got {v:?}");
+                return None;
+            }
+        },
+        None => default_threads,
+    };
+    dial_par::configure_global_threads(threads);
+    let mode = if threads == 1 { " (serial)" } else { "" };
+    eprintln!("compute pool: {threads} thread(s){mode}");
+    Some(threads)
 }
 
 fn generate(args: &[String]) -> ExitCode {
@@ -185,12 +212,21 @@ fn analyze(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let Some(_threads) = configure_threads(args) else {
+        return ExitCode::FAILURE;
+    };
+
+    // Run the selected experiments on the shared pool, then print in
+    // registry order — the rendered output is byte-identical to the old
+    // one-by-one serial loop no matter how wide the pool is.
     let ctx = ExperimentContext::new(snap.dataset, snap.ledger, 0xD1A1, classes);
-    for e in &registry {
-        if run_all || wanted.iter().any(|w| w == e.id) {
-            println!("== [{}] {} ==", e.id, e.title);
-            println!("{}\n", (e.run)(&ctx));
-        }
+    let selected: Vec<_> =
+        registry.iter().filter(|e| run_all || wanted.iter().any(|w| w == e.id)).collect();
+    let outputs =
+        dial_par::parallel_map((0..selected.len()).collect(), |i| (selected[i].run)(&ctx));
+    for (e, output) in selected.iter().zip(outputs) {
+        println!("== [{}] {} ==", e.id, e.title);
+        println!("{output}\n");
     }
     ExitCode::SUCCESS
 }
@@ -207,16 +243,15 @@ fn serve(args: &[String]) -> ExitCode {
     if let Some(p) = opt(args, "--port").and_then(|v| v.parse().ok()) {
         cfg.port = p;
     }
-    if let Some(t) = opt(args, "--threads").and_then(|v| v.parse().ok()) {
-        cfg.threads = t;
-    }
     if let Some(q) = opt(args, "--queue").and_then(|v| v.parse().ok()) {
         cfg.queue_capacity = q;
     }
-    if cfg.threads == 0 {
-        eprintln!("--threads must be at least 1");
+    // `--threads` sizes the shared compute pool AND the engine's
+    // admission limit, so one flag controls both layers.
+    let Some(threads) = configure_threads(args) else {
         return ExitCode::FAILURE;
-    }
+    };
+    cfg.threads = threads;
     let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
     let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
 

@@ -59,6 +59,48 @@ fn generate_summary_analyze_round_trip() {
 }
 
 #[test]
+fn analyze_threads_flag_is_reported_and_does_not_change_output() {
+    let dir = std::env::temp_dir().join(format!("dial-cli-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("market.json");
+    let out = dial()
+        .args(["generate", "--scale", "0.01", "--seed", "9", "--out"])
+        .arg(&snapshot)
+        .output()
+        .expect("run dial generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let analyze = |threads: &str| {
+        let out = dial()
+            .arg("analyze")
+            .arg(&snapshot)
+            .args(["--experiment", "table1,table2,fig1,fig5", "--threads", threads])
+            .output()
+            .expect("run dial analyze");
+        assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("compute pool: {threads} thread(s)")),
+            "pool size not reported: {stderr}"
+        );
+        out.stdout
+    };
+    // `--threads 1` is the documented serial path; wider pools must
+    // produce byte-identical output.
+    let serial = analyze("1");
+    let parallel = analyze("4");
+    assert_eq!(serial, parallel, "--threads changed the analyze output");
+
+    // Invalid thread counts abort with a clear message.
+    let out =
+        dial().arg("analyze").arg(&snapshot).args(["--all", "--threads", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads must be"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn list_names_every_registered_experiment() {
     let out = dial().arg("list").output().expect("run dial list");
     assert!(out.status.success());

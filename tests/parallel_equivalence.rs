@@ -1,0 +1,44 @@
+//! Serial-vs-parallel equivalence: the whole experiment registry must
+//! emit byte-identical JSON on a 1-thread pool (the documented serial
+//! path) and on a wide work-stealing pool.
+//!
+//! This is the end-to-end enforcement of dial-par's determinism contract
+//! (DESIGN §11): chunking never changes per-item results, results merge
+//! in input order, and every RNG stream is drawn serially up front — so
+//! `--threads N` is an optimisation, never a different analysis.
+
+use dial_market::core::experiments::{all_experiments, extension_experiments, ExperimentContext};
+use dial_market::prelude::*;
+
+/// Runs every registered experiment on a pool of the given width and
+/// returns `(id, json)` pairs in registry order. The experiments fan out
+/// over the pool exactly like `run_all`/`dial analyze` do, and each one
+/// fans its own inner passes out again (nested scopes).
+fn run_registry(threads: usize) -> Vec<(String, String)> {
+    let pool = dial_par::Pool::new(threads);
+    dial_par::with_pool(&pool, || {
+        let out = SimConfig::paper_default().with_seed(11).with_scale(0.01).simulate_full();
+        let ctx = ExperimentContext::new(out.dataset, out.ledger, 11, 3);
+        let registry: Vec<_> =
+            all_experiments().into_iter().chain(extension_experiments()).collect();
+        let bodies =
+            dial_par::parallel_map((0..registry.len()).collect(), |i| registry[i].run_json(&ctx));
+        registry.iter().zip(bodies).map(|(e, body)| (e.id.to_string(), body)).collect()
+    })
+}
+
+#[test]
+fn every_registry_experiment_is_byte_identical_serial_vs_parallel() {
+    let serial = run_registry(1);
+    let parallel = run_registry(4);
+
+    assert!(serial.len() >= 30, "registry shrank to {} experiments", serial.len());
+    assert_eq!(serial.len(), parallel.len());
+    for ((id_s, body_s), (id_p, body_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(id_s, id_p, "registry order diverged");
+        assert_eq!(
+            body_s, body_p,
+            "{id_s}: serial and parallel JSON differ — a reduction depends on execution order"
+        );
+    }
+}
