@@ -7,7 +7,6 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
-use std::time::Duration;
 
 /// A type-erased unit of work. Scoped primitives need tasks that borrow
 /// the caller's stack, which `Box<dyn FnOnce + 'static>` cannot express;
@@ -74,11 +73,6 @@ pub(crate) fn current_worker_pool() -> Option<Arc<Pool>> {
 }
 
 static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
-
-/// How long an idle worker sleeps before re-checking for work and for
-/// pool shutdown. Wakeups are normally explicit (every push notifies);
-/// the timeout only bounds shutdown latency.
-const IDLE_PARK: Duration = Duration::from_millis(20);
 
 /// The pool's sleep gate. Lives in its own `Arc` so parked workers hold
 /// no strong reference to the pool itself — otherwise idle workers would
@@ -272,7 +266,9 @@ fn worker_loop(weak: &Weak<Pool>, sleep: &Arc<SleepCell>, idx: usize) {
             continue;
         }
         // Sleep phase: re-check for work under the sleep lock (pushes
-        // notify under it, so this cannot lose a wakeup), then park
+        // notify under it, so this cannot lose a wakeup), then park —
+        // with no timeout, since every push notifies and shutdown (both
+        // explicit and via the pool's Drop) does a notify_all — and
         // without holding any strong reference to the pool.
         let guard = sleep.stop.lock().expect("pool sleep lock");
         if *guard {
@@ -285,7 +281,7 @@ fn worker_loop(weak: &Weak<Pool>, sleep: &Arc<SleepCell>, idx: usize) {
         if pending {
             continue;
         }
-        let _ = sleep.cv.wait_timeout(guard, IDLE_PARK).expect("pool sleep wait");
+        drop(sleep.cv.wait(guard).expect("pool sleep wait"));
     }
     WORKER.with_borrow_mut(|w| *w = None);
 }
@@ -337,7 +333,7 @@ impl Pool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
-    use std::time::Instant;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn spawn_runs_detached_jobs() {

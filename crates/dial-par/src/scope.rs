@@ -1,15 +1,23 @@
 //! Scoped execution: the machinery that lets borrowing closures run on
 //! pool workers without `'static` bounds.
 //!
-//! Soundness rests on one invariant: **a scope's stack frame outlives
-//! every access to it from a worker.** Tickets queued on the pool own
-//! only an `Arc` of a `'static` control block — a claim queue plus a
-//! type-erased pointer to the stack scope. Work can only be claimed from
-//! that queue while the caller is still blocked inside the scope (the
-//! caller returns only once every claim has finished executing), and a
-//! ticket that finds nothing to claim never touches the pointer. Leftover
-//! tickets drained after the scope returns merely drop their `Arc` of the
-//! control block, which owns no borrowed data.
+//! Soundness rests on two invariants:
+//!
+//! 1. **A scope's stack frame outlives every access to it from a
+//!    worker.** Tickets queued on the pool own only an `Arc` of a
+//!    `'static` control block — a claim queue plus a type-erased pointer
+//!    to the stack scope. Work can only be claimed from that queue while
+//!    the caller is still blocked inside the scope (the caller returns
+//!    only once every claim has finished executing), and a ticket that
+//!    finds nothing to claim never touches the pointer. Leftover tickets
+//!    drained after the scope returns merely drop their `Arc` of the
+//!    control block, which owns no borrowed data.
+//! 2. **Completion is signalled through the control block, never the
+//!    scope.** The completion latch (`remaining` / `done`) and its
+//!    condvar live in the Arc-owned control block: the instant a worker
+//!    publishes the final result, the caller may observe it and return,
+//!    freeing the scope — so the worker's post-publication lock and
+//!    notify must touch only heap memory its own `Arc` keeps alive.
 
 use crate::pool::{Pool, Task};
 use crate::{enter_nested, nesting_depth, panic_message, TaskPanicked, MAX_NESTING};
@@ -17,14 +25,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
-
-/// How long a blocked scope sleeps between completion re-checks. Wakeups
-/// are normally explicit (finishing the last chunk notifies); the timeout
-/// is a lost-wakeup safety net, not the steady state.
-const SETTLE_WAIT: Duration = Duration::from_millis(1);
 
 /// Chunks handed out per pool thread. More than one so an early-finishing
 /// thread can keep stealing; not so many that queueing dominates.
@@ -42,22 +43,27 @@ enum Slot<T, R> {
     Drained,
 }
 
-/// The stack-resident state of one `parallel_map` call.
+/// The stack-resident state of one `parallel_map` call: only what chunk
+/// execution reads and writes. Completion signalling lives in the
+/// heap-resident [`MapControl`] so nothing here is touched once the
+/// caller is allowed to return.
 struct MapScope<T, R, F> {
     f: F,
     slots: Vec<Mutex<Slot<T, R>>>,
-    /// Chunks not yet finished; the caller may return only at zero.
-    remaining: AtomicUsize,
     /// First panic payload from any chunk.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
-    done_lock: Mutex<()>,
-    done_cv: Condvar,
 }
 
 /// The `'static` half shared with queued tickets.
 struct MapControl {
     /// Chunk ids not yet claimed. Popping one is the claim.
     pending: Mutex<VecDeque<usize>>,
+    /// Chunks not yet finished; the caller may return only at zero. Lives
+    /// here — kept alive by each ticket's `Arc` — so the decrement to
+    /// zero is a worker's *last* access to anything scope-lived, and the
+    /// notify under this lock touches only heap memory.
+    remaining: Mutex<usize>,
+    done_cv: Condvar,
     /// Erased `*const MapScope<T, R, F>`; only dereferenced by the holder
     /// of a freshly popped chunk id.
     scope: *const (),
@@ -75,8 +81,8 @@ where
     F: Fn(T) -> R + Sync,
 {
     /// Executes one claimed chunk, records its output or panic, and
-    /// signals completion when it was the last one.
-    fn run_chunk(&self, idx: usize) {
+    /// retires it on the control block's latch.
+    fn run_chunk(&self, idx: usize, control: &MapControl) {
         let taken =
             mem::replace(&mut *self.slots[idx].lock().expect("map slot lock"), Slot::Running);
         let Slot::Input(items) = taken else { unreachable!("map chunk {idx} claimed twice") };
@@ -94,9 +100,13 @@ where
                 }
             }
         }
-        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _held = self.done_lock.lock().expect("map done lock");
-            self.done_cv.notify_all();
+        // Once `remaining` hits zero the caller may return and free
+        // `self`, so from the decrement on, only `control` (heap, kept
+        // alive by the running ticket's Arc) may be touched.
+        let mut remaining = control.remaining.lock().expect("map done lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            control.done_cv.notify_all();
         }
     }
 }
@@ -119,7 +129,7 @@ where
         // Safety: holding an unfinished chunk id proves the caller is
         // still blocked in `map_on`, so the scope is alive.
         let scope = unsafe { &*(control.scope as *const MapScope<T, R, F>) };
-        scope.run_chunk(idx);
+        scope.run_chunk(idx, &control);
     }
 }
 
@@ -167,16 +177,11 @@ where
         slots.push(Mutex::new(Slot::Input(chunk)));
     }
     let n = slots.len();
-    let scope = MapScope {
-        f,
-        slots,
-        remaining: AtomicUsize::new(n),
-        panic: Mutex::new(None),
-        done_lock: Mutex::new(()),
-        done_cv: Condvar::new(),
-    };
+    let scope = MapScope { f, slots, panic: Mutex::new(None) };
     let control = Arc::new(MapControl {
         pending: Mutex::new((0..n).collect()),
+        remaining: Mutex::new(n),
+        done_cv: Condvar::new(),
         scope: &scope as *const MapScope<T, R, F> as *const (),
     });
     // One ticket per chunk beyond the one the caller will run itself;
@@ -188,20 +193,18 @@ where
         let task = unsafe { Task::from_raw(handle, run_map_ticket::<T, R, F>, release_map_ticket) };
         pool.push_task(task);
     }
-    loop {
-        let claimed = control.pending.lock().expect("map pending lock").pop_front();
-        if let Some(idx) = claimed {
-            scope.run_chunk(idx);
-            continue;
-        }
-        if scope.remaining.load(Ordering::SeqCst) == 0 {
-            break;
-        }
-        let held = scope.done_lock.lock().expect("map done lock");
-        if scope.remaining.load(Ordering::SeqCst) != 0 {
-            let _ = scope.done_cv.wait_timeout(held, SETTLE_WAIT).expect("map done wait");
-        }
+    // Help with any chunk nobody has claimed yet; the claim queue never
+    // refills, so an empty pop means every chunk is running or done.
+    while let Some(idx) = control.pending.lock().expect("map pending lock").pop_front() {
+        scope.run_chunk(idx, &control);
     }
+    // Wait out the stragglers other threads claimed. Workers decrement
+    // and notify under this same lock, so the wakeup cannot be lost.
+    let mut remaining = control.remaining.lock().expect("map done lock");
+    while *remaining != 0 {
+        remaining = control.done_cv.wait(remaining).expect("map done wait");
+    }
+    drop(remaining);
     if let Some(payload) = scope.panic.lock().expect("map panic lock").take() {
         return Err(TaskPanicked { message: panic_message(payload.as_ref()) });
     }
@@ -224,16 +227,23 @@ enum JoinSlot<B, RB> {
     Drained,
 }
 
-/// The stack-resident state of one `join` call (the `b` side).
+/// The stack-resident state of one `join` call (the `b` side). As with
+/// [`MapScope`], completion signalling lives in the heap-resident
+/// control block, not here.
 struct JoinScope<B, RB> {
     slot: Mutex<JoinSlot<B, RB>>,
-    done_cv: Condvar,
 }
 
 /// The `'static` half shared with the queued `b` ticket.
 struct JoinControl {
     /// True until someone claims `b`; flipping it to false is the claim.
     armed: Mutex<bool>,
+    /// Completion latch: set under its lock after the result is parked in
+    /// the scope slot. Lives here so `run_b`'s final lock/notify touches
+    /// only Arc-owned heap memory — the caller may free the scope the
+    /// moment it observes `done`.
+    done: Mutex<bool>,
+    done_cv: Condvar,
     /// Erased `*const JoinScope<B, RB>`; only dereferenced by the thread
     /// that flipped `armed`.
     scope: *const (),
@@ -248,8 +258,9 @@ impl<B, RB> JoinScope<B, RB>
 where
     B: FnOnce() -> RB,
 {
-    /// Runs the claimed `b`, parks its result, and wakes the caller.
-    fn run_b(&self) {
+    /// Runs the claimed `b`, parks its result, and trips the control
+    /// block's completion latch.
+    fn run_b(&self, control: &JoinControl) {
         let taken =
             mem::replace(&mut *self.slot.lock().expect("join slot lock"), JoinSlot::Running);
         let JoinSlot::Pending(b) = taken else { unreachable!("join closure claimed twice") };
@@ -258,7 +269,12 @@ where
             b()
         }));
         *self.slot.lock().expect("join slot lock") = JoinSlot::Done(outcome);
-        self.done_cv.notify_all();
+        // The store above was the last access to `self`: the caller may
+        // return (freeing the scope) as soon as it sees `done`, so the
+        // wakeup goes through the Arc-owned control block only.
+        let mut done = control.done.lock().expect("join done lock");
+        *done = true;
+        control.done_cv.notify_all();
     }
 }
 
@@ -281,7 +297,7 @@ where
         // Safety: winning the claim proves the caller is still blocked in
         // `join_on`, so the scope is alive.
         let scope = unsafe { &*(control.scope as *const JoinScope<B, RB>) };
-        scope.run_b();
+        scope.run_b(&control);
     }
 }
 
@@ -306,10 +322,11 @@ where
     if pool.threads() == 1 || nesting_depth() >= MAX_NESTING {
         return (a(), b());
     }
-    let scope: JoinScope<B, RB> =
-        JoinScope { slot: Mutex::new(JoinSlot::Pending(b)), done_cv: Condvar::new() };
+    let scope: JoinScope<B, RB> = JoinScope { slot: Mutex::new(JoinSlot::Pending(b)) };
     let control = Arc::new(JoinControl {
         armed: Mutex::new(true),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
         scope: &scope as *const JoinScope<B, RB> as *const (),
     });
     let handle = Arc::into_raw(Arc::clone(&control)) as *mut ();
@@ -330,19 +347,24 @@ where
         mem::replace(&mut *armed, false)
     };
     if reclaimed {
-        scope.run_b();
+        scope.run_b(&control);
+    }
+    // The latch is set under its lock after the slot is parked, so this
+    // wait cannot miss the wakeup, and seeing `done` guarantees the slot
+    // holds `Done`.
+    {
+        let mut done = control.done.lock().expect("join done lock");
+        while !*done {
+            done = control.done_cv.wait(done).expect("join done wait");
+        }
     }
     let b_out = {
-        let mut guard = scope.slot.lock().expect("join slot lock");
-        loop {
-            if matches!(*guard, JoinSlot::Done(_)) {
-                let JoinSlot::Done(out) = mem::replace(&mut *guard, JoinSlot::Drained) else {
-                    unreachable!()
-                };
-                break out;
-            }
-            guard = scope.done_cv.wait_timeout(guard, SETTLE_WAIT).expect("join done wait").0;
-        }
+        let taken =
+            mem::replace(&mut *scope.slot.lock().expect("join slot lock"), JoinSlot::Drained);
+        let JoinSlot::Done(out) = taken else {
+            unreachable!("join slot not settled after completion latch")
+        };
+        out
     };
     let ra = match a_out {
         Ok(ra) => ra,

@@ -66,7 +66,9 @@ fn opt(args: &[String], flag: &str) -> Option<String> {
 
 /// Resolves `--threads` (default: available parallelism), sizes the
 /// process-wide compute pool with it, and reports the choice. Returns
-/// `None` (after printing the error) when the value is invalid.
+/// `None` (after printing the error) when the value is invalid or the
+/// pool was already built with a different width — the printed size must
+/// never lie about the pool actually in use.
 fn configure_threads(args: &[String]) -> Option<usize> {
     let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = match opt(args, "--threads") {
@@ -79,7 +81,13 @@ fn configure_threads(args: &[String]) -> Option<usize> {
         },
         None => default_threads,
     };
-    dial_par::configure_global_threads(threads);
+    if !dial_par::configure_global_threads(threads) {
+        let actual = dial_par::global().threads();
+        eprintln!(
+            "--threads {threads} rejected: compute pool already running with {actual} thread(s)"
+        );
+        return None;
+    }
     let mode = if threads == 1 { " (serial)" } else { "" };
     eprintln!("compute pool: {threads} thread(s){mode}");
     Some(threads)
