@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p dial-par (warnings are errors)"
 cargo clippy -p dial-par --all-targets -- -D warnings
 
+echo "==> cargo clippy -p dial-fault (warnings are errors)"
+cargo clippy -p dial-fault --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -20,5 +23,8 @@ cargo test -q --workspace
 
 echo "==> serial/parallel byte-equivalence (all registry experiments)"
 cargo test -q --test parallel_equivalence
+
+echo "==> chaos suite (fault injection, deadlines, graceful drain)"
+cargo test -q --test chaos
 
 echo "==> ci.sh: all green"

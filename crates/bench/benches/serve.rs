@@ -6,11 +6,20 @@
 //! a worker thread, envelope build, cache insert — by evicting between
 //! iterations with a fresh engine. "Warm" measures the steady state every
 //! repeat query sees: a read-locked map probe returning a shared body.
+//!
+//! The faulted-load variant goes through real sockets and compares warm
+//! request latency (p50/p99) clean vs. under a `dial-fault` plan that
+//! slows ~10% of connection reads — the degradation an operator should
+//! expect from a tail of slow clients.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dial_bench::bench_market;
-use dial_serve::{Engine, SnapshotStore};
+use dial_serve::{Engine, ServeConfig, Server, SnapshotStore};
 use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn serve_store() -> SnapshotStore {
     let (dataset, ledger) = bench_market();
@@ -63,5 +72,51 @@ fn bench_analyze_warm(c: &mut Criterion) {
     println!("serve cache after warm benches: {} hits / {} misses", m.cache_hits, m.cache_misses);
 }
 
-criterion_group!(serve, bench_analyze_cold, bench_analyze_warm);
+/// One warm GET over a real socket, returning its wall-clock latency.
+fn timed_get(addr: SocketAddr, path: &str) -> Duration {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    assert!(raw.starts_with(b"HTTP/1.1 200"), "bench requests must succeed");
+    started.elapsed()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Socket-level faulted-load run: 200 warm requests, clean and then with
+/// ~10% of connection reads slowed by 25ms. Reported as p50/p99 (a mean
+/// would bury exactly the tail this measures).
+fn bench_faulted_load(_c: &mut Criterion) {
+    let engine = Engine::new(serve_store(), dial_serve::registry_experiments(), 2, 32);
+    let cfg = ServeConfig { port: 0, ..ServeConfig::default() };
+    let server = Server::start(Arc::new(engine), &cfg).expect("bind ephemeral port");
+    let addr = server.addr();
+    timed_get(addr, "/v1/analyze/table1"); // prime the cache
+
+    for (label, plan) in
+        [("clean", None), ("slow_clients_10pct", Some("seed=9;slow_read%10:delay=25"))]
+    {
+        let _chaos =
+            plan.map(|s| dial_fault::install(dial_fault::ChaosPlan::parse(s).expect("spec")));
+        let mut latencies: Vec<Duration> =
+            (0..200).map(|_| timed_get(addr, "/v1/analyze/table1")).collect();
+        latencies.sort();
+        println!(
+            "serve_faulted_load/{label}: p50 {:?}  p99 {:?}  (n={}, faults fired {})",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+            latencies.len(),
+            dial_fault::fired_total(),
+        );
+    }
+    server.shutdown();
+}
+
+criterion_group!(serve, bench_analyze_cold, bench_analyze_warm, bench_faulted_load);
 criterion_main!(serve);

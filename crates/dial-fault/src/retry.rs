@@ -1,0 +1,154 @@
+//! A seeded jittered-exponential-backoff retry client.
+//!
+//! The usual retry loop draws jitter from the wall clock or a global
+//! RNG, which makes every test that exercises it flaky by construction.
+//! Here the jitter for attempt `k` is a pure function of `(seed, k)`:
+//! the *schedule* of a policy is fixed data you can assert on, while
+//! still spreading load in production (every caller picks its own seed).
+
+use crate::splitmix64;
+use std::time::Duration;
+
+/// Backoff shape: `base * 2^attempt`, capped at `max_delay`, each delay
+/// then scaled into `[1 - jitter, 1]` by the seeded hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `3` means try, retry, retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound for any single delay.
+    pub max_delay: Duration,
+    /// Fraction of each delay subject to jitter, in `[0, 1]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sensible test/bench default: 4 attempts, 10ms base, 200ms cap,
+    /// half of each delay jittered.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            jitter: 0.5,
+            seed,
+        }
+    }
+
+    /// The delay slept after failed attempt `attempt` (zero-based).
+    /// Deterministic: two policies with equal fields agree everywhere.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay);
+        // Hash → [0, 1): the jittered delay is capped * (1 - jitter * u).
+        let u = (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * u;
+        capped.mul_f64(scale)
+    }
+
+    /// The full backoff schedule (delays between the `max_attempts`
+    /// tries), for assertions and logs.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1)).map(|a| self.delay(a)).collect()
+    }
+
+    /// Calls `op` (which receives the zero-based attempt index) until it
+    /// succeeds or attempts run out, sleeping the scheduled delay between
+    /// tries. Returns the first success or the last error.
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(self.delay(attempt));
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = RetryPolicy::quick(1).schedule();
+        let b = RetryPolicy::quick(1).schedule();
+        let c = RetryPolicy::quick(2).schedule();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn delays_grow_and_respect_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            max_delay: Duration::from_millis(50),
+            jitter: 0.0,
+            seed: 0,
+        };
+        // Without jitter the shape is exactly base * 2^k capped at 50ms.
+        let sched = p.schedule();
+        assert_eq!(sched[0], Duration::from_millis(10));
+        assert_eq!(sched[1], Duration::from_millis(20));
+        assert_eq!(sched[2], Duration::from_millis(40));
+        assert!(sched[3..].iter().all(|d| *d == Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn jitter_only_shrinks_delays() {
+        let p = RetryPolicy { jitter: 1.0, ..RetryPolicy::quick(99) };
+        for (a, d) in p.schedule().into_iter().enumerate() {
+            let unjittered = RetryPolicy { jitter: 0.0, ..p.clone() }.delay(a as u32);
+            assert!(d <= unjittered, "jitter must never extend the wait");
+        }
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            ..RetryPolicy::quick(5)
+        };
+        let mut calls = 0u32;
+        let out: Result<u32, &str> = p.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err("not yet")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_surfaces_the_last_error_when_exhausted() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            jitter: 0.0,
+            seed: 0,
+        };
+        let mut calls = 0u32;
+        let out: Result<(), u32> = p.run(|attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(out, Err(2), "the final attempt's error wins");
+        assert_eq!(calls, 3);
+    }
+}

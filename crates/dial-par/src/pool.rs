@@ -165,6 +165,14 @@ impl Pool {
     /// Enqueues a task: onto the submitting worker's own deque when the
     /// caller is one of this pool's workers, else onto the injector.
     pub(crate) fn push_task(&self, task: Task) {
+        // Chaos hook: an injected queue stall delays the hand-off (the
+        // submitting thread sleeps before the task becomes stealable),
+        // modelling a contended or descheduled producer.
+        if let Some(dial_fault::FaultAction::Delay(d)) =
+            dial_fault::inject(dial_fault::FaultPoint::QueueStall)
+        {
+            std::thread::sleep(d);
+        }
         let own_queue = WORKER.with_borrow(|w| match w {
             Some((pool_id, idx, _)) if *pool_id == self.id => Some(*idx),
             _ => None,

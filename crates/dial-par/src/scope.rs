@@ -26,6 +26,22 @@ use std::collections::VecDeque;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Chunk preamble shared by every execution path (parallel, inline, and
+/// join arms): re-establish the caller's deadline budget on this thread,
+/// volunteer cancellation if it already passed, and give the chaos layer
+/// its shot at an injected worker panic. Runs inside the per-chunk
+/// `catch_unwind`, so both the deadline unwind and the injected panic are
+/// reported through the normal panic channel.
+fn chunk_prologue() {
+    dial_fault::deadline::checkpoint();
+    if let Some(dial_fault::FaultAction::Panic) =
+        dial_fault::inject(dial_fault::FaultPoint::WorkerPanic)
+    {
+        std::panic::panic_any(dial_fault::INJECTED_PANIC.to_string());
+    }
+}
 
 /// Chunks handed out per pool thread. More than one so an early-finishing
 /// thread can keep stealing; not so many that queueing dominates.
@@ -52,6 +68,10 @@ struct MapScope<T, R, F> {
     slots: Vec<Mutex<Slot<T, R>>>,
     /// First panic payload from any chunk.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The caller's deadline budget, re-established on whichever worker
+    /// thread executes each chunk so [`dial_fault::deadline::checkpoint`]
+    /// calls inside `f` observe it.
+    deadline: Option<Instant>,
 }
 
 /// The `'static` half shared with queued tickets.
@@ -88,7 +108,10 @@ where
         let Slot::Input(items) = taken else { unreachable!("map chunk {idx} claimed twice") };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _nested = enter_nested();
-            items.into_iter().map(&self.f).collect::<Vec<R>>()
+            dial_fault::deadline::with_deadline(self.deadline, || {
+                chunk_prologue();
+                items.into_iter().map(&self.f).collect::<Vec<R>>()
+            })
         }));
         match outcome {
             Ok(out) => *self.slots[idx].lock().expect("map slot lock") = Slot::Output(out),
@@ -149,8 +172,11 @@ fn map_inline<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>, TaskPanicked>
 where
     F: Fn(T) -> R,
 {
-    catch_unwind(AssertUnwindSafe(|| items.into_iter().map(&f).collect()))
-        .map_err(|payload| TaskPanicked { message: panic_message(payload.as_ref()) })
+    catch_unwind(AssertUnwindSafe(|| {
+        chunk_prologue();
+        items.into_iter().map(&f).collect()
+    }))
+    .map_err(|payload| TaskPanicked { message: panic_message(payload.as_ref()) })
 }
 
 /// The engine behind [`crate::parallel_map`]: fixed chunking, ordered
@@ -177,7 +203,8 @@ where
         slots.push(Mutex::new(Slot::Input(chunk)));
     }
     let n = slots.len();
-    let scope = MapScope { f, slots, panic: Mutex::new(None) };
+    let scope =
+        MapScope { f, slots, panic: Mutex::new(None), deadline: dial_fault::deadline::current() };
     let control = Arc::new(MapControl {
         pending: Mutex::new((0..n).collect()),
         remaining: Mutex::new(n),
@@ -232,6 +259,8 @@ enum JoinSlot<B, RB> {
 /// control block, not here.
 struct JoinScope<B, RB> {
     slot: Mutex<JoinSlot<B, RB>>,
+    /// Caller's deadline budget, carried to the worker that claims `b`.
+    deadline: Option<Instant>,
 }
 
 /// The `'static` half shared with the queued `b` ticket.
@@ -266,7 +295,10 @@ where
         let JoinSlot::Pending(b) = taken else { unreachable!("join closure claimed twice") };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _nested = enter_nested();
-            b()
+            dial_fault::deadline::with_deadline(self.deadline, || {
+                chunk_prologue();
+                b()
+            })
         }));
         *self.slot.lock().expect("join slot lock") = JoinSlot::Done(outcome);
         // The store above was the last access to `self`: the caller may
@@ -322,7 +354,10 @@ where
     if pool.threads() == 1 || nesting_depth() >= MAX_NESTING {
         return (a(), b());
     }
-    let scope: JoinScope<B, RB> = JoinScope { slot: Mutex::new(JoinSlot::Pending(b)) };
+    let scope: JoinScope<B, RB> = JoinScope {
+        slot: Mutex::new(JoinSlot::Pending(b)),
+        deadline: dial_fault::deadline::current(),
+    };
     let control = Arc::new(JoinControl {
         armed: Mutex::new(true),
         done: Mutex::new(false),

@@ -1,6 +1,18 @@
 //! The analysis engine: store → scheduler → cache, with metrics on every
 //! edge. This is the whole serving pipeline minus sockets — the HTTP
 //! layer and the benches both drive it directly.
+//!
+//! # Deadlines
+//!
+//! Every analyze entry point has a `_deadline` variant carrying an
+//! optional absolute budget. The budget rides into the submitted job,
+//! where it is re-established as the worker's thread-local deadline
+//! (`dial_fault::deadline`), and `dial-par` re-establishes it again on
+//! every chunk it fans out — so cooperative checkpoints anywhere down
+//! the compute stack unwind timed-out work promptly and free its pool
+//! slot instead of burning it to completion. The waiting caller gives up
+//! at the deadline regardless (a non-cooperative experiment then runs to
+//! completion unobserved; its slot frees when it finishes).
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
@@ -8,7 +20,7 @@ use crate::scheduler::Scheduler;
 use crate::store::SnapshotStore;
 use crate::ServeExperiment;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,8 +34,20 @@ pub enum AnalyzeError {
     },
     /// The scheduler queue was full — the caller should shed load (503).
     Saturated,
+    /// The request's deadline budget expired before a result was ready —
+    /// the caller should answer 504.
+    DeadlineExceeded,
     /// The experiment panicked or the worker disappeared.
     Failed,
+}
+
+/// How a submitted run ended, as reported over the result channel.
+enum RunError {
+    /// A cooperative checkpoint (or the pre-run check) saw the deadline
+    /// expire; the slot was freed without a result.
+    DeadlineExceeded,
+    /// The experiment panicked; the worker caught it and lives on.
+    Panicked,
 }
 
 /// An analyze call that has been admitted but not yet collected.
@@ -31,7 +55,7 @@ enum Pending {
     /// The cache already held the body; nothing was submitted.
     Cached(Arc<String>),
     /// The run is on the pool; `finish` blocks on the channel.
-    Submitted { key: CacheKey, rx: Receiver<std::thread::Result<String>>, started: Instant },
+    Submitted { key: CacheKey, rx: Receiver<Result<String, RunError>>, started: Instant },
 }
 
 /// The concurrent query engine behind the HTTP front-end.
@@ -40,7 +64,7 @@ pub struct Engine {
     experiments: Vec<ServeExperiment>,
     scheduler: Scheduler,
     cache: ResultCache,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     params: String,
 }
 
@@ -60,7 +84,7 @@ impl Engine {
             experiments,
             scheduler: Scheduler::new(threads, queue_capacity),
             cache: ResultCache::new(),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             params,
         }
     }
@@ -89,8 +113,17 @@ impl Engine {
     /// body. Bodies are byte-for-byte identical between the computing
     /// call and every later cache hit.
     pub fn analyze(&self, id: &str) -> Result<Arc<String>, AnalyzeError> {
-        let pending = self.begin(id)?;
-        self.finish(pending)
+        self.analyze_deadline(id, None)
+    }
+
+    /// [`Engine::analyze`] under an absolute deadline budget.
+    pub fn analyze_deadline(
+        &self,
+        id: &str,
+        deadline: Option<Instant>,
+    ) -> Result<Arc<String>, AnalyzeError> {
+        let pending = self.begin(id, deadline)?;
+        self.finish(pending, deadline)
     }
 
     /// Runs (or recalls) several experiments concurrently, returning
@@ -106,6 +139,16 @@ impl Engine {
         &self,
         ids: &[String],
     ) -> Result<Vec<(String, Result<Arc<String>, AnalyzeError>)>, AnalyzeError> {
+        self.analyze_many_deadline(ids, None)
+    }
+
+    /// [`Engine::analyze_many`] under one shared absolute deadline.
+    #[allow(clippy::type_complexity)]
+    pub fn analyze_many_deadline(
+        &self,
+        ids: &[String],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<(String, Result<Arc<String>, AnalyzeError>)>, AnalyzeError> {
         if ids.iter().any(|id| !self.experiments.iter().any(|e| &e.id == id)) {
             return Err(AnalyzeError::Unknown {
                 valid: self.experiments.iter().map(|e| e.id.clone()).collect(),
@@ -116,14 +159,14 @@ impl Engine {
         // on jobs that are already admitted, so this cannot deadlock.
         let mut pending = Vec::with_capacity(ids.len());
         for id in ids {
-            pending.push(self.begin(id)?);
+            pending.push(self.begin(id, deadline)?);
         }
-        Ok(ids.iter().cloned().zip(pending.into_iter().map(|p| self.finish(p))).collect())
+        Ok(ids.iter().cloned().zip(pending.into_iter().map(|p| self.finish(p, deadline))).collect())
     }
 
     /// Resolves `id`, consults the cache, and on a miss submits the run
     /// to the scheduler — without waiting for the result.
-    fn begin(&self, id: &str) -> Result<Pending, AnalyzeError> {
+    fn begin(&self, id: &str, deadline: Option<Instant>) -> Result<Pending, AnalyzeError> {
         let Some(exp) = self.experiments.iter().find(|e| e.id == id) else {
             return Err(AnalyzeError::Unknown {
                 valid: self.experiments.iter().map(|e| e.id.clone()).collect(),
@@ -146,10 +189,31 @@ impl Engine {
         // identical, so the only cost is the duplicated work.
         let ctx = self.store.context();
         let run = Arc::clone(&exp.run);
+        let metrics = Arc::clone(&self.metrics);
         let (tx, rx) = channel();
         self.scheduler
             .submit(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| run(&ctx)));
+                // A job whose budget is already spent when it reaches the
+                // front of the queue frees its slot immediately.
+                let result = if deadline.is_some_and(|d| Instant::now() >= d) {
+                    Err(RunError::DeadlineExceeded)
+                } else {
+                    let unwound = dial_fault::deadline::with_deadline(deadline, || {
+                        catch_unwind(AssertUnwindSafe(|| run(&ctx)))
+                    });
+                    match unwound {
+                        Ok(json) => Ok(json),
+                        Err(payload)
+                            if dial_fault::deadline::is_deadline_panic(payload.as_ref()) =>
+                        {
+                            Err(RunError::DeadlineExceeded)
+                        }
+                        Err(_) => {
+                            metrics.panic_recovered();
+                            Err(RunError::Panicked)
+                        }
+                    }
+                };
                 // The receiver may have given up; a dead letter is fine.
                 let _ = tx.send(result);
             })
@@ -157,13 +221,30 @@ impl Engine {
         Ok(Pending::Submitted { key, rx, started: Instant::now() })
     }
 
-    /// Blocks until a [`Pending`] run settles and caches the body.
-    fn finish(&self, pending: Pending) -> Result<Arc<String>, AnalyzeError> {
+    /// Blocks until a [`Pending`] run settles (or its deadline passes)
+    /// and caches the body.
+    fn finish(
+        &self,
+        pending: Pending,
+        deadline: Option<Instant>,
+    ) -> Result<Arc<String>, AnalyzeError> {
         let (key, rx, started) = match pending {
             Pending::Cached(body) => return Ok(body),
             Pending::Submitted { key, rx, started } => (key, rx, started),
         };
-        let result = rx.recv().map_err(|_| AnalyzeError::Failed)?;
+        let result = match deadline {
+            None => rx.recv().map_err(|_| AnalyzeError::Failed)?,
+            Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Non-cooperative run: answer 504 now; the job keeps
+                    // its slot until it finishes, then goes uncollected.
+                    self.metrics.deadline_exceeded();
+                    return Err(AnalyzeError::DeadlineExceeded);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(AnalyzeError::Failed),
+            },
+        };
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         match result {
             Ok(result_json) => {
@@ -175,15 +256,52 @@ impl Engine {
                     json_str(&key.params),
                     result_json,
                 );
-                Ok(self.cache.insert(key, body))
+                // Chaos hook: attempt a tampered insert under a forged
+                // fingerprint; the checked path below must reject it.
+                if let Some(dial_fault::FaultAction::Poison) =
+                    dial_fault::inject(dial_fault::FaultPoint::CachePoison)
+                {
+                    self.metrics.fault("poison");
+                    let mut forged = key.clone();
+                    forged.snapshot = format!("forged-{}", key.snapshot);
+                    if self.cache_insert_checked(forged, "{\"tampered\":true}".into()).is_none() {
+                        self.metrics.poison_rejection();
+                    }
+                }
+                self.cache_insert_checked(key, body).ok_or(AnalyzeError::Failed).inspect_err(|_| {
+                    debug_assert!(false, "a legitimate insert must pass the fingerprint check");
+                })
             }
-            Err(_) => Err(AnalyzeError::Failed),
+            Err(RunError::DeadlineExceeded) => {
+                self.metrics.deadline_exceeded();
+                Err(AnalyzeError::DeadlineExceeded)
+            }
+            Err(RunError::Panicked) => Err(AnalyzeError::Failed),
         }
+    }
+
+    /// The only write path into the result cache: refuses any key whose
+    /// snapshot fingerprint or params disagree with this engine's store,
+    /// so a corrupted (or injected) writer cannot poison future readers.
+    fn cache_insert_checked(&self, key: CacheKey, body: String) -> Option<Arc<String>> {
+        if key.snapshot != self.store.fingerprint() || key.params != self.params {
+            return None;
+        }
+        Some(self.cache.insert(key, body))
     }
 
     /// Stops the worker pool, finishing queued work first.
     pub fn shutdown(&self) {
         self.scheduler.shutdown();
+    }
+
+    /// [`Engine::shutdown`] bounded by a deadline: jobs still uncollected
+    /// when it passes are abandoned and their ids returned (also counted
+    /// in the metrics).
+    pub fn shutdown_within(&self, deadline: Option<Instant>) -> Vec<u64> {
+        let abandoned = self.scheduler.shutdown_within(deadline);
+        self.metrics.drain_abandoned(abandoned.len() as u64);
+        abandoned
     }
 }
 
@@ -197,6 +315,7 @@ mod tests {
     use super::*;
     use crate::ServeExperiment;
     use dial_sim::SimConfig;
+    use std::time::Duration;
 
     fn tiny_engine(threads: usize, queue: usize) -> Engine {
         let out = SimConfig::paper_default().with_seed(5).with_scale(0.01).simulate_full();
@@ -263,25 +382,97 @@ mod tests {
         assert_eq!(engine.metrics().snapshot().cache_misses, 0);
     }
 
-    #[test]
-    fn panicking_experiment_reports_failed_not_poisoned() {
+    fn custom_engine(experiments: Vec<ServeExperiment>, threads: usize, queue: usize) -> Engine {
         let out = SimConfig::paper_default().with_seed(5).with_scale(0.01).simulate_full();
         let store = SnapshotStore::from_parts(out.dataset, out.ledger, 5, 4);
+        Engine::new(store, experiments, threads, queue)
+    }
+
+    fn constant_experiment(id: &str) -> ServeExperiment {
+        ServeExperiment {
+            id: id.into(),
+            title: "constant".into(),
+            paper_claim: String::new(),
+            run: Arc::new(|_| "{\"fine\":true}".to_string()),
+        }
+    }
+
+    #[test]
+    fn panicking_experiment_reports_failed_not_poisoned() {
         let boom = ServeExperiment {
             id: "boom".into(),
             title: "always panics".into(),
             paper_claim: String::new(),
             run: Arc::new(|_| panic!("injected failure")),
         };
-        let ok = ServeExperiment {
-            id: "ok".into(),
-            title: "constant".into(),
-            paper_claim: String::new(),
-            run: Arc::new(|_| "{\"fine\":true}".to_string()),
-        };
-        let engine = Engine::new(store, vec![boom, ok], 1, 4);
+        let engine = custom_engine(vec![boom, constant_experiment("ok")], 1, 4);
         assert_eq!(engine.analyze("boom"), Err(AnalyzeError::Failed));
+        assert_eq!(engine.metrics().snapshot().panics_recovered, 1);
         // The worker survives the panic and keeps serving.
         assert!(engine.analyze("ok").is_ok());
+    }
+
+    #[test]
+    fn cooperative_deadline_frees_the_slot_for_the_next_request() {
+        // The experiment sleeps in short hops, volunteering cancellation
+        // between them; with a 60ms budget it must give up early.
+        let coop = ServeExperiment {
+            id: "coop".into(),
+            title: "cooperative sleeper".into(),
+            paper_claim: String::new(),
+            run: Arc::new(|_| {
+                for _ in 0..100 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    dial_fault::deadline::checkpoint();
+                }
+                "{\"slept\":true}".to_string()
+            }),
+        };
+        // One running slot, zero queue: a burnt slot would starve the
+        // follow-up request entirely.
+        let engine = custom_engine(vec![coop, constant_experiment("fast")], 1, 0);
+        let deadline = Instant::now() + Duration::from_millis(60);
+        let begun = Instant::now();
+        let out = engine.analyze_deadline("coop", Some(deadline));
+        assert_eq!(out, Err(AnalyzeError::DeadlineExceeded));
+        assert!(
+            begun.elapsed() < Duration::from_millis(160),
+            "504 must land within deadline + 100ms, took {:?}",
+            begun.elapsed()
+        );
+        assert_eq!(engine.metrics().snapshot().deadlines_exceeded, 1);
+        // The slot frees at the run's next checkpoint (within one 10ms
+        // hop); retry briefly rather than racing it.
+        let retry = dial_fault::retry::RetryPolicy::quick(7);
+        let follow_up = retry.run(|_| {
+            engine.analyze_deadline("fast", Some(Instant::now() + Duration::from_secs(5)))
+        });
+        assert!(follow_up.is_ok(), "slot not reusable: {follow_up:?}");
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_run_entirely() {
+        let engine = custom_engine(vec![constant_experiment("fast")], 1, 4);
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            engine.analyze_deadline("fast", Some(past)),
+            Err(AnalyzeError::DeadlineExceeded)
+        );
+        // Without a deadline the same experiment runs fine afterwards.
+        assert!(engine.analyze("fast").is_ok());
+    }
+
+    #[test]
+    fn forged_fingerprint_inserts_are_rejected() {
+        let engine = custom_engine(vec![constant_experiment("fast")], 1, 4);
+        let body = engine.analyze("fast").unwrap();
+        let forged = CacheKey {
+            snapshot: "not-the-real-fingerprint".into(),
+            experiment: "fast".into(),
+            params: engine.params().to_string(),
+        };
+        assert!(engine.cache_insert_checked(forged, "{\"tampered\":true}".into()).is_none());
+        // The legitimate entry is untouched.
+        assert_eq!(engine.analyze("fast").unwrap().as_str(), body.as_str());
     }
 }

@@ -20,6 +20,17 @@
 //! `code` is stable and machine-matchable; `detail` carries structured
 //! context (the valid ids on `unknown_experiment`, the target on
 //! `moved_permanently`) and is `{}` when there is nothing to add.
+//!
+//! # Front-door protection (DESIGN §12)
+//!
+//! The request head must arrive whole within `read_timeout` — the budget
+//! covers the *entire* header window, so a slow-loris client dribbling a
+//! byte per second is cut off at the same deadline as a silent one (408).
+//! Heads over `max_header_bytes` answer 431; a `Content-Length` above
+//! `max_body_bytes` answers 413 without reading the body. Writes carry
+//! `write_timeout` so a client that stops reading cannot wedge a
+//! connection thread. During a graceful drain every request answers
+//! `503` + `Retry-After` while in-flight work finishes.
 
 use crate::engine::{AnalyzeError, Engine};
 use crate::store::StoreSummary;
@@ -31,7 +42,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -43,14 +54,37 @@ pub struct ServeConfig {
     /// Bounded admission queue in front of the running slots; a full
     /// queue sheds requests with 503.
     pub queue_capacity: usize,
-    /// Per-connection socket read timeout.
+    /// Total budget for the request head to arrive — not per read() but
+    /// for the whole header window, so slow-loris clients get 408 too.
     pub read_timeout: Duration,
+    /// Socket write timeout; a client that stops reading is disconnected.
+    pub write_timeout: Duration,
+    /// Request heads larger than this answer 431.
+    pub max_header_bytes: usize,
+    /// A declared `Content-Length` above this answers 413.
+    pub max_body_bytes: usize,
+    /// Optional per-request deadline budget; expired requests answer 504
+    /// and cooperative experiment code unwinds early to free its slot.
+    pub request_deadline: Option<Duration>,
+    /// How long a graceful drain waits for in-flight work before
+    /// abandoning it.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self { port: 8080, threads, queue_capacity: 64, read_timeout: Duration::from_secs(5) }
+        Self {
+            port: 8080,
+            threads,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024,
+            request_deadline: None,
+            drain_timeout: Duration::from_secs(10),
+        }
     }
 }
 
@@ -60,7 +94,9 @@ pub struct Server {
     addr: SocketAddr,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    drain_timeout: Duration,
     accept_handle: Option<JoinHandle<()>>,
 }
 
@@ -70,12 +106,14 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let accept_handle = {
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
             let active = Arc::clone(&active);
-            let read_timeout = cfg.read_timeout;
+            let cfg = Arc::new(cfg.clone());
             std::thread::Builder::new().name("dial-serve-accept".into()).spawn(move || {
                 for conn in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -83,18 +121,28 @@ impl Server {
                     }
                     let Ok(stream) = conn else { continue };
                     let engine = Arc::clone(&engine);
+                    let draining = Arc::clone(&draining);
                     let active = Arc::clone(&active);
+                    let cfg = Arc::clone(&cfg);
                     active.fetch_add(1, Ordering::SeqCst);
                     let _ = std::thread::Builder::new().name("dial-serve-conn".into()).spawn(
                         move || {
-                            let _ = handle_connection(stream, &engine, read_timeout);
+                            let _ = handle_connection(stream, &engine, &cfg, &draining);
                             active.fetch_sub(1, Ordering::SeqCst);
                         },
                     );
                 }
             })?
         };
-        Ok(Self { addr, engine, stop, active, accept_handle: Some(accept_handle) })
+        Ok(Self {
+            addr,
+            engine,
+            stop,
+            draining,
+            active,
+            drain_timeout: cfg.drain_timeout,
+            accept_handle: Some(accept_handle),
+        })
     }
 
     /// The bound address (useful with port 0).
@@ -109,22 +157,58 @@ impl Server {
         }
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight connections
-    /// (bounded wait), then stop the admission scheduler after it
-    /// finishes the queued jobs.
-    pub fn shutdown(mut self) {
+    /// Immediate shutdown: stop accepting, wait for in-flight connections
+    /// and scheduler jobs up to the drain deadline, then abandon and log
+    /// whatever is still running. Returns the abandoned job ids.
+    pub fn shutdown(mut self) -> Vec<u64> {
+        let deadline = Instant::now() + self.drain_timeout;
+        self.stop_accepting();
+        self.wait_connections(deadline);
+        self.finish_engine(deadline)
+    }
+
+    /// Graceful drain (DESIGN §12): keep the listener up but answer every
+    /// new request `503` + `Retry-After` while in-flight requests finish;
+    /// when they have (or the drain deadline passes) stop accepting and
+    /// wind down the scheduler within the same deadline. Returns the ids
+    /// of any jobs the deadline forced us to abandon.
+    pub fn graceful_shutdown(mut self) -> Vec<u64> {
+        let deadline = Instant::now() + self.drain_timeout;
+        self.draining.store(true, Ordering::SeqCst);
+        self.wait_connections(deadline);
+        self.stop_accepting();
+        self.finish_engine(deadline)
+    }
+
+    /// Stops the accept loop: set the flag, poke the listener (it only
+    /// observes the flag around an accept), join the thread.
+    fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only observes `stop` around an accept, so poke
-        // it with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+    }
+
+    /// Waits for in-flight connection threads, bounded by `deadline`.
+    fn wait_connections(&self, deadline: Instant) {
+        while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
-        self.engine.shutdown();
+    }
+
+    /// Bounded engine wind-down; logs and returns the abandoned job ids.
+    fn finish_engine(&self, deadline: Instant) -> Vec<u64> {
+        let abandoned = self.engine.shutdown_within(Some(deadline));
+        if !abandoned.is_empty() {
+            let ids: Vec<String> = abandoned.iter().map(|id| id.to_string()).collect();
+            eprintln!(
+                "dial-serve: drain deadline passed with {} job(s) abandoned: [{}]",
+                abandoned.len(),
+                ids.join(", ")
+            );
+        }
+        abandoned
     }
 }
 
@@ -163,16 +247,18 @@ struct SummaryBody {
     counts: StoreSummary,
 }
 
-/// One routed reply: status, JSON body, and (for 308) a `Location`.
+/// One routed reply: status, JSON body, and optional `Location` (308) /
+/// `Retry-After` (drain 503) headers.
 struct Response {
     status: u16,
     body: String,
     location: Option<String>,
+    retry_after: Option<u64>,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Self {
-        Self { status, body, location: None }
+        Self { status, body, location: None, retry_after: None }
     }
 
     /// The uniform error envelope; `detail` is `{}` when `None`.
@@ -201,27 +287,49 @@ impl Response {
         r.location = Some(location);
         r
     }
+
+    /// The drain-mode answer: 503 with a `Retry-After` hint.
+    fn draining(retry_after_secs: u64) -> Self {
+        let mut r = Self::error(
+            503,
+            "draining",
+            "server is draining for shutdown, retry shortly".to_string(),
+            None,
+        );
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     engine: &Engine,
-    read_timeout: Duration,
+    cfg: &ServeConfig,
+    draining: &AtomicBool,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(read_timeout))?;
-    let request_line = match read_request_line(&mut stream) {
-        Ok(line) => line,
-        Err(_) => {
-            // Slow or dead client: answer 408 best-effort and close.
-            let r = Response::error(
-                408,
-                "request_timeout",
-                "request did not arrive in time".to_string(),
-                None,
-            );
-            return respond(&mut stream, &r);
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let head = match read_request_head(&mut stream, engine, cfg) {
+        Ok(head) => head,
+        Err(kind) => {
+            engine.metrics().request_rejected();
+            let r = match kind {
+                HeadError::TooLarge => Response::error(
+                    431,
+                    "headers_too_large",
+                    format!("request head exceeds {} bytes", cfg.max_header_bytes),
+                    None,
+                ),
+                HeadError::Timeout => Response::error(
+                    408,
+                    "request_timeout",
+                    format!("request head did not arrive within {:?}", cfg.read_timeout),
+                    None,
+                ),
+            };
+            return respond_and_drain(&mut stream, engine, &r);
         }
     };
+    let request_line = head.lines().next().unwrap_or_default().to_string();
     let mut parts = request_line.split_whitespace();
     let (method, raw_path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
@@ -232,9 +340,21 @@ fn handle_connection(
                 "could not parse the request line".to_string(),
                 None,
             );
-            return respond(&mut stream, &r);
+            return respond(&mut stream, engine, &r);
         }
     };
+    if let Some(len) = content_length(&head) {
+        if len > cfg.max_body_bytes {
+            engine.metrics().request_rejected();
+            let r = Response::error(
+                413,
+                "payload_too_large",
+                format!("declared body of {len} bytes exceeds {} bytes", cfg.max_body_bytes),
+                None,
+            );
+            return respond_and_drain(&mut stream, engine, &r);
+        }
+    }
     if method != "GET" {
         let r = Response::error(
             405,
@@ -242,7 +362,14 @@ fn handle_connection(
             format!("method {method} is not supported; use GET"),
             None,
         );
-        return respond(&mut stream, &r);
+        return respond(&mut stream, engine, &r);
+    }
+    // During a drain, every parsed request is turned away with the
+    // retry hint — in-flight requests (already past this gate) finish.
+    if draining.load(Ordering::SeqCst) {
+        engine.metrics().drain_rejection();
+        let r = Response::draining(cfg.drain_timeout.as_secs().max(1));
+        return respond(&mut stream, engine, &r);
     }
     // Split the query off for routing but keep `raw_path` whole so
     // redirects preserve it verbatim.
@@ -251,18 +378,106 @@ fn handle_connection(
         None => (raw_path, None),
     };
 
-    let response = route(engine, path, query, raw_path);
+    // The request deadline budget starts once the head has arrived (the
+    // header window has its own budget above).
+    let deadline = cfg.request_deadline.map(|d| Instant::now() + d);
+    // Chaos hook: a stalled handler burns request time; with a deadline
+    // configured the stall converts into a prompt 504 below.
+    if let Some(dial_fault::FaultAction::Delay(d)) =
+        dial_fault::inject(dial_fault::FaultPoint::HandlerStall)
+    {
+        engine.metrics().fault("stall");
+        std::thread::sleep(d);
+    }
+    let response = if deadline.is_some_and(|d| Instant::now() >= d) {
+        engine.metrics().deadline_exceeded();
+        deadline_response()
+    } else {
+        route(engine, path, query, raw_path, deadline)
+    };
     if response.status >= 500 {
         engine.metrics().server_error();
     }
-    respond(&mut stream, &response)
+    respond(&mut stream, engine, &response)
+}
+
+/// Why reading the request head failed.
+enum HeadError {
+    /// Grew past `max_header_bytes` (431).
+    TooLarge,
+    /// The total header window elapsed — silent *or* dribbling client
+    /// (408).
+    Timeout,
+}
+
+/// Reads the request head (everything through `\r\n\r\n`) under one
+/// total deadline: the socket read timeout is re-armed with the
+/// *remaining* window before every read, so a slow-loris client trickling
+/// bytes cannot extend its welcome past `read_timeout`.
+fn read_request_head(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    cfg: &ServeConfig,
+) -> Result<String, HeadError> {
+    let deadline = Instant::now() + cfg.read_timeout;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Chaos hook: pretend the client (or the kernel) is slow by
+        // burning header-window time between reads.
+        if let Some(dial_fault::FaultAction::Delay(d)) =
+            dial_fault::inject(dial_fault::FaultPoint::SlowRead)
+        {
+            engine.metrics().fault("slow_read");
+            std::thread::sleep(d);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(HeadError::Timeout);
+        }
+        if stream.set_read_timeout(Some(deadline - now)).is_err() {
+            return Err(HeadError::Timeout);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > cfg.max_header_bytes {
+                    return Err(HeadError::TooLarge);
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return Err(HeadError::Timeout),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// The declared `Content-Length`, if any header carries one.
+fn content_length(head: &str) -> Option<usize> {
+    head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
 }
 
 /// The unversioned v0 endpoints, kept answering as permanent redirects.
 const LEGACY_PREFIXES: [&str; 5] = ["/healthz", "/experiments", "/summary", "/metrics", "/analyze"];
 
 /// Dispatches a GET to a [`Response`].
-fn route(engine: &Engine, path: &str, query: Option<&str>, raw_path: &str) -> Response {
+fn route(
+    engine: &Engine,
+    path: &str,
+    query: Option<&str>,
+    raw_path: &str,
+    deadline: Option<Instant>,
+) -> Response {
     match path {
         "/v1/healthz" => {
             engine.metrics().request("/v1/healthz");
@@ -301,12 +516,12 @@ fn route(engine: &Engine, path: &str, query: Option<&str>, raw_path: &str) -> Re
         }
         "/v1/analyze" => {
             engine.metrics().request("/v1/analyze?ids");
-            route_batch(engine, query)
+            route_batch(engine, query, deadline)
         }
         _ if path.starts_with("/v1/analyze/") => {
             engine.metrics().request("/v1/analyze");
             let id = &path["/v1/analyze/".len()..];
-            match engine.analyze(id) {
+            match engine.analyze_deadline(id, deadline) {
                 Ok(body) => Response::json(200, body.as_str().to_string()),
                 Err(err) => analyze_error_response(engine, &err, id),
             }
@@ -323,7 +538,7 @@ fn route(engine: &Engine, path: &str, query: Option<&str>, raw_path: &str) -> Re
 
 /// `GET /v1/analyze?ids=a,b,c`: runs the batch concurrently on the shared
 /// pool and returns `{"results": {id: body}, "errors": {id: envelope}}`.
-fn route_batch(engine: &Engine, query: Option<&str>) -> Response {
+fn route_batch(engine: &Engine, query: Option<&str>, deadline: Option<Instant>) -> Response {
     let Some(ids_param) = query.and_then(|q| {
         q.split('&').find_map(|pair| pair.strip_prefix("ids=")).filter(|v| !v.is_empty())
     }) else {
@@ -351,7 +566,7 @@ fn route_batch(engine: &Engine, query: Option<&str>) -> Response {
         );
     }
 
-    let outcomes = match engine.analyze_many(&ids) {
+    let outcomes = match engine.analyze_many_deadline(&ids, deadline) {
         Ok(outcomes) => outcomes,
         // Name only the offending ids in the message, not the whole batch.
         Err(err) => {
@@ -386,6 +601,16 @@ fn route_batch(engine: &Engine, query: Option<&str>) -> Response {
     Response::json(200, body)
 }
 
+/// The 504 answered when a request's deadline budget runs out.
+fn deadline_response() -> Response {
+    Response::error(
+        504,
+        "deadline_exceeded",
+        "the request deadline expired before a result was ready".to_string(),
+        None,
+    )
+}
+
 /// Maps an [`AnalyzeError`] to its enveloped response.
 fn analyze_error_response(engine: &Engine, err: &AnalyzeError, id: &str) -> Response {
     match err {
@@ -404,10 +629,10 @@ fn analyze_error_response(engine: &Engine, err: &AnalyzeError, id: &str) -> Resp
         }
         AnalyzeError::Saturated => {
             engine.metrics().shed();
-            // shed() already counts the 5xx; report 503 directly so the
-            // generic 5xx hook doesn't double-count.
             Response::error(503, "saturated", "server saturated, retry later".to_string(), None)
         }
+        // The engine already counted deadlines_exceeded when it gave up.
+        AnalyzeError::DeadlineExceeded => deadline_response(),
         AnalyzeError::Failed => Response::error(
             500,
             "experiment_failed",
@@ -426,27 +651,28 @@ fn json_str(s: &str) -> String {
     serde_json::to_string(&s).expect("strings serialise")
 }
 
-/// Reads up to the end of the request headers and returns the request
-/// line. Bounded at 16 KiB — anything larger is not a request this server
-/// understands.
-fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
-            break;
+/// [`respond`] for requests rejected before their bytes were consumed:
+/// after writing the reply, briefly drain whatever the client already
+/// sent so closing the socket doesn't RST the unread data and destroy
+/// the response before the client reads it.
+fn respond_and_drain(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    response: &Response,
+) -> std::io::Result<()> {
+    let result = respond(stream, engine, response);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
         }
     }
-    let text = String::from_utf8_lossy(&buf);
-    Ok(text.lines().next().unwrap_or_default().to_string())
+    result
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn respond(stream: &mut TcpStream, engine: &Engine, response: &Response) -> std::io::Result<()> {
     let reason = match response.status {
         200 => "OK",
         308 => "Permanent Redirect",
@@ -454,16 +680,34 @@ fn respond(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
     let location =
         response.location.as_ref().map(|l| format!("Location: {l}\r\n")).unwrap_or_default();
+    let retry_after =
+        response.retry_after.map(|s| format!("Retry-After: {s}\r\n")).unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\n{location}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\n{location}{retry_after}Content-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         response.body.len()
     );
+    // Chaos hook: a truncated write simulates the peer (or a middlebox)
+    // cutting the stream mid-response; the client sees a short read and
+    // the server must shrug and move on.
+    if let Some(dial_fault::FaultAction::Truncate(keep)) =
+        dial_fault::inject(dial_fault::FaultPoint::TruncWrite)
+    {
+        engine.metrics().fault("trunc_write");
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(response.body.as_bytes());
+        wire.truncate(keep);
+        stream.write_all(&wire)?;
+        return stream.flush();
+    }
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()

@@ -43,7 +43,15 @@ pub struct Metrics {
     shed_total: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    faults_injected: AtomicU64,
+    panics_recovered: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    poison_rejected: AtomicU64,
+    requests_rejected: AtomicU64,
+    drain_rejected: AtomicU64,
+    drain_abandoned_jobs: AtomicU64,
     by_endpoint: Mutex<BTreeMap<String, u64>>,
+    faults_by_point: Mutex<BTreeMap<String, u64>>,
     latency: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -60,9 +68,29 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Analyze requests that had to run the experiment.
     pub cache_misses: u64,
+    /// Chaos faults applied at dial-serve injection points (dial-par
+    /// fires live in `dial_fault::events`, not here).
+    pub faults_injected: u64,
+    /// Experiment panics caught by the engine; the worker survived and
+    /// the request was answered with the error envelope.
+    pub panics_recovered: u64,
+    /// Requests whose deadline budget expired (answered 504).
+    pub deadlines_exceeded: u64,
+    /// Tampered cache inserts rejected by the fingerprint check.
+    pub poison_rejected: u64,
+    /// Requests rejected at the front door: oversized bodies (413),
+    /// oversized headers (431), and header timeouts (408).
+    pub requests_rejected: u64,
+    /// Connections answered 503 + `Retry-After` because a graceful drain
+    /// was in progress.
+    pub drain_rejected: u64,
+    /// Scheduler jobs a drain deadline forced us to abandon.
+    pub drain_abandoned_jobs: u64,
     /// Requests per normalised endpoint (`/analyze/{id}` collapses to
     /// `/analyze`).
     pub by_endpoint: BTreeMap<String, u64>,
+    /// dial-serve fault fires per injection point name.
+    pub faults_by_point: BTreeMap<String, u64>,
     /// Experiment wall-clock latency per experiment id (cache misses
     /// only — hits do not run anything worth timing).
     pub latency_ms: BTreeMap<String, Histogram>,
@@ -86,10 +114,10 @@ impl Metrics {
         self.responses_5xx.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a request shed with 503 (also a 5xx).
+    /// Counts a request shed with 503. The HTTP layer counts the 5xx
+    /// itself (one place counts every 5xx, so nothing double-counts).
     pub fn shed(&self) {
         self.shed_total.fetch_add(1, Ordering::Relaxed);
-        self.server_error();
     }
 
     /// Counts a cache hit.
@@ -100,6 +128,44 @@ impl Metrics {
     /// Counts a cache miss.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one chaos fault applied at a dial-serve injection point.
+    pub fn fault(&self, point: &str) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.faults_by_point.lock().expect("metrics lock");
+        *map.entry(point.to_string()).or_default() += 1;
+    }
+
+    /// Counts one experiment panic caught and contained by the engine.
+    pub fn panic_recovered(&self) {
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request whose deadline budget expired (a 504).
+    pub fn deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one tampered cache insert rejected by the fingerprint check.
+    pub fn poison_rejection(&self) {
+        self.poison_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected at the front door (408/413/431).
+    pub fn request_rejected(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection turned away with 503 during a drain. The
+    /// HTTP layer counts the 5xx itself.
+    pub fn drain_rejection(&self) {
+        self.drain_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how many scheduler jobs a drain deadline abandoned.
+    pub fn drain_abandoned(&self, jobs: u64) {
+        self.drain_abandoned_jobs.fetch_add(jobs, Ordering::Relaxed);
     }
 
     /// Records one experiment run's wall-clock latency.
@@ -116,7 +182,15 @@ impl Metrics {
             shed_total: self.shed_total.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            poison_rejected: self.poison_rejected.load(Ordering::Relaxed),
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
+            drain_abandoned_jobs: self.drain_abandoned_jobs.load(Ordering::Relaxed),
             by_endpoint: self.by_endpoint.lock().expect("metrics lock").clone(),
+            faults_by_point: self.faults_by_point.lock().expect("metrics lock").clone(),
             latency_ms: self.latency.lock().expect("metrics lock").clone(),
         }
     }
@@ -141,7 +215,31 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.shed_total, 1);
-        assert_eq!(s.responses_5xx, 1);
+        assert_eq!(s.responses_5xx, 0, "the HTTP layer owns the 5xx count");
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let m = Metrics::new();
+        m.fault("slow_read");
+        m.fault("slow_read");
+        m.fault("trunc_write");
+        m.panic_recovered();
+        m.deadline_exceeded();
+        m.poison_rejection();
+        m.request_rejected();
+        m.drain_rejection();
+        m.drain_abandoned(3);
+        let s = m.snapshot();
+        assert_eq!(s.faults_injected, 3);
+        assert_eq!(s.faults_by_point["slow_read"], 2);
+        assert_eq!(s.faults_by_point["trunc_write"], 1);
+        assert_eq!(s.panics_recovered, 1);
+        assert_eq!(s.deadlines_exceeded, 1);
+        assert_eq!(s.poison_rejected, 1);
+        assert_eq!(s.requests_rejected, 1);
+        assert_eq!(s.drain_rejected, 1);
+        assert_eq!(s.drain_abandoned_jobs, 3);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! that [`Scheduler::submit`] fails fast and the HTTP layer sheds the
 //! request with a 503 instead of letting latency grow unbounded.
 //!
+//! Every admitted job carries a monotonically increasing id, which is how
+//! a deadline-bounded shutdown ([`Scheduler::shutdown_within`]) names the
+//! jobs it had to abandon: drains must not hang the process on a wedged
+//! experiment, but they must not lose it silently either.
+//!
 //! Sharing one pool means an experiment that itself calls
 //! [`dial_par::parallel_map`] fans its chunks out over the same workers —
 //! nested submission is deadlock-free because pool workers steal while
@@ -16,6 +21,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -33,17 +39,23 @@ struct Inner {
     threads: usize,
     queue_capacity: usize,
     state: Mutex<State>,
-    // Signalled on every job completion; `shutdown` waits on it.
+    // Signalled on every job completion; shutdown waits on it.
     drained: Condvar,
 }
 
 struct State {
-    /// Jobs dispatched to the pool and not yet finished.
-    running: usize,
+    /// Ids of jobs dispatched to the pool and not yet finished.
+    running: Vec<u64>,
     /// Jobs admitted but waiting for a running slot.
-    queue: VecDeque<Job>,
+    queue: VecDeque<(u64, Job)>,
+    /// Next job id.
+    next_id: u64,
     /// Once set, new submissions shed; queued jobs still run.
     shut: bool,
+    /// Set by a deadline-expired shutdown: queued jobs were dropped and
+    /// running jobs disowned, so later shutdowns return immediately
+    /// instead of waiting on work nobody will collect.
+    abandoned: bool,
 }
 
 impl Scheduler {
@@ -59,43 +71,83 @@ impl Scheduler {
                 pool: Arc::clone(dial_par::global()),
                 threads,
                 queue_capacity,
-                state: Mutex::new(State { running: 0, queue: VecDeque::new(), shut: false }),
+                state: Mutex::new(State {
+                    running: Vec::new(),
+                    queue: VecDeque::new(),
+                    next_id: 0,
+                    shut: false,
+                    abandoned: false,
+                }),
                 drained: Condvar::new(),
             }),
         }
     }
 
     /// Admits a job, failing fast with [`Saturated`] when every running
-    /// slot and every queue slot is taken (or after shutdown).
-    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), Saturated> {
+    /// slot and every queue slot is taken (or after shutdown). On success
+    /// returns the job's id.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<u64, Saturated> {
         let job: Job = Box::new(job);
+        let id;
         {
             let mut st = self.inner.state.lock().expect("scheduler state lock");
             if st.shut {
                 return Err(Saturated);
             }
-            if st.running >= self.inner.threads {
+            id = st.next_id;
+            st.next_id += 1;
+            if st.running.len() >= self.inner.threads {
                 if st.queue.len() >= self.inner.queue_capacity {
                     return Err(Saturated);
                 }
-                st.queue.push_back(job);
-                return Ok(());
+                st.queue.push_back((id, job));
+                return Ok(id);
             }
-            st.running += 1;
+            st.running.push(id);
         }
-        dispatch(&self.inner, job);
-        Ok(())
+        dispatch(&self.inner, id, job);
+        Ok(id)
     }
 
     /// Sheds new submissions and blocks until the queue is drained and
     /// every in-flight job has finished. The shared pool itself stays up —
     /// other users of `dial_par::global()` are unaffected.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_within(None);
+    }
+
+    /// [`Scheduler::shutdown`] bounded by a deadline: waits for in-flight
+    /// and queued jobs until `deadline` (forever when `None`), then gives
+    /// up — queued jobs are dropped unexecuted, running jobs keep their
+    /// pool slots but nobody will collect them — and returns the ids of
+    /// everything abandoned, so the caller can log what a hard drain cut.
+    pub fn shutdown_within(&self, deadline: Option<Instant>) -> Vec<u64> {
         let mut st = self.inner.state.lock().expect("scheduler state lock");
         st.shut = true;
-        while st.running > 0 || !st.queue.is_empty() {
-            st = self.inner.drained.wait(st).expect("scheduler state lock");
+        while !st.abandoned && (!st.running.is_empty() || !st.queue.is_empty()) {
+            match deadline {
+                None => st = self.inner.drained.wait(st).expect("scheduler state lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break;
+                    }
+                    let (guard, _timeout) =
+                        self.inner.drained.wait_timeout(st, d - now).expect("scheduler state lock");
+                    st = guard;
+                }
+            }
         }
+        if st.running.is_empty() && st.queue.is_empty() {
+            return Vec::new();
+        }
+        let mut abandoned: Vec<u64> = st.running.clone();
+        abandoned.extend(st.queue.iter().map(|(id, _)| *id));
+        // Dropping the queued closures releases them unexecuted; their
+        // result channels disconnect and any waiting caller sees Failed.
+        st.queue.clear();
+        st.abandoned = true;
+        abandoned
     }
 }
 
@@ -107,31 +159,33 @@ impl Drop for Scheduler {
 
 /// Runs `job` on the shared pool; the guard hands the slot to the next
 /// queued job (or releases it) even if the job panics.
-fn dispatch(inner: &Arc<Inner>, job: Job) {
+fn dispatch(inner: &Arc<Inner>, id: u64, job: Job) {
     let guard_inner = Arc::clone(inner);
     inner.pool.spawn(move || {
-        let _slot = SlotGuard(guard_inner);
+        let _slot = SlotGuard(guard_inner, id);
         job();
     });
 }
 
-struct SlotGuard(Arc<Inner>);
+struct SlotGuard(Arc<Inner>, u64);
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         let next = {
             let mut st = self.0.state.lock().expect("scheduler state lock");
+            st.running.retain(|id| *id != self.1);
             let next = st.queue.pop_front();
-            if next.is_none() {
-                st.running -= 1;
+            // Hand the freed slot straight to the head of the queue: the
+            // slot transfers, so the successor joins `running` before the
+            // lock drops and the running count never dips spuriously.
+            if let Some((id, _)) = &next {
+                st.running.push(*id);
             }
             self.0.drained.notify_all();
             next
         };
-        // Hand the freed slot straight to the head of the queue. `running`
-        // is unchanged in that case: the slot transfers, it is not freed.
-        if let Some(job) = next {
-            dispatch(&self.0, job);
+        if let Some((id, job)) = next {
+            dispatch(&self.0, id, job);
         }
     }
 }
@@ -141,6 +195,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc::channel;
+    use std::time::Duration;
 
     #[test]
     fn runs_submitted_jobs_on_workers() {
@@ -227,5 +282,46 @@ mod tests {
             std::thread::yield_now();
         }
         done_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+    }
+
+    #[test]
+    fn bounded_shutdown_names_the_jobs_it_abandons() {
+        let s = Scheduler::new(1, 4);
+        let (block_tx, block_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel();
+        let wedged = s
+            .submit(move || {
+                started_tx.send(()).unwrap();
+                block_rx.recv().ok();
+            })
+            .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let queued = s.submit(|| {}).unwrap();
+
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let abandoned = s.shutdown_within(Some(deadline));
+        assert!(Instant::now() >= deadline, "shutdown must wait out the deadline first");
+        assert_eq!(abandoned, vec![wedged, queued], "both uncollected jobs are named");
+
+        // A later unbounded shutdown returns immediately instead of
+        // blocking on the disowned job.
+        s.shutdown();
+        block_tx.send(()).ok();
+    }
+
+    #[test]
+    fn bounded_shutdown_with_time_to_spare_abandons_nothing() {
+        let s = Scheduler::new(2, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let c = Arc::clone(&counter);
+            s.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        let abandoned = s.shutdown_within(Some(Instant::now() + Duration::from_secs(10)));
+        assert!(abandoned.is_empty());
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
     }
 }

@@ -16,9 +16,15 @@
 //!     documented serial path and produces byte-identical output.
 //!
 //! dial serve --snapshot market.json [--port 8080] [--threads N]
+//!           [--request-deadline MS] [--drain-timeout SECS]
 //!     Serve the snapshot as a long-running JSON query service.
 //!     `--threads` both sizes the shared compute pool and caps the
 //!     number of concurrently admitted experiment runs.
+//!     `--request-deadline` gives every request a budget in
+//!     milliseconds (expired requests answer 504); `--drain-timeout`
+//!     bounds the graceful drain on SIGINT/SIGTERM. A hidden
+//!     `--chaos <spec>` flag installs a deterministic fault plan
+//!     (see `dial_fault::ChaosPlan::parse`) for resilience testing.
 //!
 //! dial list
 //!     List the available experiment ids.
@@ -28,6 +34,32 @@ use dial_market::core::experiments::{all_experiments, extension_experiments, Exp
 use dial_market::prelude::*;
 use dial_serve::{Engine, ServeConfig, Server, Snapshot, SnapshotStore};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; the serve loop polls it.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Async-signal-safe handler: a relaxed atomic store is all that is
+/// allowed (and all that is needed) inside a signal context.
+extern "C" fn request_shutdown(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs [`request_shutdown`] for SIGINT and SIGTERM via the libc
+/// `signal(2)` entry point — declared by hand because this workspace
+/// vendors no `libc` crate.
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -243,7 +275,7 @@ fn analyze(args: &[String]) -> ExitCode {
 fn serve(args: &[String]) -> ExitCode {
     let Some(path) = opt(args, "--snapshot") else {
         eprintln!(
-            "usage: dial serve --snapshot <snapshot.json> [--port 8080] [--threads N] [--queue 64]"
+            "usage: dial serve --snapshot <snapshot.json> [--port 8080] [--threads N] [--queue 64] [--request-deadline MS] [--drain-timeout SECS]"
         );
         return ExitCode::FAILURE;
     };
@@ -254,6 +286,27 @@ fn serve(args: &[String]) -> ExitCode {
     if let Some(q) = opt(args, "--queue").and_then(|v| v.parse().ok()) {
         cfg.queue_capacity = q;
     }
+    if let Some(ms) = opt(args, "--request-deadline").and_then(|v| v.parse().ok()) {
+        cfg.request_deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(secs) = opt(args, "--drain-timeout").and_then(|v| v.parse().ok()) {
+        cfg.drain_timeout = Duration::from_secs(secs);
+    }
+    // Hidden: install a deterministic fault plan for resilience testing.
+    // The guard must outlive the server, so it lives in this scope.
+    let _chaos = match opt(args, "--chaos") {
+        Some(spec) => match dial_fault::ChaosPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!("chaos plan installed: {spec}");
+                Some(dial_fault::install(plan))
+            }
+            Err(e) => {
+                eprintln!("--chaos {spec:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     // `--threads` sizes the shared compute pool AND the engine's
     // admission limit, so one flag controls both layers.
     let Some(threads) = configure_threads(args) else {
@@ -278,6 +331,7 @@ fn serve(args: &[String]) -> ExitCode {
         cfg.threads,
         cfg.queue_capacity,
     ));
+    install_signal_handlers();
     match Server::start(engine, &cfg) {
         Ok(server) => {
             eprintln!(
@@ -286,7 +340,14 @@ fn serve(args: &[String]) -> ExitCode {
                 cfg.threads,
                 cfg.queue_capacity
             );
-            server.join();
+            // Park until a signal asks for the drain; the accept loop
+            // runs on its own thread the whole time.
+            while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            eprintln!("signal received: draining (up to {:?})...", cfg.drain_timeout);
+            let abandoned = server.graceful_shutdown();
+            eprintln!("drained ({} job(s) abandoned)", abandoned.len());
             ExitCode::SUCCESS
         }
         Err(e) => {
