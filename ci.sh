@@ -15,6 +15,9 @@ cargo clippy -p dial-par --all-targets -- -D warnings
 echo "==> cargo clippy -p dial-fault (warnings are errors)"
 cargo clippy -p dial-fault --all-targets -- -D warnings
 
+echo "==> cargo clippy -p dial-stream (warnings are errors)"
+cargo clippy -p dial-stream --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -23,6 +26,9 @@ cargo test -q --workspace
 
 echo "==> serial/parallel byte-equivalence (all registry experiments)"
 cargo test -q --test parallel_equivalence
+
+echo "==> batch/stream byte-equivalence (sealed fingerprints + analyze bodies)"
+cargo test -q --test stream_equivalence
 
 echo "==> chaos suite (fault injection, deadlines, graceful drain)"
 cargo test -q --test chaos

@@ -1,0 +1,119 @@
+//! Streaming-path benchmarks: event-log ingest throughput and `/v1/stream`
+//! fan-out.
+//!
+//! Ingest is measured twice. The raw variant drives [`StreamEngine::apply`]
+//! directly — the cost of buffering, watermark sealing, and incremental
+//! aggregate maintenance with nothing else attached. The served variant
+//! goes through [`Engine::ingest`] on a live engine, adding NDJSON
+//! decoding, the snapshot-store rebuild on every seal, and feed publishing
+//! — the cost one `POST /v1/ingest` batch actually pays.
+//!
+//! Fan-out measures how seal-frame delivery scales with subscriber count:
+//! every subscriber gets an `Arc<String>` clone through its own channel,
+//! so the expected shape is linear with a small constant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dial_serve::Engine;
+use dial_sim::SimConfig;
+use dial_stream::{encode_ndjson, segments, Event, StreamEngine};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One mid-sized market's watermarked event log (25 months).
+fn bench_segments() -> Vec<Vec<Event>> {
+    let out = SimConfig::paper_default().with_seed(9).with_scale(0.05).simulate_full();
+    segments(&out)
+}
+
+fn live_engine(threads: usize) -> Engine {
+    Engine::new_live(9, 3, dial_serve::registry_experiments(), threads, 16, 1 << 22)
+}
+
+/// Raw engine replay: apply every event of every month, sealing 25 times.
+fn bench_ingest_raw(c: &mut Criterion) {
+    let segs = bench_segments();
+    let n_events: usize = segs.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("stream_ingest");
+    group.sample_size(10);
+    group.bench_function("raw_apply_full_replay", |b| {
+        b.iter_with_setup(
+            || segs.clone(),
+            |segs| {
+                let mut engine = StreamEngine::new();
+                for seg in segs {
+                    for ev in seg {
+                        black_box(engine.apply(ev).expect("replay is gap-free"));
+                    }
+                }
+                black_box(engine.seals().len())
+            },
+        );
+    });
+    group.finish();
+
+    // One un-instrumented replay for a headline events/sec figure.
+    let mut engine = StreamEngine::new();
+    let started = Instant::now();
+    for seg in segs.clone() {
+        for ev in seg {
+            engine.apply(ev).expect("replay is gap-free");
+        }
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "stream_ingest/raw: {n_events} events in {elapsed:?} ({:.0} events/sec)",
+        n_events as f64 / elapsed.as_secs_f64()
+    );
+}
+
+/// Served replay: the same log through `Engine::ingest`, NDJSON and
+/// store-rebuild included.
+fn bench_ingest_served(_c: &mut Criterion) {
+    let segs = bench_segments();
+    let n_events: usize = segs.iter().map(Vec::len).sum();
+    let bodies: Vec<String> = segs.iter().map(|s| encode_ndjson(s)).collect();
+
+    let engine = live_engine(2);
+    let started = Instant::now();
+    for body in &bodies {
+        engine.ingest(body).expect("replay ingests");
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "stream_ingest/served: {n_events} events in {elapsed:?} ({:.0} events/sec, {} seals)",
+        n_events as f64 / elapsed.as_secs_f64(),
+        engine.metrics().snapshot().seals_total
+    );
+}
+
+/// Seal-frame fan-out: ingest one month with N stream subscribers attached
+/// and time until every subscriber has drained its frames.
+fn bench_sse_fanout(_c: &mut Criterion) {
+    let segs = bench_segments();
+    let first_month = encode_ndjson(&segs[0]);
+
+    for subscribers in [1usize, 8, 64] {
+        let engine = live_engine(2);
+        let feeds: Vec<_> = (0..subscribers)
+            .map(|_| engine.subscribe().expect("live engines accept subscribers"))
+            .collect();
+
+        let started = Instant::now();
+        engine.ingest(&first_month).expect("first month ingests");
+        let mut delivered = 0usize;
+        for (history, rx) in feeds {
+            delivered += history.len();
+            while let Ok(frame) = rx.try_recv() {
+                delivered += black_box(!frame.is_empty()) as usize;
+            }
+        }
+        let elapsed = started.elapsed();
+        println!(
+            "stream_fanout/{subscribers}_subscribers: {delivered} frame(s) delivered in {elapsed:?}"
+        );
+    }
+}
+
+criterion_group!(stream, bench_ingest_raw, bench_ingest_served, bench_sse_fanout);
+criterion_main!(stream);

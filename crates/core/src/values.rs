@@ -256,9 +256,13 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
     let max_usd = contracts.iter().map(|c| c.contract_usd).fold(0.0, f64::max);
 
     // Extrapolate per type: private completed contracts are assumed at
-    // least as valuable on average as public ones.
+    // least as valuable on average as public ones. Summed in type order:
+    // float addition is not associative, so HashMap iteration order would
+    // leak into the last ulp and break byte-identical replay equivalence.
     let mut extrapolated = 0.0;
-    for (ty, tv) in &by_type {
+    let mut typed: Vec<_> = by_type.iter().collect();
+    typed.sort_by_key(|(ty, _)| **ty);
+    for (ty, tv) in typed {
         let completed_total =
             dataset.completed_contracts().filter(|c| c.contract_type == *ty).count();
         if tv.count > 0 {

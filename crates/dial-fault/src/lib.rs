@@ -58,10 +58,14 @@ pub enum FaultPoint {
     WorkerPanic = 4,
     /// dial-par: before a task is enqueued on the pool.
     QueueStall = 5,
+    /// dial-serve: while draining an ingest batch body (delays the read).
+    IngestStall = 6,
+    /// dial-stream: inside a watermark seal, before the commit (panics).
+    SealPanic = 7,
 }
 
 /// Number of distinct [`FaultPoint`]s (sizes the counter arrays).
-const POINTS: usize = 6;
+const POINTS: usize = 8;
 
 impl FaultPoint {
     /// Stable name used by the `--chaos` spec and in event logs.
@@ -73,6 +77,8 @@ impl FaultPoint {
             FaultPoint::CachePoison => "poison",
             FaultPoint::WorkerPanic => "worker_panic",
             FaultPoint::QueueStall => "queue_stall",
+            FaultPoint::IngestStall => "ingest_stall",
+            FaultPoint::SealPanic => "seal_panic",
         }
     }
 
@@ -84,6 +90,8 @@ impl FaultPoint {
             "poison" => FaultPoint::CachePoison,
             "worker_panic" => FaultPoint::WorkerPanic,
             "queue_stall" => FaultPoint::QueueStall,
+            "ingest_stall" => FaultPoint::IngestStall,
+            "seal_panic" => FaultPoint::SealPanic,
             _ => return None,
         })
     }
@@ -251,11 +259,12 @@ impl Chaos {
             self.fires[rule_idx].fetch_add(1, Ordering::SeqCst);
         }
         let action = match point {
-            FaultPoint::SlowRead | FaultPoint::HandlerStall | FaultPoint::QueueStall => {
-                FaultAction::Delay(Duration::from_millis(rule.delay_ms))
-            }
+            FaultPoint::SlowRead
+            | FaultPoint::HandlerStall
+            | FaultPoint::QueueStall
+            | FaultPoint::IngestStall => FaultAction::Delay(Duration::from_millis(rule.delay_ms)),
             FaultPoint::TruncWrite => FaultAction::Truncate(rule.keep_bytes),
-            FaultPoint::WorkerPanic => FaultAction::Panic,
+            FaultPoint::WorkerPanic | FaultPoint::SealPanic => FaultAction::Panic,
             FaultPoint::CachePoison => FaultAction::Poison,
         };
         self.events.lock().expect("chaos event log lock").push(FaultEvent { point, hit, action });

@@ -75,6 +75,61 @@ impl Dataset {
         Self::new(self.users, self.contracts, self.threads, self.posts)
     }
 
+    /// Applies a delta: appends new entities in id order and extends the
+    /// secondary indexes incrementally, without rebuilding what is already
+    /// indexed. This is the streaming counterpart of [`Dataset::new`] — a
+    /// dataset grown through a sequence of `append`s is structurally
+    /// identical (same serialisation, same [`Dataset::fingerprint`]) to one
+    /// built in a single batch from the concatenated vectors.
+    ///
+    /// # Panics
+    /// Panics if the new ids do not continue densely from the current
+    /// lengths, or if a contract/post references an entity that exists
+    /// neither in the sealed prefix nor in this delta — both indicate a
+    /// broken producer, exactly as in [`Dataset::new`].
+    pub fn append(
+        &mut self,
+        users: Vec<User>,
+        contracts: Vec<Contract>,
+        threads: Vec<Thread>,
+        posts: Vec<Post>,
+    ) {
+        let n_users = self.users.len() + users.len();
+        let n_threads = self.threads.len() + threads.len();
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.id.index(), self.users.len() + i, "appended user ids must stay dense");
+        }
+        for (i, c) in contracts.iter().enumerate() {
+            assert_eq!(
+                c.id.index(),
+                self.contracts.len() + i,
+                "appended contract ids must stay dense"
+            );
+            assert!(c.maker.index() < n_users, "maker out of range");
+            assert!(c.taker.index() < n_users, "taker out of range");
+            if let Some(t) = c.thread {
+                assert!(t.index() < n_threads, "thread out of range");
+            }
+        }
+        for (i, t) in threads.iter().enumerate() {
+            assert_eq!(t.id.index(), self.threads.len() + i, "appended thread ids must stay dense");
+        }
+        for (i, p) in posts.iter().enumerate() {
+            assert_eq!(p.id.index(), self.posts.len() + i, "appended post ids must stay dense");
+            assert!(p.thread.index() < n_threads, "post thread out of range");
+            assert!(p.author.index() < n_users, "post author out of range");
+        }
+
+        for c in &contracts {
+            self.by_maker.entry(c.maker).or_default().push(c.id);
+            self.by_taker.entry(c.taker).or_default().push(c.id);
+        }
+        self.users.extend(users);
+        self.contracts.extend(contracts);
+        self.threads.extend(threads);
+        self.posts.extend(posts);
+    }
+
     /// All members.
     pub fn users(&self) -> &[User] {
         &self.users
@@ -277,6 +332,29 @@ mod tests {
         let back = back.reindex();
         assert_eq!(back.contracts().len(), ds.contracts().len());
         assert_eq!(back.contracts_made_by(UserId(0)).count(), 1);
+    }
+
+    #[test]
+    fn append_matches_batch_construction() {
+        let batch = tiny_dataset();
+        let mut grown = Dataset::new(vec![batch.users()[0].clone()], vec![], vec![], vec![]);
+        grown.append(vec![batch.users()[1].clone()], batch.contracts().to_vec(), vec![], vec![]);
+        assert_eq!(grown.fingerprint(), batch.fingerprint());
+        assert_eq!(grown.contracts_made_by(UserId(0)).count(), 1);
+        assert_eq!(grown.contracts_offered_to(UserId(1)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_rejects_non_dense_delta() {
+        let mut ds = tiny_dataset();
+        let stray = User {
+            id: UserId(7),
+            joined: Date::from_ymd(2019, 1, 1),
+            first_post: None,
+            reputation: 0,
+        };
+        ds.append(vec![stray], vec![], vec![], vec![]);
     }
 
     #[test]

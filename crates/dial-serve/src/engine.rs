@@ -18,10 +18,11 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
 use crate::scheduler::Scheduler;
 use crate::store::SnapshotStore;
-use crate::ServeExperiment;
+use crate::{EraScope, ServeExperiment};
+use dial_stream::{Event, SealDelta, StreamEngine};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Why an analyze call produced no result body.
@@ -41,6 +42,62 @@ pub enum AnalyzeError {
     Failed,
 }
 
+/// What [`Engine::subscribe`] hands a new `/v1/stream` client: every
+/// frame published so far, plus the channel future frames arrive on.
+pub type FeedSubscription = (Vec<Arc<String>>, Receiver<Arc<String>>);
+
+/// Why an ingest batch was refused. Each maps to one HTTP status in the
+/// front-end: 409, 400, 400, 429, 500 in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// This engine serves a fixed snapshot; it has no live stream.
+    NotLive,
+    /// The NDJSON body failed to decode; carries the line-level error.
+    Parse(String),
+    /// A watermark found the pending buffer non-contiguous with the
+    /// sealed prefix. Nothing was committed; the gap message names the
+    /// first missing entity.
+    Gap(String),
+    /// The pending buffer would exceed the configured bound — the client
+    /// should back off and retry after the next seal.
+    Backpressure {
+        /// Events already pending when the batch was refused.
+        pending: usize,
+    },
+    /// A seal panicked before its commit stage (e.g. the `seal_panic`
+    /// fault point); the engine state is unchanged and still usable.
+    SealFailed,
+}
+
+/// What an accepted ingest batch did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events applied from the batch.
+    pub events: usize,
+    /// Watermarks that sealed (each swapped in a fresh snapshot).
+    pub seals: usize,
+    /// Events still buffered after the batch (awaiting a watermark).
+    pub pending: usize,
+    /// The store fingerprint after the batch settled.
+    pub snapshot: String,
+}
+
+/// The live-ingestion half of an [`Engine`]: the stream engine behind a
+/// mutex (ingest batches serialise), and the SSE feed. `feed.history`
+/// holds every frame ever published so a late subscriber replays the
+/// whole story before going live.
+struct Live {
+    stream: Mutex<StreamEngine>,
+    feed: Mutex<Feed>,
+    max_pending_events: usize,
+}
+
+#[derive(Default)]
+struct Feed {
+    history: Vec<Arc<String>>,
+    subscribers: Vec<Sender<Arc<String>>>,
+}
+
 /// How a submitted run ended, as reported over the result channel.
 enum RunError {
     /// A cooperative checkpoint (or the pre-run check) saw the deadline
@@ -55,17 +112,30 @@ enum Pending {
     /// The cache already held the body; nothing was submitted.
     Cached(Arc<String>),
     /// The run is on the pool; `finish` blocks on the channel.
-    Submitted { key: CacheKey, rx: Receiver<Result<String, RunError>>, started: Instant },
+    Submitted {
+        key: CacheKey,
+        scope: EraScope,
+        rx: Receiver<Result<String, RunError>>,
+        started: Instant,
+    },
 }
 
 /// The concurrent query engine behind the HTTP front-end.
+///
+/// The store sits behind an `RwLock<Arc<_>>` so a live seal can swap in
+/// a fresh snapshot while readers keep the one they started with: an
+/// analyze call pins its `Arc` once in `begin` and runs against that
+/// snapshot to completion even if ingests land mid-flight.
 pub struct Engine {
-    store: SnapshotStore,
+    store: RwLock<Arc<SnapshotStore>>,
     experiments: Vec<ServeExperiment>,
     scheduler: Scheduler,
     cache: ResultCache,
     metrics: Arc<Metrics>,
     params: String,
+    seed: u64,
+    lca_classes: usize,
+    live: Option<Live>,
 }
 
 impl Engine {
@@ -79,19 +149,61 @@ impl Engine {
     ) -> Self {
         let ctx = store.context();
         let params = format!("seed={}&classes={}", ctx.seed, ctx.lca_classes);
+        let (seed, lca_classes) = (ctx.seed, ctx.lca_classes);
         Self {
-            store,
+            store: RwLock::new(Arc::new(store)),
             experiments,
             scheduler: Scheduler::new(threads, queue_capacity),
             cache: ResultCache::new(),
             metrics: Arc::new(Metrics::new()),
             params,
+            seed,
+            lca_classes,
+            live: None,
         }
     }
 
-    /// The snapshot store backing this engine.
-    pub fn store(&self) -> &SnapshotStore {
-        &self.store
+    /// Assembles a *live* engine: it starts from an empty snapshot and
+    /// grows it through [`Engine::ingest`]; every seal swaps in a fresh
+    /// fingerprinted store and pushes a frame to `/v1/stream`
+    /// subscribers. `max_pending_events` bounds the unsealed buffer —
+    /// batches that would exceed it are shed with
+    /// [`IngestError::Backpressure`].
+    pub fn new_live(
+        seed: u64,
+        lca_classes: usize,
+        experiments: Vec<ServeExperiment>,
+        threads: usize,
+        queue_capacity: usize,
+        max_pending_events: usize,
+    ) -> Self {
+        let stream = StreamEngine::new();
+        let store = SnapshotStore::from_parts(
+            stream.dataset().clone(),
+            stream.ledger().clone(),
+            seed,
+            lca_classes,
+        );
+        let mut engine = Self::new(store, experiments, threads, queue_capacity);
+        engine.live = Some(Live {
+            stream: Mutex::new(stream),
+            feed: Mutex::new(Feed::default()),
+            max_pending_events,
+        });
+        engine
+    }
+
+    /// The snapshot store currently backing this engine. Callers get a
+    /// pinned `Arc`: the snapshot it names stays valid even if a live
+    /// seal swaps the engine to a newer one.
+    pub fn store(&self) -> Arc<SnapshotStore> {
+        Arc::clone(&self.store.read().unwrap())
+    }
+
+    /// Whether this engine accepts `POST /v1/ingest` and serves
+    /// `GET /v1/stream`.
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
     }
 
     /// The registered experiments, in registry order.
@@ -172,8 +284,9 @@ impl Engine {
                 valid: self.experiments.iter().map(|e| e.id.clone()).collect(),
             });
         };
+        let store = self.store();
         let key = CacheKey {
-            snapshot: self.store.fingerprint().to_string(),
+            snapshot: scope_key(exp.scope, &store),
             experiment: exp.id.clone(),
             params: self.params.clone(),
         };
@@ -187,7 +300,7 @@ impl Engine {
         // `finish`. Two concurrent misses for the same key both compute —
         // the cache converges on the first insert and both answers are
         // identical, so the only cost is the duplicated work.
-        let ctx = self.store.context();
+        let ctx = store.context();
         let run = Arc::clone(&exp.run);
         let metrics = Arc::clone(&self.metrics);
         let (tx, rx) = channel();
@@ -218,7 +331,7 @@ impl Engine {
                 let _ = tx.send(result);
             })
             .map_err(|_| AnalyzeError::Saturated)?;
-        Ok(Pending::Submitted { key, rx, started: Instant::now() })
+        Ok(Pending::Submitted { key, scope: exp.scope, rx, started: Instant::now() })
     }
 
     /// Blocks until a [`Pending`] run settles (or its deadline passes)
@@ -228,9 +341,9 @@ impl Engine {
         pending: Pending,
         deadline: Option<Instant>,
     ) -> Result<Arc<String>, AnalyzeError> {
-        let (key, rx, started) = match pending {
+        let (key, scope, rx, started) = match pending {
             Pending::Cached(body) => return Ok(body),
-            Pending::Submitted { key, rx, started } => (key, rx, started),
+            Pending::Submitted { key, scope, rx, started } => (key, scope, rx, started),
         };
         let result = match deadline {
             None => rx.recv().map_err(|_| AnalyzeError::Failed)?,
@@ -264,12 +377,20 @@ impl Engine {
                     self.metrics.fault("poison");
                     let mut forged = key.clone();
                     forged.snapshot = format!("forged-{}", key.snapshot);
-                    if self.cache_insert_checked(forged, "{\"tampered\":true}".into()).is_none() {
+                    if self
+                        .cache_insert_checked(scope, forged, "{\"tampered\":true}".into())
+                        .is_err()
+                    {
                         self.metrics.poison_rejection();
                     }
                 }
-                self.cache_insert_checked(key, body).ok_or(AnalyzeError::Failed).inspect_err(|_| {
-                    debug_assert!(false, "a legitimate insert must pass the fingerprint check");
+                // A refused legitimate insert means the snapshot advanced
+                // while the run was in flight (live ingest). The body is
+                // still a correct answer for the snapshot it names — serve
+                // it, just don't let it key the new snapshot's cache.
+                Ok(match self.cache_insert_checked(scope, key, body) {
+                    Ok(shared) => shared,
+                    Err(body) => Arc::new(body),
                 })
             }
             Err(RunError::DeadlineExceeded) => {
@@ -281,13 +402,128 @@ impl Engine {
     }
 
     /// The only write path into the result cache: refuses any key whose
-    /// snapshot fingerprint or params disagree with this engine's store,
-    /// so a corrupted (or injected) writer cannot poison future readers.
-    fn cache_insert_checked(&self, key: CacheKey, body: String) -> Option<Arc<String>> {
-        if key.snapshot != self.store.fingerprint() || key.params != self.params {
-            return None;
+    /// snapshot fingerprint or params disagree with this engine's
+    /// *current* store, so a corrupted (or injected) writer cannot poison
+    /// future readers — and a result computed against an already-swapped
+    /// snapshot cannot masquerade as current. Refusal hands the body
+    /// back to the caller.
+    fn cache_insert_checked(
+        &self,
+        scope: EraScope,
+        key: CacheKey,
+        body: String,
+    ) -> Result<Arc<String>, String> {
+        if key.params != self.params || key.snapshot != scope_key(scope, &self.store()) {
+            return Err(body);
         }
-        Some(self.cache.insert(key, body))
+        Ok(self.cache.insert(key, body))
+    }
+
+    /// Applies one NDJSON batch to the live stream.
+    ///
+    /// Entity events buffer; each watermark seals the buffered month:
+    /// the stream engine re-checks id density, appends to its dataset and
+    /// ledger, and this engine then swaps in a freshly fingerprinted
+    /// [`SnapshotStore`] and publishes the seal's delta (plus any era
+    /// transition) to `/v1/stream` subscribers. Batches serialise on the
+    /// stream mutex, so clients may post concurrently.
+    pub fn ingest(&self, body: &str) -> Result<IngestReport, IngestError> {
+        let Some(live) = &self.live else { return Err(IngestError::NotLive) };
+        let events = match dial_stream::decode_ndjson(body) {
+            Ok(events) => events,
+            Err(e) => {
+                self.metrics.ingest_rejected();
+                return Err(IngestError::Parse(e));
+            }
+        };
+        let mut stream = live.stream.lock().unwrap();
+        if stream.pending_len() + events.len() > live.max_pending_events {
+            self.metrics.ingest_rejected();
+            return Err(IngestError::Backpressure { pending: stream.pending_len() });
+        }
+        self.metrics.ingest_batch();
+        let mut seals = 0usize;
+        let mut applied = 0usize;
+        for event in events {
+            let sealing = matches!(event, Event::Watermark { .. });
+            let outcome = if sealing {
+                // The `seal_panic` fault point fires before the seal's
+                // commit stage; catching it here leaves the stream state
+                // untouched and the engine fully usable.
+                match catch_unwind(AssertUnwindSafe(|| stream.apply(event))) {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        self.metrics.panic_recovered();
+                        self.metrics.seal_failure();
+                        self.metrics.ingest_events(applied as u64);
+                        return Err(IngestError::SealFailed);
+                    }
+                }
+            } else {
+                stream.apply(event)
+            };
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(delta)) => {
+                    seals += 1;
+                    self.metrics.seal();
+                    let store = Arc::new(SnapshotStore::from_parts(
+                        stream.dataset().clone(),
+                        stream.ledger().clone(),
+                        self.seed,
+                        self.lca_classes,
+                    ));
+                    *self.store.write().unwrap() = store;
+                    self.publish(live, &delta);
+                }
+                Err(gap) => {
+                    self.metrics.ingest_rejected();
+                    self.metrics.ingest_events(applied as u64);
+                    return Err(IngestError::Gap(gap.to_string()));
+                }
+            }
+            applied += 1;
+        }
+        self.metrics.ingest_events(applied as u64);
+        Ok(IngestReport {
+            events: applied,
+            seals,
+            pending: stream.pending_len(),
+            snapshot: self.store().fingerprint().to_string(),
+        })
+    }
+
+    /// Subscribes to the live feed: returns every frame published so far
+    /// plus a receiver for frames to come, atomically (no frame is lost
+    /// or duplicated between the two). `None` on a snapshot engine.
+    pub fn subscribe(&self) -> Option<FeedSubscription> {
+        let live = self.live.as_ref()?;
+        let (tx, rx) = channel();
+        let mut feed = live.feed.lock().unwrap();
+        let history = feed.history.clone();
+        feed.subscribers.push(tx);
+        Some((history, rx))
+    }
+
+    /// Publishes a seal's SSE frames: an `era` frame when the seal
+    /// crossed an era boundary, then the `seal` delta itself.
+    fn publish(&self, live: &Live, delta: &SealDelta) {
+        let mut frames: Vec<Arc<String>> = Vec::with_capacity(2);
+        if let Some(t) = &delta.era_transition {
+            let data = format!(
+                "{{\"month\":{},\"transition\":{}}}",
+                serde_json::to_string(&delta.month).expect("months serialise"),
+                serde_json::to_string(t).expect("transitions serialise"),
+            );
+            frames.push(Arc::new(format!("event: era\ndata: {data}\n\n")));
+        }
+        frames.push(Arc::new(format!("event: seal\ndata: {}\n\n", delta.to_json())));
+        let mut feed = live.feed.lock().unwrap();
+        for frame in frames {
+            // Dead subscribers (dropped receivers) are pruned on send.
+            feed.subscribers.retain(|tx| tx.send(Arc::clone(&frame)).is_ok());
+            feed.history.push(frame);
+        }
     }
 
     /// Stops the worker pool, finishing queued work first.
@@ -308,6 +544,19 @@ impl Engine {
 /// JSON string literal for `s` (quotes + escaping).
 fn json_str(s: &str) -> String {
     serde_json::to_string(&s).expect("strings serialise")
+}
+
+/// The cache-key snapshot component for an experiment scope: the full
+/// store fingerprint for whole-window readers, that era's content hash
+/// for era-scoped ones. The era prefix keeps the two key families
+/// disjoint.
+fn scope_key(scope: EraScope, store: &SnapshotStore) -> String {
+    match scope {
+        EraScope::All => store.fingerprint().to_string(),
+        EraScope::Era(era) => {
+            format!("era-{}-{:016x}", era.short_label(), store.era_fingerprint(era))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +642,7 @@ mod tests {
             id: id.into(),
             title: "constant".into(),
             paper_claim: String::new(),
+            scope: EraScope::All,
             run: Arc::new(|_| "{\"fine\":true}".to_string()),
         }
     }
@@ -403,6 +653,7 @@ mod tests {
             id: "boom".into(),
             title: "always panics".into(),
             paper_claim: String::new(),
+            scope: EraScope::All,
             run: Arc::new(|_| panic!("injected failure")),
         };
         let engine = custom_engine(vec![boom, constant_experiment("ok")], 1, 4);
@@ -420,6 +671,7 @@ mod tests {
             id: "coop".into(),
             title: "cooperative sleeper".into(),
             paper_claim: String::new(),
+            scope: EraScope::All,
             run: Arc::new(|_| {
                 for _ in 0..100 {
                     std::thread::sleep(Duration::from_millis(10));
@@ -462,6 +714,127 @@ mod tests {
         assert!(engine.analyze("fast").is_ok());
     }
 
+    fn scoped_experiment(id: &str, scope: EraScope) -> ServeExperiment {
+        ServeExperiment {
+            id: id.into(),
+            title: "scoped constant".into(),
+            paper_claim: String::new(),
+            scope,
+            run: Arc::new(|_| "{\"fine\":true}".to_string()),
+        }
+    }
+
+    #[test]
+    fn snapshot_engine_rejects_ingest_and_stream() {
+        let engine = tiny_engine(1, 4);
+        assert!(!engine.is_live());
+        assert_eq!(engine.ingest(""), Err(IngestError::NotLive));
+        assert!(engine.subscribe().is_none());
+    }
+
+    #[test]
+    fn live_ingest_seals_swap_snapshots_and_publish_frames() {
+        let engine = Engine::new_live(9, 3, crate::registry_experiments(), 2, 8, 1 << 20);
+        assert!(engine.is_live());
+        let empty_fp = engine.store().fingerprint().to_string();
+        let (history, rx) = engine.subscribe().unwrap();
+        assert!(history.is_empty(), "no frames before the first seal");
+
+        let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+        let segs = dial_stream::segments(&out);
+        let report = engine.ingest(&dial_stream::encode_ndjson(&segs[0])).unwrap();
+        assert_eq!(report.seals, 1);
+        assert_eq!(report.pending, 0);
+        assert_ne!(report.snapshot, empty_fp, "the seal must swap in a new snapshot");
+        assert_eq!(engine.store().fingerprint(), report.snapshot);
+
+        // The first seal enters SET-UP: an era frame, then the seal frame.
+        let era_frame = rx.try_recv().expect("era frame");
+        assert!(era_frame.starts_with("event: era\n"), "got {era_frame}");
+        let seal_frame = rx.try_recv().expect("seal frame");
+        assert!(seal_frame.starts_with("event: seal\n"), "got {seal_frame}");
+
+        // A late subscriber replays the same two frames from history.
+        let (history, _rx2) = engine.subscribe().unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].as_str(), era_frame.as_str());
+
+        // Analysis runs against the freshly sealed snapshot.
+        assert!(engine.analyze("table1").is_ok());
+        let m = engine.metrics().snapshot();
+        assert_eq!(m.seals_total, 1);
+        assert_eq!(m.ingest_batches, 1);
+        assert_eq!(m.ingest_events as usize, segs[0].len());
+    }
+
+    #[test]
+    fn over_full_pending_buffer_sheds_the_batch() {
+        let engine = Engine::new_live(9, 3, Vec::new(), 1, 4, 8);
+        let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+        let segs = dial_stream::segments(&out);
+        assert!(segs[0].len() > 8, "the first month must overflow the tiny buffer");
+        match engine.ingest(&dial_stream::encode_ndjson(&segs[0])) {
+            Err(IngestError::Backpressure { pending }) => assert_eq!(pending, 0),
+            other => panic!("expected Backpressure, got {other:?}"),
+        }
+        // Nothing was applied; a retry after raising nothing still fails
+        // identically, and the stream state is untouched.
+        assert_eq!(engine.metrics().snapshot().ingest_rejected, 1);
+        assert_eq!(engine.metrics().snapshot().ingest_events, 0);
+    }
+
+    #[test]
+    fn malformed_ndjson_rejects_the_whole_batch() {
+        let engine = Engine::new_live(9, 3, Vec::new(), 1, 4, 1 << 20);
+        match engine.ingest("{\"not\":\"an event\"}\n") {
+            Err(IngestError::Parse(msg)) => assert!(msg.contains("line 1"), "got {msg}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        assert_eq!(engine.metrics().snapshot().ingest_rejected, 1);
+    }
+
+    #[test]
+    fn era_scoped_cache_entries_survive_unrelated_ingests() {
+        use dial_stream::Event;
+        use dial_time::Era;
+
+        let engine = Engine::new_live(
+            9,
+            3,
+            vec![
+                scoped_experiment("setup-view", EraScope::Era(Era::SetUp)),
+                scoped_experiment("covid-view", EraScope::Era(Era::Covid19)),
+            ],
+            2,
+            8,
+            1 << 20,
+        );
+        let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+        let segs = dial_stream::segments(&out);
+        // The first three study months are all deep inside SET-UP.
+        for seg in &segs[..3] {
+            let Some(Event::Watermark { month }) = seg.last() else { panic!("no watermark") };
+            assert_eq!(Era::of_month(*month), Some(Era::SetUp));
+        }
+
+        for seg in &segs[..2] {
+            engine.ingest(&dial_stream::encode_ndjson(seg)).unwrap();
+        }
+        engine.analyze("setup-view").unwrap();
+        engine.analyze("covid-view").unwrap();
+        let warm = engine.metrics().snapshot();
+        assert_eq!((warm.cache_misses, warm.cache_hits), (2, 0));
+
+        // Month 3 touches only the SET-UP slice: the SET-UP reader's
+        // entry must be invalidated, the COVID-19 reader's must survive.
+        engine.ingest(&dial_stream::encode_ndjson(&segs[2])).unwrap();
+        engine.analyze("setup-view").unwrap();
+        engine.analyze("covid-view").unwrap();
+        let after = engine.metrics().snapshot();
+        assert_eq!(after.cache_misses, warm.cache_misses + 1, "setup entry must miss");
+        assert_eq!(after.cache_hits, warm.cache_hits + 1, "covid entry must survive");
+    }
+
     #[test]
     fn forged_fingerprint_inserts_are_rejected() {
         let engine = custom_engine(vec![constant_experiment("fast")], 1, 4);
@@ -471,7 +844,9 @@ mod tests {
             experiment: "fast".into(),
             params: engine.params().to_string(),
         };
-        assert!(engine.cache_insert_checked(forged, "{\"tampered\":true}".into()).is_none());
+        assert!(engine
+            .cache_insert_checked(EraScope::All, forged, "{\"tampered\":true}".into())
+            .is_err());
         // The legitimate entry is untouched.
         assert_eq!(engine.analyze("fast").unwrap().as_str(), body.as_str());
     }

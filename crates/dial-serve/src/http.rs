@@ -1,10 +1,14 @@
 //! Hand-rolled HTTP/1.1 front-end over `std::net::TcpListener`.
 //!
-//! The protocol surface is deliberately tiny: GET only, JSON responses,
-//! `Connection: close` on every reply. Each accepted connection gets its
-//! own short-lived thread (connections are cheap; the expensive part —
-//! running experiments — is bounded by the engine's admission scheduler,
-//! which is where load is shed).
+//! The protocol surface is deliberately tiny: GET plus one POST
+//! (`/v1/ingest`), JSON responses, `Connection: close` on every reply.
+//! Each accepted connection gets its own short-lived thread (connections
+//! are cheap; the expensive part — running experiments — is bounded by
+//! the engine's admission scheduler, which is where load is shed). The
+//! one long-lived route is `GET /v1/stream`: a chunked
+//! `text/event-stream` of seal deltas and era transitions that holds its
+//! connection thread until the client leaves, `?max=N` frames have been
+//! sent, or a drain begins.
 //!
 //! # API v1
 //!
@@ -32,7 +36,7 @@
 //! connection thread. During a graceful drain every request answers
 //! `503` + `Retry-After` while in-flight work finishes.
 
-use crate::engine::{AnalyzeError, Engine};
+use crate::engine::{AnalyzeError, Engine, IngestError};
 use crate::store::StoreSummary;
 use serde::Serialize;
 use serde_json::Value;
@@ -40,9 +44,14 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long an idle `/v1/stream` connection waits before emitting an SSE
+/// comment so intermediaries keep the connection alive.
+const SSE_HEARTBEAT: Duration = Duration::from_secs(2);
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -69,6 +78,9 @@ pub struct ServeConfig {
     /// How long a graceful drain waits for in-flight work before
     /// abandoning it.
     pub drain_timeout: Duration,
+    /// Live mode: events a [`crate::Engine`] may hold unsealed before
+    /// ingest batches are shed with 429 (watermarks drain the buffer).
+    pub max_pending_events: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +96,7 @@ impl Default for ServeConfig {
             max_body_bytes: 64 * 1024,
             request_deadline: None,
             drain_timeout: Duration::from_secs(10),
+            max_pending_events: 512 * 1024,
         }
     }
 }
@@ -229,6 +242,7 @@ struct ErrorBody {
 #[derive(Serialize)]
 struct HealthBody {
     status: String,
+    mode: String,
     snapshot: String,
 }
 
@@ -308,8 +322,8 @@ fn handle_connection(
     draining: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_write_timeout(Some(cfg.write_timeout))?;
-    let head = match read_request_head(&mut stream, engine, cfg) {
-        Ok(head) => head,
+    let (head, leftover) = match read_request_head(&mut stream, engine, cfg) {
+        Ok(pair) => pair,
         Err(kind) => {
             engine.metrics().request_rejected();
             let r = match kind {
@@ -355,11 +369,12 @@ fn handle_connection(
             return respond_and_drain(&mut stream, engine, &r);
         }
     }
-    if method != "GET" {
+    let is_ingest = raw_path == "/v1/ingest" || raw_path.starts_with("/v1/ingest?");
+    if !(method == "GET" || (method == "POST" && is_ingest)) {
         let r = Response::error(
             405,
             "method_not_allowed",
-            format!("method {method} is not supported; use GET"),
+            format!("method {method} is not supported here; use GET (or POST /v1/ingest)"),
             None,
         );
         return respond(&mut stream, engine, &r);
@@ -377,6 +392,15 @@ fn handle_connection(
         Some((p, q)) => (p, Some(q)),
         None => (raw_path, None),
     };
+    if method == "POST" {
+        // The only POST past the gate above is /v1/ingest.
+        return handle_ingest(&mut stream, engine, cfg, &head, leftover);
+    }
+    if path == "/v1/stream" {
+        // The stream holds its connection open for as long as the client
+        // stays; it must not sit under the per-request deadline budget.
+        return handle_stream(&mut stream, engine, query, draining);
+    }
 
     // The request deadline budget starts once the head has arrived (the
     // header window has its own budget above).
@@ -413,24 +437,27 @@ enum HeadError {
 /// Reads the request head (everything through `\r\n\r\n`) under one
 /// total deadline: the socket read timeout is re-armed with the
 /// *remaining* window before every read, so a slow-loris client trickling
-/// bytes cannot extend its welcome past `read_timeout`.
+/// bytes cannot extend its welcome past `read_timeout`. Any body bytes
+/// that arrived in the same reads are returned alongside the head.
 fn read_request_head(
     stream: &mut TcpStream,
     engine: &Engine,
     cfg: &ServeConfig,
-) -> Result<String, HeadError> {
+) -> Result<(String, Vec<u8>), HeadError> {
     let deadline = Instant::now() + cfg.read_timeout;
+    // Chaos hook: pretend the client (or the kernel) is slow by burning
+    // header-window time before the read. Injected exactly once per
+    // request head — a per-read() injection would key the fault sequence
+    // to TCP fragmentation, which is not deterministic across runs.
+    if let Some(dial_fault::FaultAction::Delay(d)) =
+        dial_fault::inject(dial_fault::FaultPoint::SlowRead)
+    {
+        engine.metrics().fault("slow_read");
+        std::thread::sleep(d);
+    }
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
-        // Chaos hook: pretend the client (or the kernel) is slow by
-        // burning header-window time between reads.
-        if let Some(dial_fault::FaultAction::Delay(d)) =
-            dial_fault::inject(dial_fault::FaultPoint::SlowRead)
-        {
-            engine.metrics().fault("slow_read");
-            std::thread::sleep(d);
-        }
         let now = Instant::now();
         if now >= deadline {
             return Err(HeadError::Timeout);
@@ -439,20 +466,203 @@ fn read_request_head(
             return Err(HeadError::Timeout);
         }
         match stream.read(&mut chunk) {
-            Ok(0) => break,
+            Ok(0) => return Ok((String::from_utf8_lossy(&buf).into_owned(), Vec::new())),
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
                 if buf.len() > cfg.max_header_bytes {
                     return Err(HeadError::TooLarge);
                 }
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
+                if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let body = buf.split_off(pos + 4);
+                    return Ok((String::from_utf8_lossy(&buf).into_owned(), body));
                 }
             }
             Err(_) => return Err(HeadError::Timeout),
         }
     }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `POST /v1/ingest`: reads the NDJSON batch body and applies it to the
+/// live stream engine. The declared length was already bounds-checked
+/// against `max_body_bytes` before dispatch.
+fn handle_ingest(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    cfg: &ServeConfig,
+    head: &str,
+    mut body: Vec<u8>,
+) -> std::io::Result<()> {
+    engine.metrics().request("/v1/ingest");
+    let Some(len) = content_length(head) else {
+        let r = Response::error(
+            411,
+            "length_required",
+            "POST /v1/ingest needs a Content-Length header".to_string(),
+            None,
+        );
+        return respond(stream, engine, &r);
+    };
+    // Chaos hook: a stalled ingest pipeline (slow disk, slow upstream);
+    // the batch still applies after the delay.
+    if let Some(dial_fault::FaultAction::Delay(d)) =
+        dial_fault::inject(dial_fault::FaultPoint::IngestStall)
+    {
+        engine.metrics().fault("ingest_stall");
+        std::thread::sleep(d);
+    }
+    // Read the rest of the body under one total deadline, mirroring the
+    // header window's slow-loris defence.
+    let deadline = Instant::now() + cfg.read_timeout;
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let now = Instant::now();
+        if now >= deadline || stream.set_read_timeout(Some(deadline - now)).is_err() {
+            engine.metrics().request_rejected();
+            let r = Response::error(
+                408,
+                "request_timeout",
+                format!("request body did not arrive within {:?}", cfg.read_timeout),
+                None,
+            );
+            return respond(stream, engine, &r);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => {
+                engine.metrics().request_rejected();
+                let r = Response::error(
+                    408,
+                    "request_timeout",
+                    format!("request body did not arrive within {:?}", cfg.read_timeout),
+                    None,
+                );
+                return respond(stream, engine, &r);
+            }
+        }
+    }
+    if body.len() < len {
+        engine.metrics().request_rejected();
+        let r = Response::error(
+            400,
+            "truncated_body",
+            format!("body ended after {} of {len} declared bytes", body.len()),
+            None,
+        );
+        return respond(stream, engine, &r);
+    }
+    body.truncate(len);
+    let text = String::from_utf8_lossy(&body);
+    let response = match engine.ingest(&text) {
+        Ok(report) => Response::json(
+            200,
+            format!(
+                "{{\"accepted\":{},\"seals\":{},\"pending\":{},\"snapshot\":{}}}",
+                report.events,
+                report.seals,
+                report.pending,
+                json_str(&report.snapshot)
+            ),
+        ),
+        Err(IngestError::NotLive) => not_live_response(),
+        Err(IngestError::Parse(e)) => Response::error(400, "bad_event", e, None),
+        Err(IngestError::Gap(e)) => Response::error(400, "event_gap", e, None),
+        Err(IngestError::Backpressure { pending }) => {
+            let mut r = Response::error(
+                429,
+                "ingest_backpressure",
+                format!("{pending} events already pending; retry after the next seal"),
+                None,
+            );
+            r.retry_after = Some(1);
+            r
+        }
+        Err(IngestError::SealFailed) => Response::error(
+            500,
+            "seal_failed",
+            "the seal panicked before commit; earlier events remain pending, retry the watermark"
+                .to_string(),
+            None,
+        ),
+    };
+    if response.status >= 500 {
+        engine.metrics().server_error();
+    }
+    respond(stream, engine, &response)
+}
+
+/// `GET /v1/stream`: a chunked `text/event-stream` of seal deltas. New
+/// subscribers first replay every frame published so far, then follow
+/// live. `?max=N` closes the stream after N frames (for curl-able
+/// examples and tests); a drain closes every stream promptly.
+fn handle_stream(
+    stream: &mut TcpStream,
+    engine: &Engine,
+    query: Option<&str>,
+    draining: &AtomicBool,
+) -> std::io::Result<()> {
+    engine.metrics().request("/v1/stream");
+    let Some((history, rx)) = engine.subscribe() else {
+        let r = not_live_response();
+        return respond(stream, engine, &r);
+    };
+    engine.metrics().sse_client();
+    let max_frames: Option<usize> = query
+        .and_then(|q| q.split('&').find_map(|p| p.strip_prefix("max=")))
+        .and_then(|v| v.parse().ok());
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    let reached = |sent: usize| max_frames.is_some_and(|m| sent >= m);
+    let mut sent = 0usize;
+    for frame in history {
+        if reached(sent) {
+            break;
+        }
+        write_chunk(stream, frame.as_bytes())?;
+        engine.metrics().sse_frame();
+        sent += 1;
+    }
+    let mut last_write = Instant::now();
+    while !reached(sent) && !draining.load(Ordering::SeqCst) {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(frame) => {
+                write_chunk(stream, frame.as_bytes())?;
+                engine.metrics().sse_frame();
+                sent += 1;
+                last_write = Instant::now();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if last_write.elapsed() >= SSE_HEARTBEAT {
+                    write_chunk(stream, b": keep-alive\n\n")?;
+                    last_write = Instant::now();
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Terminal chunk: the client sees a clean end of stream.
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// One HTTP/1.1 chunk.
+fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// The 409 answered when a live-only endpoint is hit on a snapshot
+/// server.
+fn not_live_response() -> Response {
+    Response::error(
+        409,
+        "not_live",
+        "this server serves a fixed snapshot; start it with --live to ingest or stream".to_string(),
+        None,
+    )
 }
 
 /// The declared `Content-Length`, if any header carries one.
@@ -483,6 +693,7 @@ fn route(
             engine.metrics().request("/v1/healthz");
             let body = HealthBody {
                 status: "ok".to_string(),
+                mode: if engine.is_live() { "live" } else { "snapshot" }.to_string(),
                 snapshot: engine.store().fingerprint().to_string(),
             };
             Response::json(200, to_json(&body))
@@ -514,6 +725,13 @@ fn route(
             engine.metrics().request("/v1/metrics");
             Response::json(200, to_json(&engine.metrics().snapshot()))
         }
+        // GETs to the ingest endpoint (POSTs dispatch before routing).
+        "/v1/ingest" => Response::error(
+            405,
+            "method_not_allowed",
+            "ingest is write-only; use POST /v1/ingest".to_string(),
+            None,
+        ),
         "/v1/analyze" => {
             engine.metrics().request("/v1/analyze?ids");
             route_batch(engine, query, deadline)
@@ -680,7 +898,10 @@ fn respond(stream: &mut TcpStream, engine: &Engine, response: &Response) -> std:
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",

@@ -25,12 +25,31 @@ pub mod metrics;
 pub mod scheduler;
 pub mod store;
 
-pub use engine::{AnalyzeError, Engine};
+pub use engine::{AnalyzeError, Engine, IngestError, IngestReport};
 pub use http::{ServeConfig, Server};
 pub use store::{Snapshot, SnapshotStore};
 
 use dial_core::experiments::ExperimentContext;
+use dial_time::Era;
 use std::sync::Arc;
+
+/// What slice of the snapshot an experiment reads — the grain of cache
+/// invalidation under live ingestion.
+///
+/// An [`EraScope::All`] experiment keys its cache entries on the full
+/// snapshot fingerprint: any ingest invalidates them. An era-scoped
+/// experiment keys on that era's content fingerprint alone, so a warm
+/// entry survives every ingest that only touches *other* eras — e.g. a
+/// COVID-19 reader stays warm while SET-UP months are still streaming in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EraScope {
+    /// Reads the whole study window (the default, and the only scope the
+    /// registry experiments use — their bodies must stay byte-identical
+    /// to the batch pipeline's).
+    All,
+    /// Reads one era's slice only.
+    Era(Era),
+}
 
 /// One servable experiment: the registry metadata plus a shareable run
 /// closure returning the machine-readable JSON result.
@@ -42,6 +61,8 @@ pub struct ServeExperiment {
     pub title: String,
     /// The paper claim this experiment reproduces.
     pub paper_claim: String,
+    /// The snapshot slice the experiment reads (governs cache keying).
+    pub scope: EraScope,
     /// Runs the experiment and returns its JSON result.
     pub run: Arc<dyn Fn(&ExperimentContext) -> String + Send + Sync>,
 }
@@ -56,6 +77,7 @@ pub fn registry_experiments() -> Vec<ServeExperiment> {
             id: e.id.to_string(),
             title: e.title.to_string(),
             paper_claim: e.paper_claim.to_string(),
+            scope: EraScope::All,
             run: Arc::new(move |ctx| e.run_json(ctx)),
         })
         .collect()

@@ -50,6 +50,13 @@ pub struct Metrics {
     requests_rejected: AtomicU64,
     drain_rejected: AtomicU64,
     drain_abandoned_jobs: AtomicU64,
+    ingest_batches: AtomicU64,
+    ingest_events: AtomicU64,
+    ingest_rejected: AtomicU64,
+    seals_total: AtomicU64,
+    seal_failures: AtomicU64,
+    sse_clients: AtomicU64,
+    sse_frames: AtomicU64,
     by_endpoint: Mutex<BTreeMap<String, u64>>,
     faults_by_point: Mutex<BTreeMap<String, u64>>,
     latency: Mutex<BTreeMap<String, Histogram>>,
@@ -86,6 +93,20 @@ pub struct MetricsSnapshot {
     pub drain_rejected: u64,
     /// Scheduler jobs a drain deadline forced us to abandon.
     pub drain_abandoned_jobs: u64,
+    /// Ingest batches accepted past admission (parse + backpressure).
+    pub ingest_batches: u64,
+    /// Events applied to the live stream (entity events and watermarks).
+    pub ingest_events: u64,
+    /// Ingest batches refused: parse errors, gaps, backpressure.
+    pub ingest_rejected: u64,
+    /// Watermarks sealed (each swapped in a fresh snapshot store).
+    pub seals_total: u64,
+    /// Seals that panicked before commit (`seal_panic` chaos included).
+    pub seal_failures: u64,
+    /// `/v1/stream` subscriptions accepted over this server's lifetime.
+    pub sse_clients: u64,
+    /// SSE frames written to stream clients (history and live).
+    pub sse_frames: u64,
     /// Requests per normalised endpoint (`/analyze/{id}` collapses to
     /// `/analyze`).
     pub by_endpoint: BTreeMap<String, u64>,
@@ -168,6 +189,41 @@ impl Metrics {
         self.drain_abandoned_jobs.fetch_add(jobs, Ordering::Relaxed);
     }
 
+    /// Counts one ingest batch accepted past admission.
+    pub fn ingest_batch(&self) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `events` applied to the live stream.
+    pub fn ingest_events(&self, events: u64) {
+        self.ingest_events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Counts one refused ingest batch.
+    pub fn ingest_rejected(&self) {
+        self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one sealed watermark.
+    pub fn seal(&self) {
+        self.seals_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one seal that panicked before commit.
+    pub fn seal_failure(&self) {
+        self.seal_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted `/v1/stream` subscription.
+    pub fn sse_client(&self) {
+        self.sse_clients.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one SSE frame written to a stream client.
+    pub fn sse_frame(&self) {
+        self.sse_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one experiment run's wall-clock latency.
     pub fn observe_latency(&self, experiment: &str, ms: f64) {
         let mut map = self.latency.lock().expect("metrics lock");
@@ -189,6 +245,13 @@ impl Metrics {
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
             drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
             drain_abandoned_jobs: self.drain_abandoned_jobs.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            ingest_events: self.ingest_events.load(Ordering::Relaxed),
+            ingest_rejected: self.ingest_rejected.load(Ordering::Relaxed),
+            seals_total: self.seals_total.load(Ordering::Relaxed),
+            seal_failures: self.seal_failures.load(Ordering::Relaxed),
+            sse_clients: self.sse_clients.load(Ordering::Relaxed),
+            sse_frames: self.sse_frames.load(Ordering::Relaxed),
             by_endpoint: self.by_endpoint.lock().expect("metrics lock").clone(),
             faults_by_point: self.faults_by_point.lock().expect("metrics lock").clone(),
             latency_ms: self.latency.lock().expect("metrics lock").clone(),
@@ -240,6 +303,29 @@ mod tests {
         assert_eq!(s.requests_rejected, 1);
         assert_eq!(s.drain_rejected, 1);
         assert_eq!(s.drain_abandoned_jobs, 3);
+    }
+
+    #[test]
+    fn ingest_and_stream_counters_accumulate() {
+        let m = Metrics::new();
+        m.ingest_batch();
+        m.ingest_events(26);
+        m.ingest_rejected();
+        m.seal();
+        m.seal();
+        m.seal_failure();
+        m.sse_client();
+        m.sse_frame();
+        m.sse_frame();
+        m.sse_frame();
+        let s = m.snapshot();
+        assert_eq!(s.ingest_batches, 1);
+        assert_eq!(s.ingest_events, 26);
+        assert_eq!(s.ingest_rejected, 1);
+        assert_eq!(s.seals_total, 2);
+        assert_eq!(s.seal_failures, 1);
+        assert_eq!(s.sse_clients, 1);
+        assert_eq!(s.sse_frames, 3);
     }
 
     #[test]

@@ -268,6 +268,7 @@ fn blocking_engine(gate: &Arc<Gate>) -> Engine {
             id: "block".into(),
             title: "parks until released".into(),
             paper_claim: String::new(),
+            scope: dial_serve::EraScope::All,
             run: Arc::new(move |_| {
                 gate.enter();
                 "{\"blocked\":false}".to_string()
@@ -324,6 +325,154 @@ fn saturated_batch_sheds_whole_request_with_503() {
     gate.release();
     let (status, _) = first.join().unwrap();
     assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+/// Minimal HTTP/1.1 POST returning `(status, headers, body)`.
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+fn start_live_server(max_pending_events: usize) -> Server {
+    let engine =
+        Engine::new_live(9, 3, dial_serve::registry_experiments(), 2, 16, max_pending_events);
+    // Month segments can outgrow the default body cap; raise it the way
+    // `dial serve --live` does.
+    let cfg = ServeConfig { port: 0, max_body_bytes: 32 * 1024 * 1024, ..ServeConfig::default() };
+    Server::start(Arc::new(engine), &cfg).expect("bind ephemeral port")
+}
+
+#[test]
+fn live_ingest_then_stream_replays_the_story_over_http() {
+    let server = start_live_server(1 << 20);
+    let addr = server.addr();
+
+    let (status, body) = http_get(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("mode").as_str(), Some("live"));
+
+    let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+    let segs = dial_stream::segments(&out);
+    let (status, _, body) = http_post(addr, "/v1/ingest", &dial_stream::encode_ndjson(&segs[0]));
+    assert_eq!(status, 200, "ingest failed: {body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("ingest report is JSON");
+    assert_eq!(v.get("accepted").as_u64(), Some(segs[0].len() as u64));
+    assert_eq!(v.get("seals").as_u64(), Some(1));
+    assert_eq!(v.get("pending").as_u64(), Some(0));
+    let sealed_fp = v.get("snapshot").as_str().expect("snapshot fingerprint").to_string();
+
+    // The healthz fingerprint now names the sealed snapshot.
+    let (_, body) = http_get(addr, "/v1/healthz");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("snapshot").as_str(), Some(sealed_fp.as_str()));
+
+    // A late subscriber replays the era + seal frames, then the server
+    // ends the stream at ?max=2 with a clean terminal chunk.
+    let (status, head, sse) = http_get_full(addr, "/v1/stream?max=2");
+    assert_eq!(status, 200, "stream failed: {sse}");
+    assert!(head.contains("Content-Type: text/event-stream"), "{head}");
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(sse.contains("event: era"), "missing era frame: {sse}");
+    assert!(sse.contains("event: seal"), "missing seal frame: {sse}");
+    assert!(sse.contains(&sealed_fp), "seal frame must carry the snapshot fingerprint: {sse}");
+    assert!(sse.ends_with("0\r\n\r\n"), "missing terminal chunk: {sse:?}");
+
+    // Analysis serves from the live snapshot like any other.
+    let (status, _) = http_get(addr, "/v1/analyze/table1");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_server_answers_409_on_live_endpoints() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    let (status, _, body) = http_post(addr, "/v1/ingest", "{}");
+    assert_eq!(status, 409, "{body}");
+    assert_eq!(parse_envelope(&body).0, "not_live");
+
+    let (status, _, body) = http_get_full(addr, "/v1/stream");
+    assert_eq!(status, 409, "{body}");
+    assert_eq!(parse_envelope(&body).0, "not_live");
+
+    server.shutdown();
+}
+
+#[test]
+fn ingest_guards_length_method_and_backpressure() {
+    let server = start_live_server(8);
+    let addr = server.addr();
+
+    // No Content-Length: 411.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "POST /v1/ingest HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 411"), "expected 411, got {raw:?}");
+
+    // GET on the ingest path: 405.
+    let (status, body) = http_get(addr, "/v1/ingest");
+    assert_eq!(status, 405, "{body}");
+    assert_eq!(parse_envelope(&body).0, "method_not_allowed");
+
+    // A month-sized batch against an 8-event buffer: 429 + Retry-After.
+    let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+    let segs = dial_stream::segments(&out);
+    let (status, head, body) = http_post(addr, "/v1/ingest", &dial_stream::encode_ndjson(&segs[0]));
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(parse_envelope(&body).0, "ingest_backpressure");
+    assert!(head.lines().any(|l| l.starts_with("Retry-After:")), "{head}");
+
+    // Malformed NDJSON: enveloped 400 naming the line.
+    let (status, _, body) = http_post(addr, "/v1/ingest", "{\"nope\":1}\n");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(parse_envelope(&body).0, "bad_event");
+
+    server.shutdown();
+}
+
+#[test]
+fn legacy_redirects_preserve_subpaths_and_query_strings() {
+    let engine = Engine::new(test_store(), dial_serve::registry_experiments(), 2, 16);
+    let server = start_server(engine);
+    let addr = server.addr();
+
+    // Query strings and subpaths must ride along verbatim — including
+    // multi-parameter queries and both at once.
+    for (old, new) in [
+        ("/analyze/table1?verbose=1", "/v1/analyze/table1?verbose=1"),
+        ("/analyze?ids=table1,fig1&x=y", "/v1/analyze?ids=table1,fig1&x=y"),
+        ("/metrics?pretty=1", "/v1/metrics?pretty=1"),
+    ] {
+        let (status, head, body) = http_get_full(addr, old);
+        assert_eq!(status, 308, "{old}: {body}");
+        let location = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Location: "))
+            .unwrap_or_else(|| panic!("{old}: no Location header in {head}"));
+        assert_eq!(location, new, "redirect must preserve the full path and query");
+        assert_eq!(parse_envelope(&body).1.get("location").as_str(), Some(new));
+    }
 
     server.shutdown();
 }

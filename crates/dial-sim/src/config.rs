@@ -102,6 +102,26 @@ impl SimConfig {
     }
 }
 
+/// Parses a user-supplied `--scale` value, rejecting anything that would
+/// drive the generator into a degenerate regime: [`SimConfig::with_scale`]
+/// only asserts positivity, so an unchecked `+inf` (or a silent parse
+/// fallback) would otherwise slip through and produce an empty or absurd
+/// market. Returns the parsed scale or a message suitable for direct CLI
+/// display.
+pub fn parse_scale(raw: &str) -> Result<f64, String> {
+    let scale: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid --scale {raw:?}: expected a number, e.g. 0.1"))?;
+    if !scale.is_finite() {
+        return Err(format!("invalid --scale {raw:?}: must be finite"));
+    }
+    if scale <= 0.0 {
+        return Err(format!("invalid --scale {raw:?}: must be > 0"));
+    }
+    Ok(scale)
+}
+
 // ---------------------------------------------------------------------------
 // Volume calibration (Figure 1).
 // ---------------------------------------------------------------------------
@@ -425,6 +445,16 @@ mod tests {
         // Vouch Copy absent before Feb 2020, present after.
         assert_eq!(type_mix(19)[4], 0.0);
         assert!(type_mix(24)[4] > type_mix(20)[4]);
+    }
+
+    #[test]
+    fn parse_scale_accepts_positive_finite_and_rejects_the_rest() {
+        assert_eq!(parse_scale("0.1"), Ok(0.1));
+        assert_eq!(parse_scale(" 2 "), Ok(2.0));
+        for bad in ["0", "-1", "0.0", "-0.5", "inf", "+inf", "-inf", "NaN", "nan", "ten", ""] {
+            let err = parse_scale(bad).unwrap_err();
+            assert!(err.contains("--scale"), "error for {bad:?} should name the flag: {err}");
+        }
     }
 
     #[test]

@@ -33,5 +33,6 @@ pub mod market;
 pub mod textgen;
 
 pub use classes::BehaviourClass;
+pub use config::parse_scale;
 pub use config::{SimConfig, SybilAttack};
-pub use market::SimOutput;
+pub use market::{MonthMark, SimOutput};

@@ -26,6 +26,31 @@ pub struct SimOutput {
     /// Generator-side ground truth, for calibration tests only — analysis
     /// pipelines must never read this.
     pub truth: SimTruth,
+    /// Cumulative entity counts at the end of each generated month, in
+    /// study order. Entity ids are dense in generation order, so two
+    /// consecutive marks delimit exactly the entities produced during one
+    /// month — the handle the streaming replay adapter uses to cut the
+    /// event log into watermarked segments without re-deriving generation
+    /// months from entity timestamps (which spill across month boundaries:
+    /// thread-seeding posts and chain confirmations land later).
+    pub marks: Vec<MonthMark>,
+}
+
+/// Cumulative entity counts after one generated month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonthMark {
+    /// The study month this mark closes.
+    pub month: YearMonth,
+    /// Users generated so far (dense prefix `0..users`).
+    pub users: usize,
+    /// Contracts generated so far.
+    pub contracts: usize,
+    /// Threads generated so far.
+    pub threads: usize,
+    /// Posts generated so far.
+    pub posts: usize,
+    /// Chain transactions inserted so far (ledger insertion order).
+    pub chain_txs: usize,
 }
 
 /// Ground truth retained from generation.
@@ -70,6 +95,7 @@ struct Engine {
     ledger: Ledger,
     hashes: HashGen,
     planted: [usize; 3],
+    marks: Vec<MonthMark>,
 }
 
 /// Runs the full simulation.
@@ -88,6 +114,7 @@ pub fn simulate(cfg: &SimConfig) -> SimOutput {
         ledger: Ledger::new(),
         hashes: HashGen::new(cfg.seed ^ 0xB17C_0123),
         planted: [0; 3],
+        marks: Vec::new(),
     };
     e.run();
     let truth = SimTruth {
@@ -95,7 +122,7 @@ pub fn simulate(cfg: &SimConfig) -> SimOutput {
         planted_verdicts: e.planted,
     };
     let dataset = Dataset::new(e.user_records, e.contracts, e.threads, e.posts);
-    SimOutput { dataset, ledger: e.ledger, truth }
+    SimOutput { dataset, ledger: e.ledger, truth, marks: e.marks }
 }
 
 impl Engine {
@@ -108,6 +135,14 @@ impl Engine {
             self.generate_contracts(m, *ym, era);
             self.ambient_posts(m, *ym);
             self.churn();
+            self.marks.push(MonthMark {
+                month: *ym,
+                users: self.user_records.len(),
+                contracts: self.contracts.len(),
+                threads: self.threads.len(),
+                posts: self.posts.len(),
+                chain_txs: self.ledger.len(),
+            });
         }
     }
 
@@ -648,6 +683,36 @@ mod tests {
 
     fn small() -> SimOutput {
         SimConfig::paper_default().with_seed(7).with_scale(0.02).simulate_full()
+    }
+
+    #[test]
+    fn month_marks_cover_the_study_window_and_are_monotone() {
+        let out = small();
+        let months = config::months();
+        assert_eq!(out.marks.len(), months.len());
+        let mut prev = MonthMark {
+            month: months[0],
+            users: 0,
+            contracts: 0,
+            threads: 0,
+            posts: 0,
+            chain_txs: 0,
+        };
+        for (mark, ym) in out.marks.iter().zip(months.iter()) {
+            assert_eq!(mark.month, *ym);
+            assert!(mark.users >= prev.users, "cumulative counts must not shrink");
+            assert!(mark.contracts >= prev.contracts);
+            assert!(mark.threads >= prev.threads);
+            assert!(mark.posts >= prev.posts);
+            assert!(mark.chain_txs >= prev.chain_txs);
+            prev = *mark;
+        }
+        let last = out.marks.last().unwrap();
+        assert_eq!(last.users, out.dataset.users().len());
+        assert_eq!(last.contracts, out.dataset.contracts().len());
+        assert_eq!(last.threads, out.dataset.threads().len());
+        assert_eq!(last.posts, out.dataset.posts().len());
+        assert_eq!(last.chain_txs, out.ledger.len());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! The append-only market event log.
+//!
+//! Every entity the simulator (or a future real collector) produces is
+//! wrapped in exactly one [`Event`]; the log is the entity stream plus
+//! explicit [`Event::Watermark`] markers. A watermark asserts that every
+//! event belonging to the closed month has been emitted — including
+//! *late* records whose timestamps spill past the month boundary (a
+//! thread-seeding post dated a few minutes into the next month, a chain
+//! confirmation observed weeks after the deal). Consumers therefore seal
+//! on watermarks, never on timestamps.
+//!
+//! Events serialise as one JSON object per line (NDJSON), externally
+//! tagged by variant: `{"ContractCreated":{"contract":{...}}}`. The codec
+//! is the wire format of `POST /v1/ingest`.
+
+use dial_chain::ChainTx;
+use dial_model::{Contract, Post, Thread, User};
+use dial_time::{Timestamp, YearMonth};
+use serde::{Deserialize, Serialize};
+
+/// One record in the market event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A member registered (observed when they first become relevant).
+    UserJoined {
+        /// The full member record.
+        user: User,
+    },
+    /// A thread was opened.
+    ThreadStarted {
+        /// The full thread record.
+        thread: Thread,
+    },
+    /// A contract was posted. The record carries its *final* status and
+    /// completion time, mirroring how the CrimeBB dump captures contracts:
+    /// the scrape sees the settled row, not the in-flight negotiation.
+    ContractCreated {
+        /// The full contract record.
+        contract: Contract,
+    },
+    /// A post was made.
+    PostAdded {
+        /// The full post record.
+        post: Post,
+    },
+    /// A transaction was observed on-chain. `seq` is the ledger insertion
+    /// index ([`ChainTx`] itself carries no id), which fixes the rebuild
+    /// order so the streamed ledger fingerprints equal the batch one.
+    ChainObserved {
+        /// Position in ledger insertion order.
+        seq: u64,
+        /// The observed transaction.
+        tx: ChainTx,
+    },
+    /// All events for `month` (including its late records) have been
+    /// emitted; consumers may seal.
+    Watermark {
+        /// The study month being closed.
+        month: YearMonth,
+    },
+}
+
+impl Event {
+    /// Event time: when the wrapped record happened in the market, used
+    /// by the replay adapter to order a segment. Watermarks sort last.
+    pub fn at(&self) -> Option<Timestamp> {
+        match self {
+            Event::UserJoined { user } => Some(Timestamp::at_midnight(user.joined)),
+            Event::ThreadStarted { thread } => Some(thread.created),
+            Event::ContractCreated { contract } => Some(contract.created),
+            Event::PostAdded { post } => Some(post.at),
+            Event::ChainObserved { tx, .. } => Some(tx.confirmed_at),
+            Event::Watermark { .. } => None,
+        }
+    }
+
+    /// Stable tie-break rank between kinds sharing a timestamp.
+    pub(crate) fn kind_rank(&self) -> u8 {
+        match self {
+            Event::UserJoined { .. } => 0,
+            Event::ThreadStarted { .. } => 1,
+            Event::ContractCreated { .. } => 2,
+            Event::PostAdded { .. } => 3,
+            Event::ChainObserved { .. } => 4,
+            Event::Watermark { .. } => 5,
+        }
+    }
+
+    /// Entity id (ledger seq for chain events) for the final tie-break.
+    pub(crate) fn entity_id(&self) -> u64 {
+        match self {
+            Event::UserJoined { user } => user.id.index() as u64,
+            Event::ThreadStarted { thread } => thread.id.index() as u64,
+            Event::ContractCreated { contract } => contract.id.index() as u64,
+            Event::PostAdded { post } => post.id.index() as u64,
+            Event::ChainObserved { seq, .. } => *seq,
+            Event::Watermark { .. } => 0,
+        }
+    }
+}
+
+/// Encodes a batch of events as NDJSON (one JSON object per line).
+pub fn encode_ndjson(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serialises"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes an NDJSON batch. Blank lines are skipped; the first malformed
+/// line fails the whole batch with its 1-based line number, so an ingest
+/// either applies entirely or not at all.
+pub fn decode_ndjson(body: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(line) {
+            Ok(e) => events.push(e),
+            Err(err) => return Err(format!("line {}: {err}", i + 1)),
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_model::UserId;
+    use dial_time::Date;
+
+    fn user_event() -> Event {
+        Event::UserJoined {
+            user: User {
+                id: UserId(0),
+                joined: Date::from_ymd(2018, 5, 1),
+                first_post: None,
+                reputation: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trip() {
+        let events = vec![user_event(), Event::Watermark { month: YearMonth::new(2018, 6) }];
+        let wire = encode_ndjson(&events);
+        assert_eq!(wire.lines().count(), 2);
+        let back = decode_ndjson(&wire).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn decode_reports_the_offending_line() {
+        let wire = format!("{}\nnot json\n", serde_json::to_string(&user_event()).unwrap());
+        let err = decode_ndjson(&wire).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let wire = format!("\n{}\n\n", serde_json::to_string(&user_event()).unwrap());
+        assert_eq!(decode_ndjson(&wire).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! dial-stream: event-time ingestion and incremental analytics.
+//!
+//! The batch pipelines analyse a *finished* snapshot, but the paper's
+//! subject is a market in motion — eras are transitions in event time.
+//! This crate models that motion as an append-only event log and an
+//! incremental engine that keeps the era-windowed aggregates current as
+//! events arrive:
+//!
+//! 1. [`Event`] — the log record: one settled entity per event, plus
+//!    explicit [`Event::Watermark`]s closing each month (late data
+//!    included). NDJSON is the wire format ([`encode_ndjson`] /
+//!    [`decode_ndjson`]), carried by `POST /v1/ingest`.
+//! 2. [`replay`] — the seeded adapter that emits an existing synthetic
+//!    market as the event log a live collector would have produced, in
+//!    event-time order, cut into watermarked monthly segments.
+//! 3. [`StreamEngine`] — buffers events, seals on watermarks, maintains
+//!    [`StreamAggregates`] O(1) per contract, and guarantees the sealed
+//!    prefix fingerprints byte-identically to a batch [`dial_model::Dataset`]
+//!    built from the same events (`tests/stream_equivalence.rs`).
+//! 4. [`SealDelta`] — what each seal changed: counts, fingerprints, the
+//!    sealed month's figure points, and era transitions. These are the
+//!    frames `GET /v1/stream` pushes to subscribers.
+//!
+//! Failure injection: the engine honours the `seal_panic` fault point
+//! (panics before the commit stage, leaving state intact) and the serve
+//! layer honours `ingest_stall`; see `dial-fault`.
+
+pub mod aggregates;
+pub mod engine;
+pub mod event;
+pub mod replay;
+
+pub use aggregates::{StreamAggregates, KEY_FRACTION};
+pub use engine::{EraTransition, SealCounts, SealDelta, StreamEngine, StreamError};
+pub use event::{decode_ndjson, encode_ndjson, Event};
+pub use replay::{event_log, segments};

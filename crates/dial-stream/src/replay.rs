@@ -1,0 +1,110 @@
+//! Seeded replay adapter: turns a finished [`SimOutput`] into the event
+//! log a live collector would have produced.
+//!
+//! The simulator generates entities month by month with dense ids, so two
+//! consecutive [`dial_sim::MonthMark`]s delimit exactly one month's
+//! output. Each month becomes one *segment*: its entities ordered by
+//! event time (ties broken by kind then id, so the order is total and
+//! deterministic), closed by a [`Event::Watermark`]. Late records — posts
+//! seeded minutes past the month boundary, chain confirmations observed
+//! weeks after their deal — stay in the segment of the month that
+//! *produced* them, which is precisely what the watermark licenses: it
+//! promises the month is complete, late data included.
+//!
+//! Replaying all segments through a [`crate::StreamEngine`] rebuilds the
+//! batch dataset prefix by prefix; the equivalence is enforced by
+//! `tests/stream_equivalence.rs`.
+
+use crate::event::Event;
+use dial_sim::SimOutput;
+
+/// The full event log for a simulated market, in replay order.
+pub fn event_log(out: &SimOutput) -> Vec<Event> {
+    segments(out).into_iter().flatten().collect()
+}
+
+/// The event log cut into its watermarked monthly segments — one
+/// `Vec<Event>` per study month, each ending in the month's watermark.
+/// Useful when the caller wants to pace or batch per month (the CLI's
+/// `dial replay` posts one segment per request).
+pub fn segments(out: &SimOutput) -> Vec<Vec<Event>> {
+    let ds = &out.dataset;
+    let txs: Vec<_> = out.ledger.iter().cloned().collect();
+    let Some(first) = out.marks.first() else { return Vec::new() };
+    let mut prev = dial_sim::MonthMark {
+        month: first.month,
+        users: 0,
+        contracts: 0,
+        threads: 0,
+        posts: 0,
+        chain_txs: 0,
+    };
+    let mut log = Vec::with_capacity(out.marks.len());
+    for mark in &out.marks {
+        let mut seg: Vec<Event> = Vec::new();
+        for u in &ds.users()[prev.users..mark.users] {
+            seg.push(Event::UserJoined { user: u.clone() });
+        }
+        for t in &ds.threads()[prev.threads..mark.threads] {
+            seg.push(Event::ThreadStarted { thread: t.clone() });
+        }
+        for c in &ds.contracts()[prev.contracts..mark.contracts] {
+            seg.push(Event::ContractCreated { contract: c.clone() });
+        }
+        for (seq, tx) in txs[prev.chain_txs..mark.chain_txs].iter().enumerate() {
+            seg.push(Event::ChainObserved { seq: (prev.chain_txs + seq) as u64, tx: tx.clone() });
+        }
+        for p in &ds.posts()[prev.posts..mark.posts] {
+            seg.push(Event::PostAdded { post: p.clone() });
+        }
+        seg.sort_by_key(|e| (e.at().map(|t| t.minutes()), e.kind_rank(), e.entity_id()));
+        seg.push(Event::Watermark { month: mark.month });
+        log.push(seg);
+        prev = *mark;
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::SimConfig;
+
+    #[test]
+    fn segments_cover_every_entity_exactly_once_and_are_time_ordered() {
+        let out = SimConfig::paper_default().with_seed(7).with_scale(0.01).simulate_full();
+        let segs = segments(&out);
+        assert_eq!(segs.len(), out.marks.len());
+
+        let mut users = 0usize;
+        let mut contracts = 0usize;
+        let mut threads = 0usize;
+        let mut posts = 0usize;
+        let mut txs = 0usize;
+        for seg in &segs {
+            let (last, body) = seg.split_last().unwrap();
+            assert!(matches!(last, Event::Watermark { .. }), "segment must end in a watermark");
+            let mut prev_key = None;
+            for e in body {
+                let key = (e.at().map(|t| t.minutes()), e.kind_rank(), e.entity_id());
+                if let Some(p) = prev_key {
+                    assert!(key >= p, "segment must be sorted: {key:?} after {p:?}");
+                }
+                prev_key = Some(key);
+                match e {
+                    Event::UserJoined { .. } => users += 1,
+                    Event::ThreadStarted { .. } => threads += 1,
+                    Event::ContractCreated { .. } => contracts += 1,
+                    Event::PostAdded { .. } => posts += 1,
+                    Event::ChainObserved { .. } => txs += 1,
+                    Event::Watermark { .. } => unreachable!("watermark inside a segment body"),
+                }
+            }
+        }
+        assert_eq!(users, out.dataset.users().len());
+        assert_eq!(contracts, out.dataset.contracts().len());
+        assert_eq!(threads, out.dataset.threads().len());
+        assert_eq!(posts, out.dataset.posts().len());
+        assert_eq!(txs, out.ledger.len());
+    }
+}

@@ -17,6 +17,7 @@
 //!
 //! dial serve --snapshot market.json [--port 8080] [--threads N]
 //!           [--request-deadline MS] [--drain-timeout SECS]
+//! dial serve --live [--seed 7] [--classes 12] [--port 8080] ...
 //!     Serve the snapshot as a long-running JSON query service.
 //!     `--threads` both sizes the shared compute pool and caps the
 //!     number of concurrently admitted experiment runs.
@@ -25,6 +26,15 @@
 //!     bounds the graceful drain on SIGINT/SIGTERM. A hidden
 //!     `--chaos <spec>` flag installs a deterministic fault plan
 //!     (see `dial_fault::ChaosPlan::parse`) for resilience testing.
+//!     With `--live` the server starts from an *empty* snapshot and
+//!     grows it through `POST /v1/ingest`; `GET /v1/stream` feeds
+//!     sealed deltas to subscribers as server-sent events.
+//!
+//! dial replay --target 127.0.0.1:8080 [--seed 7] [--scale 0.1]
+//!            [--speed 0]
+//!     Re-simulate a market and feed its event log, month by month,
+//!     into a live server's /v1/ingest. `--speed` is simulated days
+//!     per wall-clock second (0 = as fast as possible).
 //!
 //! dial list
 //!     List the available experiment ids.
@@ -68,6 +78,7 @@ fn main() -> ExitCode {
         Some("summary") => summary(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("replay") => replay(&args[1..]),
         Some("export") => export(&args[1..]),
         Some("list") => {
             for e in all_experiments().into_iter().chain(extension_experiments()) {
@@ -76,15 +87,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dial <generate|summary|analyze|serve|export|list> [options]");
+            eprintln!("usage: dial <generate|summary|analyze|serve|replay|export|list> [options]");
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
             eprintln!(
                 "  dial analyze market.json --experiment table1,fig7 | --all [--classes 12] [--threads N]"
             );
             eprintln!(
-                "  dial serve --snapshot market.json [--port 8080] [--threads N] [--queue 64]"
+                "  dial serve --snapshot market.json | --live [--port 8080] [--threads N] [--queue 64]"
             );
+            eprintln!("  dial replay --target 127.0.0.1:8080 [--seed 7] [--scale 0.1] [--speed 0]");
             eprintln!("  dial export market.json --dir csv_out");
             ExitCode::FAILURE
         }
@@ -125,8 +137,24 @@ fn configure_threads(args: &[String]) -> Option<usize> {
     Some(threads)
 }
 
+/// Resolves `--scale` through [`dial_sim::parse_scale`], which rejects
+/// zero, negative, and non-finite values instead of silently falling
+/// back to the default.
+fn scale_opt(args: &[String]) -> Result<f64, String> {
+    match opt(args, "--scale") {
+        Some(raw) => dial_market::sim::parse_scale(&raw),
+        None => Ok(0.1),
+    }
+}
+
 fn generate(args: &[String]) -> ExitCode {
-    let scale: f64 = opt(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let scale = match scale_opt(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
     let out = opt(args, "--out").unwrap_or_else(|| "market.json".into());
 
@@ -273,12 +301,18 @@ fn analyze(args: &[String]) -> ExitCode {
 
 /// Boots the dial-serve subsystem on a snapshot and blocks until killed.
 fn serve(args: &[String]) -> ExitCode {
-    let Some(path) = opt(args, "--snapshot") else {
+    let live = args.iter().any(|a| a == "--live");
+    let path = opt(args, "--snapshot");
+    if path.is_none() && !live {
         eprintln!(
-            "usage: dial serve --snapshot <snapshot.json> [--port 8080] [--threads N] [--queue 64] [--request-deadline MS] [--drain-timeout SECS]"
+            "usage: dial serve --snapshot <snapshot.json> | --live [--port 8080] [--threads N] [--queue 64] [--request-deadline MS] [--drain-timeout SECS]"
         );
         return ExitCode::FAILURE;
-    };
+    }
+    if path.is_some() && live {
+        eprintln!("--snapshot and --live are mutually exclusive: a live server starts empty");
+        return ExitCode::FAILURE;
+    }
     let mut cfg = ServeConfig::default();
     if let Some(p) = opt(args, "--port").and_then(|v| v.parse().ok()) {
         cfg.port = p;
@@ -316,21 +350,41 @@ fn serve(args: &[String]) -> ExitCode {
     let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
     let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
 
-    eprintln!("loading snapshot {path}...");
-    let store = match SnapshotStore::load(&path, seed, classes) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let engine = if live {
+        // A month-sized NDJSON segment easily exceeds the 64 KiB default
+        // body cap meant for query traffic; give ingest real headroom.
+        cfg.max_body_bytes = cfg.max_body_bytes.max(32 << 20);
+        eprintln!("live mode: starting from an empty snapshot (seed {seed})");
+        std::sync::Arc::new(Engine::new_live(
+            seed,
+            classes,
+            dial_serve::registry_experiments(),
+            cfg.threads,
+            cfg.queue_capacity,
+            cfg.max_pending_events,
+        ))
+    } else {
+        let path = path.expect("checked above");
+        eprintln!("loading snapshot {path}...");
+        let store = match SnapshotStore::load(&path, seed, classes) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "snapshot {} loaded ({} contracts)",
+            store.fingerprint(),
+            store.summary().contracts
+        );
+        std::sync::Arc::new(Engine::new(
+            store,
+            dial_serve::registry_experiments(),
+            cfg.threads,
+            cfg.queue_capacity,
+        ))
     };
-    eprintln!("snapshot {} loaded ({} contracts)", store.fingerprint(), store.summary().contracts);
-    let engine = std::sync::Arc::new(Engine::new(
-        store,
-        dial_serve::registry_experiments(),
-        cfg.threads,
-        cfg.queue_capacity,
-    ));
     install_signal_handlers();
     match Server::start(engine, &cfg) {
         Ok(server) => {
@@ -355,4 +409,78 @@ fn serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// POSTs `body` to `http://addr/v1/ingest` over a fresh connection and
+/// returns `(status, response body)`.
+fn post_ingest(addr: &str, body: &str) -> Result<(u16, String), String> {
+    use std::io::{Read, Write};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(
+        stream,
+        "POST /v1/ingest HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad response from {addr}: {raw:?}"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("").to_string();
+    Ok((status, body))
+}
+
+/// Re-simulates a market and feeds its event log into a live server,
+/// one watermarked month segment per POST.
+fn replay(args: &[String]) -> ExitCode {
+    let Some(target) = opt(args, "--target") else {
+        eprintln!("usage: dial replay --target <host:port> [--seed 7] [--scale 0.1] [--speed 0]");
+        return ExitCode::FAILURE;
+    };
+    let scale = match scale_opt(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
+    // Simulated days per wall-clock second; 0 replays at full speed.
+    let speed: f64 = opt(args, "--speed").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    if !speed.is_finite() || speed < 0.0 {
+        eprintln!("--speed must be a finite number >= 0 (simulated days per second)");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!("simulating at scale {scale}, seed {seed}...");
+    let sim = SimConfig::paper_default().with_seed(seed).with_scale(scale).simulate_full();
+    let segments = dial_market::stream::segments(&sim);
+    let months = segments.len();
+    eprintln!("replaying {months} month(s) into http://{target}/v1/ingest");
+
+    for (i, seg) in segments.iter().enumerate() {
+        let body = dial_market::stream::encode_ndjson(seg);
+        let (status, resp) = match post_ingest(&target, &body) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if status != 200 {
+            eprintln!("month {}/{months}: server answered {status}: {resp}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        eprintln!("month {}/{months}: {} event(s) -> {resp}", i + 1, seg.len());
+        if speed > 0.0 && i + 1 < months {
+            // Each segment covers roughly one 30-day study month.
+            std::thread::sleep(Duration::from_secs_f64(30.0 / speed));
+        }
+    }
+    eprintln!("replay complete");
+    ExitCode::SUCCESS
 }

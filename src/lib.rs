@@ -34,6 +34,7 @@ pub use dial_graph as graph;
 pub use dial_model as model;
 pub use dial_sim as sim;
 pub use dial_stats as stats;
+pub use dial_stream as stream;
 pub use dial_text as text;
 pub use dial_time as time;
 

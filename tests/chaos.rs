@@ -171,6 +171,7 @@ fn parallel_sum_experiment() -> ServeExperiment {
         id: "par-sum".into(),
         title: "parallel map sum".into(),
         paper_claim: String::new(),
+        scope: dial_serve::EraScope::All,
         run: Arc::new(|_| {
             let parts = dial_par::parallel_map((0u64..64).collect(), |i| i * i);
             format!("{{\"sum\":{}}}", parts.iter().sum::<u64>())
@@ -346,6 +347,7 @@ fn width_one_pool_reuses_slot_after_cooperative_timeout() {
         id: "coop".into(),
         title: "cooperative sleeper".into(),
         paper_claim: String::new(),
+        scope: dial_serve::EraScope::All,
         run: Arc::new(|_| {
             for _ in 0..200 {
                 std::thread::sleep(Duration::from_millis(10));
@@ -358,6 +360,7 @@ fn width_one_pool_reuses_slot_after_cooperative_timeout() {
         id: "fast".into(),
         title: "returns immediately".into(),
         paper_claim: String::new(),
+        scope: dial_serve::EraScope::All,
         run: Arc::new(|_| "{\"fast\":true}".to_string()),
     };
     let out = SimConfig::paper_default().with_seed(7).with_scale(0.01).simulate_full();
@@ -511,4 +514,91 @@ fn sigterm_drains_in_flight_completes_all_and_rejects_late_connections() {
     assert!(exit.success(), "graceful drain must exit 0, got {exit:?}");
     drain_stderr.join().unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// POST returning `(status, body)`.
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn start_live(tune: impl FnOnce(&mut ServeConfig)) -> (Server, Vec<String>) {
+    let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+    let batches: Vec<String> =
+        dial_stream::segments(&out).iter().map(|s| dial_stream::encode_ndjson(s)).collect();
+    let engine = Engine::new_live(9, 3, dial_serve::registry_experiments(), 2, 16, 1 << 20);
+    let server = start(engine, |cfg| {
+        cfg.max_body_bytes = 32 * 1024 * 1024;
+        tune(cfg);
+    });
+    (server, batches)
+}
+
+#[test]
+fn injected_seal_panic_fails_the_batch_and_leaves_the_stream_usable() {
+    let _serial = serial();
+    let _chaos =
+        dial_fault::install(dial_fault::ChaosPlan::parse("seed=1;seal_panic@1:limit=1").unwrap());
+    let (server, batches) = start_live(|_| {});
+    let addr = server.addr();
+
+    // The first watermark panics before its commit stage: 500, counted,
+    // nothing committed.
+    let (status, body) = http_post(addr, "/v1/ingest", &batches[0]);
+    assert_eq!(status, 500, "{body}");
+    assert_eq!(error_code(&body), "seal_failed");
+    let m = metrics(addr);
+    assert_eq!(m.get("seal_failures").as_u64(), Some(1));
+    assert_eq!(m.get("seals_total").as_u64(), Some(0));
+
+    // The panic was pre-commit: the batch's entity events are still
+    // pending, so resending just the watermark (the limit is spent)
+    // seals the month cleanly — no gap, no drift.
+    let watermark = format!("{}\n", batches[0].lines().last().unwrap());
+    let (status, body) = http_post(addr, "/v1/ingest", &watermark);
+    assert_eq!(status, 200, "watermark retry after injected seal panic failed: {body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("seals").as_u64(), Some(1));
+    assert_eq!(v.get("pending").as_u64(), Some(0));
+
+    server.shutdown();
+}
+
+#[test]
+fn injected_ingest_stall_delays_but_still_applies_the_batch() {
+    let _serial = serial();
+    let _chaos = dial_fault::install(
+        dial_fault::ChaosPlan::parse("seed=1;ingest_stall@1:delay=300:limit=1").unwrap(),
+    );
+    let (server, batches) = start_live(|_| {});
+    let addr = server.addr();
+
+    let begun = Instant::now();
+    let (status, body) = http_post(addr, "/v1/ingest", &batches[0]);
+    assert_eq!(status, 200, "stalled ingest must still land: {body}");
+    assert!(
+        begun.elapsed() >= Duration::from_millis(300),
+        "the stall must actually delay the request, took {:?}",
+        begun.elapsed()
+    );
+    let m = metrics(addr);
+    assert_eq!(m.get("faults_by_point").get("ingest_stall").as_u64(), Some(1));
+    assert_eq!(m.get("seals_total").as_u64(), Some(1));
+
+    server.shutdown();
 }

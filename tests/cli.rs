@@ -111,6 +111,80 @@ fn list_names_every_registered_experiment() {
 }
 
 #[test]
+fn scale_is_validated_not_silently_defaulted() {
+    // Zero, negative, non-finite, and non-numeric scales must abort with
+    // a clear message instead of falling back to the 0.1 default.
+    for (bad, msg) in [
+        ("0", "must be > 0"),
+        ("-0.5", "must be > 0"),
+        ("nan", "must be finite"),
+        ("inf", "must be finite"),
+        ("lots", "expected a number"),
+    ] {
+        let out = dial().args(["generate", "--scale", bad, "--out", "/dev/null"]).output().unwrap();
+        assert!(!out.status.success(), "generate --scale {bad} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(msg), "generate --scale {bad}: {stderr}");
+    }
+    // `replay` shares the validation (checked before any connection).
+    let out = dial().args(["replay", "--target", "127.0.0.1:1", "--scale", "0"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must be > 0"));
+}
+
+#[test]
+fn live_serve_and_replay_round_trip() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut server = dial()
+        .args(["serve", "--live", "--seed", "9", "--port", "0", "--threads", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dial serve --live");
+
+    // The server reports its bound address on stderr once it is up.
+    let stderr = server.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read server stderr") == 0 {
+            panic!("server exited before reporting its address");
+        }
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+
+    let out = dial()
+        .args(["replay", "--seed", "9", "--scale", "0.01", "--target", &addr])
+        .output()
+        .expect("run dial replay");
+    let replay_err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "replay failed: {replay_err}");
+    assert!(replay_err.contains("replay complete"), "{replay_err}");
+
+    // The grown snapshot now answers queries like any static one.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(stream, "GET /v1/summary HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "summary after replay: {raw}");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let v: serde_json::Value = serde_json::from_str(body).expect("summary is JSON");
+    let contracts = v.get("counts").get("contracts").as_u64().unwrap_or(0);
+    assert!(contracts > 0, "snapshot stayed empty: {body}");
+
+    server.kill().ok();
+    server.wait().ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = dial().output().expect("run dial with no args");
     assert!(!out.status.success());

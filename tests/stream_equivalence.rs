@@ -1,0 +1,132 @@
+//! Batch-vs-stream equivalence: the acceptance gate for the streaming
+//! ingestion path.
+//!
+//! For several seeds, replaying the full event log through a
+//! [`StreamEngine`] must seal snapshots whose fingerprints are
+//! byte-identical to batch datasets built from the same generation-order
+//! prefix, and a live serve engine fed the replay must answer
+//! `/v1/analyze` byte-identically to a batch engine loaded with the final
+//! snapshot — at any pool width.
+
+use dial_chain::Ledger;
+use dial_model::Dataset;
+use dial_serve::{Engine, SnapshotStore};
+use dial_sim::{MonthMark, SimConfig, SimOutput};
+use dial_stream::{encode_ndjson, segments, StreamEngine};
+
+const SEEDS: [u64; 3] = [7, 9, 11];
+const WIDTHS: [usize; 2] = [1, 4];
+const CLASSES: usize = 3;
+
+fn simulate(seed: u64) -> SimOutput {
+    SimConfig::paper_default().with_seed(seed).with_scale(0.01).simulate_full()
+}
+
+/// The fingerprint a snapshot built from the first `mark` months of
+/// batch output would carry — the oracle each sealed delta must match.
+fn batch_prefix_fingerprint(out: &SimOutput, mark: &MonthMark) -> String {
+    let dataset = Dataset::new(
+        out.dataset.users()[..mark.users].to_vec(),
+        out.dataset.contracts()[..mark.contracts].to_vec(),
+        out.dataset.threads()[..mark.threads].to_vec(),
+        out.dataset.posts()[..mark.posts].to_vec(),
+    );
+    let mut ledger = Ledger::new();
+    for tx in out.ledger.iter().take(mark.chain_txs) {
+        ledger.insert(tx.clone());
+    }
+    format!("{:016x}-{:016x}", dataset.fingerprint(), ledger.fingerprint())
+}
+
+/// Replays every segment and asserts each seal fingerprints identically
+/// to the batch prefix it covers; returns the sealed fingerprints.
+fn replay_and_check_seals(out: &SimOutput) -> Vec<String> {
+    let mut engine = StreamEngine::new();
+    let mut sealed = Vec::new();
+    for seg in segments(out) {
+        for ev in seg {
+            if let Some(delta) = engine.apply(ev).expect("replay is gap-free") {
+                sealed.push(delta.fingerprint);
+            }
+        }
+    }
+    assert_eq!(sealed.len(), out.marks.len(), "one seal per study month");
+    assert_eq!(engine.pending_len(), 0, "replay must leave nothing buffered");
+    for (fp, mark) in sealed.iter().zip(out.marks.iter()) {
+        assert_eq!(
+            fp,
+            &batch_prefix_fingerprint(out, mark),
+            "seal for {} diverged from the batch prefix",
+            mark.month
+        );
+    }
+    sealed
+}
+
+#[test]
+fn sealed_fingerprints_match_batch_prefixes_for_every_seed_and_width() {
+    for seed in SEEDS {
+        let out = simulate(seed);
+        let mut per_width = Vec::new();
+        for width in WIDTHS {
+            let pool = dial_par::Pool::new(width);
+            per_width.push(dial_par::with_pool(&pool, || replay_and_check_seals(&out)));
+        }
+        assert_eq!(per_width[0], per_width[1], "seed {seed}: seals must not depend on width");
+    }
+}
+
+#[test]
+fn live_analyze_bodies_are_byte_identical_to_batch_at_any_width() {
+    for seed in SEEDS {
+        let out = simulate(seed);
+        let ids: Vec<String> =
+            dial_serve::registry_experiments().iter().map(|e| e.id.clone()).collect();
+
+        let mut per_width: Vec<Vec<(String, String)>> = Vec::new();
+        for width in WIDTHS {
+            let pool = dial_par::Pool::new(width);
+            let bodies = dial_par::with_pool(&pool, || {
+                // Batch engine: the full snapshot loaded up front.
+                let store = SnapshotStore::from_parts(
+                    out.dataset.clone(),
+                    out.ledger.clone(),
+                    seed,
+                    CLASSES,
+                );
+                let batch = Engine::new(store, dial_serve::registry_experiments(), width, 16);
+
+                // Live engine: the same history arriving one month at a time.
+                let live = Engine::new_live(
+                    seed,
+                    CLASSES,
+                    dial_serve::registry_experiments(),
+                    width,
+                    16,
+                    1 << 20,
+                );
+                let mut report = None;
+                for seg in segments(&out) {
+                    report = Some(live.ingest(&encode_ndjson(&seg)).expect("replay ingests"));
+                }
+                let report = report.expect("study window is non-empty");
+                assert_eq!(report.pending, 0);
+                assert_eq!(report.snapshot, batch.store().fingerprint());
+
+                ids.iter()
+                    .map(|id| {
+                        let b = batch.analyze(id).expect("batch analyze");
+                        let l = live.analyze(id).expect("live analyze");
+                        assert_eq!(
+                            *b, *l,
+                            "seed {seed} width {width}: {id} diverged between batch and stream"
+                        );
+                        (id.clone(), b.as_ref().clone())
+                    })
+                    .collect::<Vec<_>>()
+            });
+            per_width.push(bodies);
+        }
+        assert_eq!(per_width[0], per_width[1], "seed {seed}: bodies must not depend on width");
+    }
+}
