@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
 # Local CI gate: formatting, lints, release build, full test suite.
 # Run from the repository root; exits non-zero on the first failure.
+#
+# Gate order is cheapest-first so failures surface early: formatting and
+# clippy, then the release build, then `dial lint` (the in-tree static
+# analyser — seconds, and its determinism rules guard exactly what the
+# multi-minute equivalence suites diff), then the unit/integration tests,
+# and only then the slow byte-equivalence and chaos suites.
 set -eu
 
 echo "==> cargo fmt --check"
@@ -8,6 +14,9 @@ cargo fmt --check
 
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -p dial-lint (warnings are errors)"
+cargo clippy -p dial-lint --all-targets -- -D warnings
 
 echo "==> cargo clippy -p dial-par (warnings are errors)"
 cargo clippy -p dial-par --all-targets -- -D warnings
@@ -20,6 +29,9 @@ cargo clippy -p dial-stream --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> dial lint (static analysis: determinism + serve-path invariants)"
+./target/release/dial lint
 
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace

@@ -111,6 +111,7 @@ pub fn table_from_classified(classified: &[ClassifiedContract<'_>]) -> ActivityT
             taker_users[i].insert(c.taker);
             union.insert(i);
         }
+        // lint:allow(nondeterministic-iteration): integer increments and set inserts indexed by category; order-free
         for i in &union {
             both_count[*i] += 1;
             both_users[*i].insert(c.maker);

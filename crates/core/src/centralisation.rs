@@ -37,6 +37,16 @@ fn involvement_counts(
     (users, threads)
 }
 
+/// Extracts a count vector in descending order. Downstream consumers
+/// (`top_share`, `gini`, `bootstrap_ci`) sum or resample in the order
+/// given, so handing them raw `HashMap` iteration order would perturb
+/// float totals and bootstrap draws between runs.
+fn sorted_counts<K>(counts: HashMap<K, f64>) -> Vec<f64> {
+    let mut values: Vec<f64> = counts.into_values().collect();
+    values.sort_by(|a, b| b.total_cmp(a));
+    values
+}
+
 /// Computes Figure 5 at percentiles 1%..100%.
 pub fn concentration_curves(dataset: &Dataset) -> ConcentrationCurves {
     let percentiles: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
@@ -47,10 +57,10 @@ pub fn concentration_curves(dataset: &Dataset) -> ConcentrationCurves {
         || involvement_counts(dataset.completed_contracts()),
     );
     ConcentrationCurves {
-        users_created: curve(users_c.into_values().collect()),
-        users_completed: curve(users_d.into_values().collect()),
-        threads_created: curve(threads_c.into_values().collect()),
-        threads_completed: curve(threads_d.into_values().collect()),
+        users_created: curve(sorted_counts(users_c)),
+        users_completed: curve(sorted_counts(users_d)),
+        threads_created: curve(sorted_counts(threads_c)),
+        threads_completed: curve(sorted_counts(threads_d)),
     }
 }
 
@@ -81,15 +91,19 @@ pub struct KeyShareSeries {
 /// The fraction of entities considered "key" each month.
 pub const KEY_FRACTION: f64 = 0.05;
 
-fn key_share<K: std::hash::Hash + Eq + Copy>(counts: &HashMap<K, f64>, total: f64) -> f64 {
-    if counts.is_empty() || total <= 0.0 {
+fn key_share<K>(counts: &HashMap<K, f64>) -> f64 {
+    if counts.is_empty() {
         return 0.0;
     }
-    let mut values: Vec<(K, f64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
-    values.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut values: Vec<f64> = counts.values().copied().collect();
+    values.sort_by(|a, b| b.total_cmp(a));
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
     let k = ((values.len() as f64 * KEY_FRACTION).ceil() as usize).clamp(1, values.len());
     // Share of activity carried by the key entities.
-    let covered: f64 = values[..k].iter().map(|(_, v)| v).sum();
+    let covered: f64 = values[..k].iter().sum();
     (covered / total).min(1.0)
 }
 
@@ -103,7 +117,7 @@ pub fn involvement_gini(
 ) -> dial_stats::BootstrapInterval {
     use rand::SeedableRng;
     let (users, _) = involvement_counts(dataset.contracts().iter());
-    let counts: Vec<f64> = users.into_values().collect();
+    let counts = sorted_counts(users);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     dial_stats::bootstrap_ci(&counts, dial_stats::descriptive::gini, replicates, 0.95, &mut rng)
 }
@@ -116,11 +130,9 @@ pub fn key_share_series(dataset: &Dataset) -> KeyShareSeries {
                 dataset.contracts_in_month(ym).filter(|c| !completed_only || c.is_complete());
             let (users, threads) = involvement_counts(contracts);
             if over_threads {
-                let total: f64 = threads.values().sum();
-                key_share(&threads, total)
+                key_share(&threads)
             } else {
-                let total: f64 = users.values().sum();
-                key_share(&users, total)
+                key_share(&users)
             }
         })
     };

@@ -239,6 +239,7 @@ pub fn ltm_analysis(dataset: &Dataset, k: usize, seed: u64) -> LtmAnalysis {
 
     // Latent transitions over consecutive active months.
     let mut pairs = Vec::new();
+    // lint:allow(nondeterministic-iteration): pairs feed exact integer tallies; estimate() is order-independent
     for ((user, mi), class) in &assignment {
         if let Some(next) = assignment.get(&(*user, mi + 1)) {
             pairs.push((*class, *next));

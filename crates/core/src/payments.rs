@@ -87,6 +87,7 @@ pub fn payment_table(dataset: &Dataset) -> PaymentTable {
             taker_users[i].insert(c.taker);
             union.insert(i);
         }
+        // lint:allow(nondeterministic-iteration): integer increments and set inserts indexed by method; order-free
         for i in &union {
             both_count[*i] += 1;
             both_users[*i].insert(c.maker);

@@ -112,6 +112,7 @@ pub fn cold_start_variables(dataset: &Dataset, era: Era) -> HashMap<UserId, Cold
         }
     }
 
+    // lint:allow(nondeterministic-iteration): per-user field fill from dataset lookups; no cross-entry state
     for (user, v) in vars.iter_mut() {
         v.first_time = first_contract_era.get(user) == Some(&era);
         let u = dataset.user(*user);

@@ -41,11 +41,13 @@ pub struct RepeatAnalysis {
 fn side_distribution(counts: &HashMap<UserId, usize>) -> SideDistribution {
     let n = counts.len().max(1) as f64;
     let share =
+        // lint:allow(nondeterministic-iteration): exact count reduction; order-free
         |pred: &dyn Fn(usize) -> bool| counts.values().filter(|c| pred(**c)).count() as f64 / n;
     SideDistribution {
         share_one: share(&|c| c == 1),
         share_two: share(&|c| c == 2),
         share_over_20: share(&|c| c > 20),
+        // lint:allow(nondeterministic-iteration): max of exact integers; order-free
         max: counts.values().copied().max().unwrap_or(0),
     }
 }
@@ -92,7 +94,9 @@ pub fn repeat_analysis(dataset: &Dataset) -> RepeatAnalysis {
         .filter(|(m, n)| *n >= 10 && !traders[m].is_empty())
         .map(|(m, n)| (m, 2.0 * n as f64 / traders[&m].len() as f64))
         .collect();
-    per_trader.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // Tie-break equal rates by method so row order never depends on
+    // HashMap iteration order.
+    per_trader.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     RepeatAnalysis {
         makers: side_distribution(&makers),

@@ -203,8 +203,8 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
 
     let mut contracts = Vec::new();
     let mut verification = [0usize; 3];
-    let mut by_activity: HashMap<TradeCategory, (f64, f64)> = HashMap::new();
-    let mut by_payment: HashMap<PaymentMethod, (f64, f64)> = HashMap::new();
+    let mut activity_usd: HashMap<TradeCategory, (f64, f64)> = HashMap::new();
+    let mut payment_usd: HashMap<PaymentMethod, (f64, f64)> = HashMap::new();
     let mut by_type: HashMap<ContractType, TypeValue> = HashMap::new();
 
     for (cc, ex) in classified.iter().zip(extracted) {
@@ -220,17 +220,17 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
 
         // Attribute side values to the activities matched on each side.
         for cat in &cc.maker_cats {
-            by_activity.entry(*cat).or_default().0 += row.maker_usd;
+            activity_usd.entry(*cat).or_default().0 += row.maker_usd;
         }
         for cat in &cc.taker_cats {
-            by_activity.entry(*cat).or_default().1 += row.taker_usd;
+            activity_usd.entry(*cat).or_default().1 += row.taker_usd;
         }
         // And to payment methods quoted per side.
         for m in row.maker_pay {
-            by_payment.entry(m).or_default().0 += row.maker_usd;
+            payment_usd.entry(m).or_default().0 += row.maker_usd;
         }
         for m in row.taker_pay {
-            by_payment.entry(m).or_default().1 += row.taker_usd;
+            payment_usd.entry(m).or_default().1 += row.taker_usd;
         }
 
         let tv = by_type.entry(c.contract_type).or_default();
@@ -248,6 +248,7 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
         });
     }
 
+    // lint:allow(nondeterministic-iteration): per-entry mean from that entry's own fields; no cross-entry state
     for tv in by_type.values_mut() {
         tv.mean = if tv.count > 0 { tv.total / tv.count as f64 } else { 0.0 };
     }
@@ -270,12 +271,14 @@ pub fn value_report(dataset: &Dataset, ledger: &Ledger) -> ValueReport {
         }
     }
 
+    // Tie-break equal totals by key so row order never depends on
+    // HashMap iteration order (the Table 5 ordering bug class).
     let mut by_activity: Vec<(TradeCategory, f64, f64)> =
-        by_activity.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
-    by_activity.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)));
+        activity_usd.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
+    by_activity.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)).then(a.0.cmp(&b.0)));
     let mut by_payment: Vec<(PaymentMethod, f64, f64)> =
-        by_payment.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
-    by_payment.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)));
+        payment_usd.into_iter().map(|(k, (m, t))| (k, m, t)).collect();
+    by_payment.sort_by(|a, b| (b.1 + b.2).total_cmp(&(a.1 + a.2)).then(a.0.cmp(&b.0)));
 
     ValueReport {
         contracts,
@@ -349,8 +352,8 @@ pub fn value_evolution(dataset: &Dataset, ledger: &Ledger) -> ValueEvolution {
 
     let type_idx = |ty: ContractType| ContractType::ALL.iter().position(|t| *t == ty).unwrap();
     let mut by_type = vec![vec![0f64; n_months]; 5];
-    let mut by_payment: HashMap<PaymentMethod, Vec<f64>> = HashMap::new();
-    let mut by_product: HashMap<TradeCategory, Vec<f64>> = HashMap::new();
+    let mut payment_monthly: HashMap<PaymentMethod, Vec<f64>> = HashMap::new();
+    let mut product_monthly: HashMap<TradeCategory, Vec<f64>> = HashMap::new();
 
     // Per-contract tokenising and lexicon matching fan out; the monthly
     // float accumulation folds serially over the ordered results.
@@ -378,19 +381,24 @@ pub fn value_evolution(dataset: &Dataset, ledger: &Ledger) -> ValueEvolution {
         let Some((mi, methods, cats)) = prep else { continue };
         by_type[type_idx(vc.contract_type)][mi] += vc.contract_usd;
         for m in methods {
-            by_payment.entry(m).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
+            payment_monthly.entry(m).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
         }
         for cat in cats {
             if cat == TradeCategory::CurrencyExchange || cat == TradeCategory::Payments {
                 continue;
             }
-            by_product.entry(cat).or_insert_with(|| vec![0.0; n_months])[mi] += vc.contract_usd;
+            product_monthly.entry(cat).or_insert_with(|| vec![0.0; n_months])[mi] +=
+                vc.contract_usd;
         }
     }
 
-    fn top5<K>(map: HashMap<K, Vec<f64>>) -> Vec<(K, MonthlySeries<f64>)> {
+    fn top5<K: Ord>(map: HashMap<K, Vec<f64>>) -> Vec<(K, MonthlySeries<f64>)> {
         let mut entries: Vec<_> = map.into_iter().collect();
-        entries.sort_by(|a, b| b.1.iter().sum::<f64>().total_cmp(&a.1.iter().sum::<f64>()));
+        // Tie-break equal totals by key: the top-5 pick must not depend
+        // on HashMap iteration order.
+        entries.sort_by(|a, b| {
+            b.1.iter().sum::<f64>().total_cmp(&a.1.iter().sum::<f64>()).then(a.0.cmp(&b.0))
+        });
         entries
             .into_iter()
             .take(5)
@@ -402,8 +410,8 @@ pub fn value_evolution(dataset: &Dataset, ledger: &Ledger) -> ValueEvolution {
         by_type: std::array::from_fn(|i| {
             MonthlySeries::from_vec(StudyWindow::first_month(), by_type[i].clone())
         }),
-        by_payment: top5(by_payment),
-        by_product: top5(by_product),
+        by_payment: top5(payment_monthly),
+        by_product: top5(product_monthly),
     }
 }
 

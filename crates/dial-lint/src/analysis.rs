@@ -1,0 +1,271 @@
+//! Per-file analysis shared by every rule: the token stream plus derived
+//! structure — `#[cfg(test)]` spans, statement windows, brace matching,
+//! and the parsed `lint:allow` suppressions.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parsed `// lint:allow(<rule>): <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// The reason after the trailing `: `; `None` when missing (which is
+    /// itself a diagnostic — see `bare-allow`).
+    pub reason: Option<String>,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// 1-based column of the comment token.
+    pub col: u32,
+}
+
+/// One lexed-and-indexed source file, ready for rules to walk.
+pub struct FileAnalysis<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The `crates/<dir>` component, e.g. `core` or `dial-serve`; `None`
+    /// for files of the root package (`src/`, `tests/`, `examples/`).
+    pub crate_dir: Option<String>,
+    /// Final path component, e.g. `http.rs`.
+    pub file_name: String,
+    /// True when the file as a whole is test/bench/example code (lives
+    /// under a `tests/`, `benches/` or `examples/` directory).
+    pub aux_file: bool,
+    /// Full source text.
+    pub source: &'a str,
+    /// Source split by lines (for snippets), 0-based.
+    pub lines: Vec<&'a str>,
+    /// The token stream.
+    pub tokens: Vec<Token<'a>>,
+    /// Token-index ranges `[start, end)` covered by `#[cfg(test)]` items
+    /// or `#[test]` functions.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// All `lint:allow` comments in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    /// Lexes and indexes one file.
+    pub fn new(rel_path: &str, source: &'a str) -> Self {
+        let tokens = lex(source);
+        let rel_path = rel_path.replace('\\', "/");
+        let crate_dir = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        let file_name = rel_path.rsplit('/').next().unwrap_or(&rel_path).to_string();
+        let aux_file = rel_path
+            .split('/')
+            .any(|part| matches!(part, "tests" | "benches" | "examples" | "fixtures"));
+        let test_ranges = find_test_ranges(&tokens);
+        let allows = parse_allows(&tokens);
+        Self {
+            rel_path,
+            crate_dir,
+            file_name,
+            aux_file,
+            source,
+            lines: source.lines().collect(),
+            tokens,
+            test_ranges,
+            allows,
+        }
+    }
+
+    /// True when token `idx` is inside a `#[cfg(test)]`/`#[test]` span.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|(s, e)| (*s..*e).contains(&idx))
+    }
+
+    /// The trimmed source line a token sits on (for finding snippets).
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines.get(line as usize - 1).map_or(String::new(), |l| l.trim().to_string())
+    }
+
+    /// Index of the token closing the brace opened at `open` (which must
+    /// be a `{`/`(`/`[` Punct). Comments and literals are single tokens,
+    /// so plain depth counting is exact.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.tokens[open].text.chars().next()? {
+            '{' => ('{', '}'),
+            '(' => ('(', ')'),
+            '[' => ('[', ']'),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// The statement window around token `site`: the token range from the
+    /// previous `;`/`{`/`}` at bracket depth 0 (exclusive) up to the next
+    /// `;` or block-opening `{` at depth 0 (exclusive). Braces nested in
+    /// parentheses (closure bodies in call arguments) do not end the
+    /// window.
+    pub fn statement_window(&self, site: usize) -> (usize, usize) {
+        let mut start = site;
+        let mut depth = 0i32;
+        while start > 0 {
+            let t = &self.tokens[start - 1];
+            match t.text {
+                ")" | "]" if t.kind == TokenKind::Punct => depth += 1,
+                "(" | "[" if t.kind == TokenKind::Punct => depth -= 1,
+                // Any brace at depth 0 is a statement boundary: `{` opens
+                // the enclosing block, `}` closes the *previous* block
+                // (for/if/match statement). Inside parentheses a brace
+                // belongs to a closure body and does not end the window.
+                "{" | "}" if t.kind == TokenKind::Punct && depth == 0 => break,
+                ";" if t.kind == TokenKind::Punct && depth == 0 => break,
+                _ => {}
+            }
+            if depth < 0 {
+                break;
+            }
+            start -= 1;
+        }
+        let mut end = site;
+        let mut depth = 0i32;
+        while end < self.tokens.len() {
+            let t = &self.tokens[end];
+            match t.text {
+                "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
+                ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+                "{" if t.kind == TokenKind::Punct => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth += 1;
+                }
+                "}" if t.kind == TokenKind::Punct => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" if t.kind == TokenKind::Punct && depth == 0 => break,
+                _ => {}
+            }
+            if depth < 0 {
+                break;
+            }
+            end += 1;
+        }
+        (start, end)
+    }
+}
+
+/// Scans for `#[cfg(test)]` items and `#[test]` functions and returns the
+/// token ranges of their bodies (attribute through closing brace).
+fn find_test_ranges(tokens: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(len) = test_attr_len(tokens, i) {
+            // Skip any further attributes between the test attribute and
+            // the item it decorates.
+            let mut j = i + len;
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                if tokens.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+                    match matching_close_at(tokens, j + 1, '[', ']') {
+                        Some(close) => j = close + 1,
+                        None => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Find the item's opening brace and cover through its close.
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('{') {
+                if let Some(close) = matching_close_at(tokens, j, '{', '}') {
+                    out.push((i, close + 1));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If tokens at `i` begin `#[cfg(test)]` or `#[test]`, the token count of
+/// that attribute.
+fn test_attr_len(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let close = matching_close_at(tokens, i + 1, '[', ']')?;
+    let inner: Vec<&str> = tokens[i + 2..close].iter().map(|t| t.text).collect();
+    let is_test =
+        inner == ["test"] || (inner.len() >= 4 && inner[0] == "cfg" && inner.contains(&"test"));
+    is_test.then_some(close - i + 1)
+}
+
+fn matching_close_at(tokens: &[Token<'_>], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Parses every `lint:allow` comment in the token stream.
+///
+/// Grammar: `// lint:allow(<rule-id>): <reason>` — the `(<rule-id>)` is
+/// required, the `: <reason>` tail is what makes a suppression reviewable
+/// and its absence is reported as a `bare-allow` diagnostic.
+fn parse_allows(tokens: &[Token<'_>]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment {
+            continue;
+        }
+        // Doc comments are documentation, not suppressions: this file's
+        // own rustdoc may *describe* the grammar without invoking it.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = t.text.find("lint:allow") else { continue };
+        let rest = &t.text[at + "lint:allow".len()..];
+        let (rule, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((rule, tail)) => (rule.trim().to_string(), tail),
+            // `lint:allow` not followed by `(…)`: a prose mention, not a
+            // suppression attempt.
+            None => continue,
+        };
+        let reason = tail
+            .trim_start()
+            .strip_prefix(':')
+            .map(str::trim)
+            // Block comments may close on the same line; drop the `*/`.
+            .map(|r| r.trim_end_matches("*/").trim())
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        out.push(Allow { rule, reason, line: t.line, col: t.col });
+    }
+    out
+}

@@ -1,0 +1,184 @@
+//! The lint engine: file discovery, the two collection passes, rule
+//! dispatch, and suppression application.
+
+use crate::analysis::FileAnalysis;
+use crate::report::{Finding, Report};
+use crate::rules::{all_rules, GlobalFacts, Rule};
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `lint_fixtures` holds files
+/// that intentionally violate rules (`tests/lint_fixtures/`); they are
+/// linted one-by-one by `tests/lint_gate.rs`, not as part of the tree.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "lint_fixtures"];
+
+/// Engine configuration.
+pub struct Config {
+    /// Root to scan: a workspace directory or a single `.rs` file.
+    pub root: PathBuf,
+    /// Restrict the run to one rule id (plus `bare-allow`, which always
+    /// runs — unexplained suppressions are never fine).
+    pub only_rule: Option<String>,
+    /// Apply every rule to every file regardless of crate scope. On by
+    /// default when `root` is a single file, which is how fixtures (and
+    /// `dial lint path/to/file.rs`) are checked.
+    pub force_all: bool,
+}
+
+impl Config {
+    /// Lints the workspace rooted at `root` with the shipped rules.
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into(), only_rule: None, force_all: false }
+    }
+
+    /// Lints one file with every rule active (crate scoping ignored).
+    pub fn single_file(path: impl Into<PathBuf>) -> Self {
+        Self { root: path.into(), only_rule: None, force_all: true }
+    }
+}
+
+/// Runs the engine and returns the report.
+///
+/// Pass 1 lexes every file and collects workspace facts (map-returning
+/// function names); pass 2 runs the rules. Files and findings are both
+/// processed in sorted order so the linter's own output is deterministic —
+/// a determinism linter that diffs against itself would be embarrassing.
+pub fn run(config: &Config) -> Result<Report, String> {
+    let rules = all_rules();
+    if let Some(id) = &config.only_rule {
+        let known = rules.iter().any(|r| r.id() == id) || id == "bare-allow";
+        if !known {
+            let ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+            return Err(format!(
+                "unknown rule {id:?}; known rules: {}, bare-allow",
+                ids.join(", ")
+            ));
+        }
+    }
+
+    let root = &config.root;
+    let (files, force_all) = if root.is_file() {
+        (vec![root.clone()], true)
+    } else if root.is_dir() {
+        let mut files = Vec::new();
+        collect_rs_files(root, &mut files)?;
+        files.sort();
+        (files, config.force_all)
+    } else {
+        return Err(format!("lint root {} does not exist", root.display()));
+    };
+
+    let base =
+        if root.is_file() { root.parent().map(Path::to_path_buf) } else { Some(root.clone()) };
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            let rel = base
+                .as_deref()
+                .and_then(|b| p.strip_prefix(b).ok())
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            std::fs::read_to_string(p)
+                .map(|src| (rel, src))
+                .map_err(|e| format!("read {}: {e}", p.display()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Pass 1: lex + index every file, fold workspace facts.
+    let analyses: Vec<FileAnalysis<'_>> =
+        sources.iter().map(|(rel, src)| FileAnalysis::new(rel, src)).collect();
+    let mut facts = GlobalFacts::default();
+    for a in &analyses {
+        facts.collect(a);
+    }
+
+    // Pass 2: rules + suppression diagnostics.
+    let mut findings = Vec::new();
+    for a in &analyses {
+        for rule in &rules {
+            if let Some(id) = &config.only_rule {
+                if rule.id() != id {
+                    continue;
+                }
+            }
+            if force_all || rule.applies(a) {
+                rule.check(a, &facts, &mut findings);
+            }
+        }
+        check_allows(a, &rules, &mut findings);
+    }
+    apply_suppressions(&analyses, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    // A `for (k, v) in map.iter_mut()` header trips both the for-loop and
+    // the method detector; one diagnostic per (rule, line) is enough.
+    findings.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+
+    Ok(Report { findings, files_scanned: analyses.len() })
+}
+
+/// Emits `bare-allow` diagnostics: an allow with no reason, no rule, or a
+/// rule id nothing ships. These are never suppressible — the entire point
+/// of the reason requirement is that suppressions stay reviewable.
+fn check_allows(file: &FileAnalysis<'_>, rules: &[Box<dyn Rule>], findings: &mut Vec<Finding>) {
+    for allow in &file.allows {
+        let message = if !rules.iter().any(|r| r.id() == allow.rule) {
+            format!("lint:allow names unknown rule {:?}", allow.rule)
+        } else if allow.reason.is_none() {
+            format!(
+                "bare lint:allow({}) without a reason: append `: <why this is safe>`",
+                allow.rule
+            )
+        } else {
+            continue;
+        };
+        findings.push(Finding {
+            rule: "bare-allow",
+            path: file.rel_path.clone(),
+            line: allow.line,
+            col: allow.col,
+            message,
+            snippet: file.snippet(allow.line),
+            suppressed: false,
+            reason: None,
+        });
+    }
+}
+
+/// Marks findings covered by a reasoned allow on the same line or the
+/// line directly above as suppressed.
+fn apply_suppressions(analyses: &[FileAnalysis<'_>], findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if f.rule == "bare-allow" {
+            continue;
+        }
+        let Some(file) = analyses.iter().find(|a| a.rel_path == f.path) else { continue };
+        let hit = file.allows.iter().find(|a| {
+            a.rule == f.rule && a.reason.is_some() && (a.line == f.line || a.line + 1 == f.line)
+        });
+        if let Some(allow) = hit {
+            f.suppressed = true;
+            f.reason = allow.reason.clone();
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,388 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules only need a faithful token stream — identifiers, punctuation,
+//! and comments with accurate line/column positions — but "faithful" does
+//! all the work: a `HashMap` inside a string literal or a commented-out
+//! `unwrap()` must not trip a rule, so the lexer has to get the genuinely
+//! tricky corners of Rust's lexical grammar right:
+//!
+//! * raw strings `r"…"`, `r#"…"#` (any number of hashes) and their byte
+//!   variants `br#"…"#`,
+//! * raw identifiers `r#fn` (which share a prefix with raw strings),
+//! * *nested* block comments `/* /* */ */`,
+//! * lifetimes `'a` vs. char literals `'a'` (and escapes like `'\''`),
+//! * doc comments (`///`, `//!`, `/** */`) — lexed as comments, and
+//! * a shebang line `#!/usr/bin/env …` (but not the inner attribute
+//!   `#![…]`, which also starts with `#!`).
+//!
+//! There is no external dependency: crates.io is unreachable in this
+//! build environment, so leaning on `syn`/`proc-macro2` was never an
+//! option — and the lint only needs lexical structure anyway.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#fn`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char literal: `'a'`, `'\n'`, `'\''`.
+    Char,
+    /// A byte literal: `b'x'`.
+    Byte,
+    /// A string literal: `"…"` (escapes handled).
+    Str,
+    /// A raw string literal: `r"…"` / `r#"…"#` / `br##"…"##`.
+    RawStr,
+    /// A byte string literal: `b"…"`.
+    ByteStr,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// `// …` including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` including nesting and `/** … */` doc comments.
+    BlockComment,
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct,
+    /// A `#!…` interpreter line at byte offset 0.
+    Shebang,
+}
+
+/// One lexed token: a slice of the source plus its 1-based position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl<'a> Token<'a> {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for `.`/`;`/`{` style single-character punctuation.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+
+    /// True for any comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Whitespace is skipped; everything else —
+/// including comments — is kept, because suppression comments are data.
+///
+/// The lexer is total: on malformed input (unterminated string, stray
+/// byte) it degrades to single-character `Punct` tokens rather than
+/// failing, so one broken file cannot take down a whole lint run.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        // A shebang is only a shebang at byte 0 and when not introducing
+        // the inner-attribute form `#![…]`.
+        if self.bytes.starts_with(b"#!") && self.bytes.get(2) != Some(&b'[') {
+            let end = self.find_line_end(0);
+            out.push(self.take(end, TokenKind::Shebang));
+        }
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[start];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.advance(start + 1);
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let end = self.find_line_end(start);
+                    out.push(self.take(end, TokenKind::LineComment));
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let end = self.block_comment_end(start);
+                    out.push(self.take(end, TokenKind::BlockComment));
+                }
+                b'r' => out.push(self.raw_or_ident(start)),
+                b'b' => out.push(self.byte_literal_or_ident(start)),
+                b'"' => {
+                    let end = self.string_end(start + 1);
+                    out.push(self.take(end, TokenKind::Str));
+                }
+                b'\'' => out.push(self.lifetime_or_char(start)),
+                b'0'..=b'9' => {
+                    let end = self.number_end(start);
+                    out.push(self.take(end, TokenKind::Num));
+                }
+                _ if is_ident_start(b) => {
+                    let end = self.ident_end(start);
+                    out.push(self.take(end, TokenKind::Ident));
+                }
+                _ => {
+                    // One UTF-8 scalar per Punct token so multi-byte
+                    // characters inside e.g. broken input stay aligned.
+                    let ch_len = utf8_len(b);
+                    out.push(self.take((start + ch_len).min(self.bytes.len()), TokenKind::Punct));
+                }
+            }
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Emits the token covering `self.pos..end` and advances past it.
+    fn take(&mut self, end: usize, kind: TokenKind) -> Token<'a> {
+        let tok = Token { kind, text: &self.src[self.pos..end], line: self.line, col: self.col };
+        self.advance(end);
+        tok
+    }
+
+    /// Moves the cursor to `to`, updating line/col over the skipped bytes.
+    fn advance(&mut self, to: usize) {
+        while self.pos < to {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if !is_utf8_continuation(self.bytes[self.pos]) {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn find_line_end(&self, from: usize) -> usize {
+        self.bytes[from..].iter().position(|b| *b == b'\n').map_or(self.bytes.len(), |i| from + i)
+    }
+
+    /// End of a block comment starting at `from` (which points at `/*`).
+    /// Handles nesting; an unterminated comment swallows the rest of the
+    /// file, matching rustc.
+    fn block_comment_end(&self, from: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = from;
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'/' && self.bytes.get(i + 1) == Some(&b'*') {
+                depth += 1;
+                i += 2;
+            } else if self.bytes[i] == b'*' && self.bytes.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    return i;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.bytes.len()
+    }
+
+    /// End of a `"…"` string whose opening quote is at `quote_pos - 1`
+    /// (i.e. `from` points at the first content byte).
+    fn string_end(&self, from: usize) -> usize {
+        let mut i = from;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        self.bytes.len()
+    }
+
+    /// `r` can open a raw string `r"…"`/`r#"…"#`, a raw identifier
+    /// `r#ident`, or just an ordinary identifier starting with `r`.
+    fn raw_or_ident(&mut self, start: usize) -> Token<'a> {
+        let mut hashes = 0usize;
+        while self.bytes.get(start + 1 + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        match self.bytes.get(start + 1 + hashes) {
+            Some(b'"') => {
+                let end = self.raw_string_end(start + 2 + hashes, hashes);
+                self.take(end, TokenKind::RawStr)
+            }
+            // `r#foo` — exactly one hash followed by an identifier start.
+            Some(&b) if hashes == 1 && is_ident_start(b) => {
+                let end = self.ident_end(start + 2);
+                self.take(end, TokenKind::Ident)
+            }
+            _ => {
+                let end = self.ident_end(start);
+                self.take(end, TokenKind::Ident)
+            }
+        }
+    }
+
+    /// `b` can open `b'x'`, `b"…"`, `br#"…"#`, or an identifier.
+    fn byte_literal_or_ident(&mut self, start: usize) -> Token<'a> {
+        match self.peek(1) {
+            Some(b'\'') => {
+                let end = self.char_end(start + 2);
+                self.take(end, TokenKind::Byte)
+            }
+            Some(b'"') => {
+                let end = self.string_end(start + 2);
+                self.take(end, TokenKind::ByteStr)
+            }
+            Some(b'r') => {
+                let mut hashes = 0usize;
+                while self.bytes.get(start + 2 + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                if self.bytes.get(start + 2 + hashes) == Some(&b'"') {
+                    let end = self.raw_string_end(start + 3 + hashes, hashes);
+                    self.take(end, TokenKind::RawStr)
+                } else {
+                    let end = self.ident_end(start);
+                    self.take(end, TokenKind::Ident)
+                }
+            }
+            _ => {
+                let end = self.ident_end(start);
+                self.take(end, TokenKind::Ident)
+            }
+        }
+    }
+
+    /// Scans past the body of a raw string: content starts at `from`, and
+    /// the string closes at `"` followed by `hashes` `#`s.
+    fn raw_string_end(&self, from: usize, hashes: usize) -> usize {
+        let mut i = from;
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'"' {
+                let after = &self.bytes[i + 1..];
+                if after.len() >= hashes && after[..hashes].iter().all(|b| *b == b'#') {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        self.bytes.len()
+    }
+
+    /// `'` opens either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'a'`, `'\n'`). The discriminator: an identifier run after the
+    /// quote that is *not* followed by a closing quote is a lifetime.
+    fn lifetime_or_char(&mut self, start: usize) -> Token<'a> {
+        match self.bytes.get(start + 1) {
+            // `'\n'` and friends are always char literals.
+            Some(b'\\') => {
+                let end = self.char_end(start + 1);
+                self.take(end, TokenKind::Char)
+            }
+            Some(&b) if is_ident_start(b) => {
+                let ident_end = self.ident_end(start + 1);
+                if self.bytes.get(ident_end) == Some(&b'\'') {
+                    self.take(ident_end + 1, TokenKind::Char)
+                } else {
+                    self.take(ident_end, TokenKind::Lifetime)
+                }
+            }
+            // `'+'`, `' '`, `'é'` … any other single scalar, quoted.
+            Some(&b) => {
+                let end = start + 1 + utf8_len(b);
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.take(end + 1, TokenKind::Char)
+                } else {
+                    // Stray quote: emit it alone and keep going.
+                    self.take(start + 1, TokenKind::Punct)
+                }
+            }
+            None => self.take(start + 1, TokenKind::Punct),
+        }
+    }
+
+    /// End of a char-literal body beginning at `from` (just past the
+    /// opening quote, possibly pointing at a `\`).
+    fn char_end(&self, from: usize) -> usize {
+        let mut i = from;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        self.bytes.len()
+    }
+
+    fn ident_end(&self, start: usize) -> usize {
+        let mut i = start;
+        while i < self.bytes.len() && is_ident_continue(self.bytes[i]) {
+            i += 1;
+        }
+        i.max(start + 1)
+    }
+
+    /// End of a numeric literal. Accepts digits, `_`, letters (hex digits
+    /// and suffixes like `u64`), a single fractional `.` when followed by
+    /// a digit (so `1..10` stays two tokens), and a sign right after an
+    /// exponent `e`/`E`.
+    fn number_end(&self, start: usize) -> usize {
+        let mut i = start + 1;
+        let mut seen_dot = false;
+        while i < self.bytes.len() {
+            let b = self.bytes[i];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                i += 1;
+            } else if b == b'.'
+                && !seen_dot
+                && self.bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+            {
+                seen_dot = true;
+                i += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes[i - 1], b'e' | b'E')
+                && self.bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+            {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_utf8_continuation(b: u8) -> bool {
+    b & 0xC0 == 0x80
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

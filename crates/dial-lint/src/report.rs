@@ -1,0 +1,145 @@
+//! Findings and report rendering (human-readable and JSON).
+//!
+//! JSON is rendered by hand: the crate is deliberately dependency-free so
+//! it builds first in CI, and the schema is flat enough that an escaper
+//! plus `format!` beats pulling in a serializer. The schema is pinned by
+//! `tests/cli.rs`; bump `SCHEMA_VERSION` on any shape change.
+
+/// Version stamp emitted in JSON output.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One diagnostic produced by a rule (or by the suppression checker).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule id (`nondeterministic-iteration`, …, `bare-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do about it.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// True when a reasoned `lint:allow` covers the site.
+    pub suppressed: bool,
+    /// The allow's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, sorted by (path, line, col).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not silenced by a reasoned allow. Any of these fail the
+    /// run.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Number of active findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Number of findings silenced by reasoned allows.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.len() - self.active_count()
+    }
+
+    /// True when the tree passes.
+    pub fn is_clean(&self) -> bool {
+        self.active_count() == 0
+    }
+
+    /// Human-readable rendering, one block per active finding.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in self.active() {
+            out.push_str(&format!(
+                "{}:{}:{} [{}] {}\n    | {}\n",
+                f.path, f.line, f.col, f.rule, f.message, f.snippet
+            ));
+        }
+        out.push_str(&format!(
+            "dial-lint: {} file(s) scanned, {} finding(s), {} suppressed\n",
+            self.files_scanned,
+            self.active_count(),
+            self.suppressed_count()
+        ));
+        out
+    }
+
+    /// JSON rendering. Shape:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "files_scanned": 140,
+    ///   "active": 2,
+    ///   "suppressed": 17,
+    ///   "findings": [
+    ///     {"rule": "…", "path": "…", "line": 9, "col": 5,
+    ///      "message": "…", "snippet": "…", "suppressed": false}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// `findings` carries suppressed entries too (flagged by the
+    /// `suppressed` field) so dashboards can audit allow density.
+    pub fn render_json(&self) -> String {
+        let mut items = Vec::with_capacity(self.findings.len());
+        for f in &self.findings {
+            let reason = match &f.reason {
+                Some(r) => format!(",\"reason\":\"{}\"", escape_json(r)),
+                None => String::new(),
+            };
+            items.push(format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\
+                 \"snippet\":\"{}\",\"suppressed\":{}{}}}",
+                escape_json(f.rule),
+                escape_json(&f.path),
+                f.line,
+                f.col,
+                escape_json(&f.message),
+                escape_json(&f.snippet),
+                f.suppressed,
+                reason
+            ));
+        }
+        format!(
+            "{{\"version\":{},\"files_scanned\":{},\"active\":{},\"suppressed\":{},\
+             \"findings\":[{}]}}",
+            SCHEMA_VERSION,
+            self.files_scanned,
+            self.active_count(),
+            self.suppressed_count(),
+            items.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

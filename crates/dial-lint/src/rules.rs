@@ -1,0 +1,693 @@
+//! The rule catalogue. Each rule is a token-stream walk over one file,
+//! scoped to the crates where its invariant is load-bearing (DESIGN §14).
+//!
+//! Rules are heuristic by design: they over-approximate, and intentional
+//! sites are silenced with a *reasoned* `// lint:allow(<rule>): why`
+//! comment — an unexplained allow is itself a diagnostic. The payoff is
+//! that the two nondeterminism bugs that shipped in earlier PRs (the LTA
+//! top-3 tie-break and the Table 5 `extrapolated_total_usd` float sum,
+//! both `HashMap`-iteration-order bugs) become CI failures instead of
+//! equivalence-gate archaeology.
+
+use crate::analysis::FileAnalysis;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use std::collections::BTreeSet;
+
+/// Crates whose outputs feed paper tables/figures; iteration order there
+/// is result order.
+const RESULT_CRATES: &[&str] = &["core", "dial-stats", "dial-stream", "dial-model", "dial-graph"];
+
+/// Crates that must be replayable from seeds alone: wall-clock reads are
+/// hidden inputs.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "dial-stats", "dial-stream", "dial-sim"];
+
+/// dial-serve modules on the request path; a panic here kills a worker
+/// mid-request instead of answering 5xx.
+const SERVE_PATH_FILES: &[&str] = &["http.rs", "engine.rs", "cache.rs", "scheduler.rs"];
+
+/// Crates whose loops must cooperate with `dial_fault` deadlines.
+const CHECKPOINT_CRATES: &[&str] = &["dial-serve", "dial-par"];
+
+/// R4 fires on loop bodies longer than this many source lines.
+pub const CHECKPOINT_LOOP_LINES: usize = 20;
+
+/// Iterator-producing methods whose order is the receiver's order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Workspace-wide facts collected before any rule runs.
+#[derive(Debug, Default)]
+pub struct GlobalFacts {
+    /// Names of functions (in any scanned file) whose return type mentions
+    /// `HashMap`/`HashSet` — calling one and iterating the result is as
+    /// order-sensitive as iterating a local map.
+    pub map_returning_fns: BTreeSet<String>,
+}
+
+impl GlobalFacts {
+    /// Harvests facts from one file (called for every file, pass 1).
+    pub fn collect(&mut self, file: &FileAnalysis<'_>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("fn") {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            // Scan the signature up to the body `{` or a `;` (trait decl),
+            // looking for a map type after `->`.
+            let mut j = i + 2;
+            let mut after_arrow = false;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" if depth == 0 => break,
+                    "-" if toks.get(j + 1).is_some_and(|n| n.is_punct('>')) && depth == 0 => {
+                        after_arrow = true;
+                    }
+                    "HashMap" | "HashSet" if after_arrow && t.kind == TokenKind::Ident => {
+                        self.map_returning_fns.insert(name.text.to_string());
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable rule id, used in output and in `lint:allow(<id>)`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `dial lint --rules`.
+    fn describe(&self) -> &'static str;
+    /// Whether the rule's invariant applies to this file at all. Ignored
+    /// when the engine runs in force-all mode (single-file / fixtures).
+    fn applies(&self, file: &FileAnalysis<'_>) -> bool;
+    /// Walks the file and appends findings.
+    fn check(&self, file: &FileAnalysis<'_>, facts: &GlobalFacts, out: &mut Vec<Finding>);
+}
+
+/// The shipped rule set, in catalogue order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondeterministicIteration),
+        Box::new(UnwrapInServe),
+        Box::new(WallClockInDeterministic),
+        Box::new(MissingCheckpoint),
+    ]
+}
+
+fn finding(
+    rule: &'static str,
+    file: &FileAnalysis<'_>,
+    tok: &Token<'_>,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: file.snippet(tok.line),
+        suppressed: false,
+        reason: None,
+    }
+}
+
+// --------------------------------------------------------------------
+// R1: nondeterministic-iteration
+// --------------------------------------------------------------------
+
+/// Flags iteration over `HashMap`/`HashSet` in result-producing crates
+/// unless the surrounding statement establishes an order (a `sort*` call
+/// or a BTree collection) or the site carries a reasoned allow.
+pub struct NondeterministicIteration;
+
+impl Rule for NondeterministicIteration {
+    fn id(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+
+    fn describe(&self) -> &'static str {
+        "HashMap/HashSet iteration in result-producing crates without an established order"
+    }
+
+    fn applies(&self, file: &FileAnalysis<'_>) -> bool {
+        file.crate_dir.as_deref().is_some_and(|c| RESULT_CRATES.contains(&c)) && !file.aux_file
+    }
+
+    fn check(&self, file: &FileAnalysis<'_>, facts: &GlobalFacts, out: &mut Vec<Finding>) {
+        let maps = local_map_idents(file, facts);
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            // `.values()` / `.iter()` / … on a map-typed receiver.
+            if toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && ITER_METHODS.contains(&t.text))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let (is_map, via) = receiver_is_map(file, i, &maps, facts);
+                if is_map && !statement_establishes_order(file, i) {
+                    out.push(finding(
+                        self.id(),
+                        file,
+                        &toks[i + 1],
+                        format!(
+                            ".{}() iterates `{via}` in hash order; sort the result, use a \
+                             BTree collection, or justify with lint:allow",
+                            toks[i + 1].text
+                        ),
+                    ));
+                }
+            }
+            // `for pat in <expr-with-map> {`.
+            if toks[i].is_ident("for") {
+                if let Some((expr_start, expr_end)) = for_loop_expr(file, i) {
+                    if let Some(via) = window_mentions_map(file, expr_start, expr_end, &maps, facts)
+                    {
+                        if !range_establishes_order(toks, expr_start, expr_end) {
+                            out.push(finding(
+                                self.id(),
+                                file,
+                                &toks[i],
+                                format!(
+                                    "for-loop over `{via}` in hash order; iterate sorted keys, \
+                                     use a BTree collection, or justify with lint:allow"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers in this file that name `HashMap`/`HashSet` values: `let`
+/// bindings, fn parameters, and struct fields with a map type annotation,
+/// plus `let` patterns whose initialiser visibly builds or returns a map.
+fn local_map_idents(file: &FileAnalysis<'_>, facts: &GlobalFacts) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut maps = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name : <type…>` where the type mentions HashMap/HashSet before
+        // the annotation ends — covers `let x: HashMap…`, fn params, and
+        // struct fields (including wrappers like `RwLock<HashMap<…>>`).
+        if toks[i].kind == TokenKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            // Skip `::` paths and struct literals `Name { field: value }` —
+            // only a single `:` introduces a type annotation.
+            if toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+                continue;
+            }
+            if type_annotation_mentions_map(toks, i + 2) {
+                maps.insert(toks[i].text.to_string());
+            }
+        }
+        // `let [mut] <pattern> = <rhs>;` where the rhs constructs a map or
+        // calls a known map-returning fn: every ident bound by the pattern
+        // is (conservatively) map-suspect. Handles tuple destructuring of
+        // helpers like `involvement_counts`.
+        if toks[i].is_ident("let") {
+            let Some(eq) = assignment_eq(toks, i) else { continue };
+            let mut rhs_is_map = false;
+            let mut j = eq + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "HashMap" | "HashSet" if t.kind == TokenKind::Ident => rhs_is_map = true,
+                    name if t.kind == TokenKind::Ident
+                        && facts.map_returning_fns.contains(name)
+                        && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        rhs_is_map = true
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if rhs_is_map {
+                for t in &toks[i + 1..eq] {
+                    if t.kind == TokenKind::Ident && t.text != "mut" {
+                        maps.insert(t.text.to_string());
+                    }
+                }
+            }
+        }
+    }
+    maps
+}
+
+/// True when the type annotation starting at `from` is *outermost* a
+/// `HashMap`/`HashSet` (after references and path prefixes). Inner maps —
+/// `Vec<HashSet<u32>>`, `RwLock<HashMap<…>>` — do not mark the binding:
+/// iterating the wrapper is not iterating the map, and reaching the map
+/// requires a call the receiver analysis sees separately.
+fn type_annotation_mentions_map(toks: &[Token<'_>], from: usize) -> bool {
+    let mut j = from;
+    // Skip `&`, `&'a`, `mut`.
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('&') || t.kind == TokenKind::Lifetime || t.is_ident("mut") {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    // Read a path `a::b::Name` and judge its final segment.
+    let mut last_ident: Option<&str> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokenKind::Ident {
+            last_ident = Some(t.text);
+            // Path separator `::` continues the name.
+            if toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                j += 3;
+                continue;
+            }
+        }
+        break;
+    }
+    matches!(last_ident, Some("HashMap") | Some("HashSet"))
+}
+
+/// Token index of the `=` ending a `let` pattern, if this statement has
+/// an initialiser before `;`.
+fn assignment_eq(toks: &[Token<'_>], let_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(let_idx + 1) {
+        match t.text {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "=" if depth == 0 && t.kind == TokenKind::Punct => {
+                // Not `==`, `>=`, `<=`, `=>`.
+                let prev = toks[j - 1].text;
+                let next = toks.get(j + 1).map(|t| t.text);
+                if prev != "="
+                    && prev != "<"
+                    && prev != ">"
+                    && prev != "!"
+                    && next != Some("=")
+                    && next != Some(">")
+                {
+                    return Some(j);
+                }
+            }
+            ";" | "{" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks back from the `.` at `dot` to decide whether the receiver chain
+/// roots in a map-typed ident or a map-returning call. Returns the name
+/// that triggered the match for the diagnostic message.
+fn receiver_is_map(
+    file: &FileAnalysis<'_>,
+    dot: usize,
+    maps: &BTreeSet<String>,
+    facts: &GlobalFacts,
+) -> (bool, String) {
+    let toks = &file.tokens;
+    // The token directly left of the `.` decides the receiver:
+    //
+    //  * an ident — a variable or a field. Map-typed: flag. Otherwise
+    //    follow a field chain (`self.counts.iter()`) one hop left, but
+    //    never walk past a non-`.` boundary (`for v in users.iter()` must
+    //    not reach `v`).
+    //  * a `)` — a call result. Flag only when the callee is a known
+    //    map-returning fn; any other call (`.get(k)`, `.read()`, …)
+    //    yields a *new* value whose iteration order is its own business.
+    let mut i = dot;
+    while i > 0 {
+        let t = &toks[i - 1];
+        if t.kind == TokenKind::Ident {
+            if maps.contains(t.text) {
+                return (true, t.text.to_string());
+            }
+            // Continue only through a field chain: `recv . field . iter()`.
+            if i >= 2 && toks[i - 2].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+            return (false, String::new());
+        } else if t.is_punct(')') {
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return (false, String::new());
+                }
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                let callee = toks[j - 1].text;
+                if facts.map_returning_fns.contains(callee) {
+                    return (true, format!("{callee}()"));
+                }
+            }
+            return (false, String::new());
+        } else {
+            return (false, String::new());
+        }
+    }
+    (false, String::new())
+}
+
+/// The expression tokens of `for <pat> in <expr> {`: range between the
+/// top-level `in` and the body `{`.
+fn for_loop_expr(file: &FileAnalysis<'_>, for_idx: usize) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut depth = 0i32;
+    let mut in_idx = None;
+    for (j, t) in toks.iter().enumerate().skip(for_idx + 1) {
+        match t.text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && t.kind == TokenKind::Ident => {
+                in_idx = Some(j);
+                break;
+            }
+            "{" | ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    let start = in_idx? + 1;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        match t.text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some((start, j)),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the token window reference a map-typed ident (not as a call) or a
+/// map-returning call? Returns the matched name.
+fn window_mentions_map(
+    file: &FileAnalysis<'_>,
+    start: usize,
+    end: usize,
+    maps: &BTreeSet<String>,
+    facts: &GlobalFacts,
+) -> Option<String> {
+    let toks = &file.tokens;
+    for j in start..end {
+        let t = &toks[j];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+        // `map[key]` indexes by an (externally ordered) key — only a bare
+        // mention of the map itself iterates it.
+        let indexed = toks.get(j + 1).is_some_and(|n| n.is_punct('['));
+        if maps.contains(t.text) && !called && !indexed {
+            return Some(t.text.to_string());
+        }
+        if facts.map_returning_fns.contains(t.text) && called {
+            return Some(format!("{}()", t.text));
+        }
+    }
+    None
+}
+
+/// True when the statement containing `site` visibly establishes an order:
+/// a `sort*` call, a BTree collection, or — for `let mut x = …;` — an
+/// immediate `x.sort*(…)` as the next statement.
+fn statement_establishes_order(file: &FileAnalysis<'_>, site: usize) -> bool {
+    let (start, end) = file.statement_window(site);
+    if range_establishes_order(&file.tokens, start, end) {
+        return true;
+    }
+    // `let mut keys: … = map.keys().collect(); keys.sort();` — the
+    // canonical sorted-iteration idiom. Accept a sort on the bound name
+    // in the immediately following statement.
+    let toks = &file.tokens;
+    // Comments and attributes (`#[allow(…)]` on the `let`) may sit between
+    // statements or precede the binding; skip both.
+    let next = |mut j: usize| loop {
+        while toks.get(j).is_some_and(|t| t.is_comment()) {
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            if let Some(close) = file.matching_close(j + 1) {
+                j = close + 1;
+                continue;
+            }
+        }
+        return j;
+    };
+    let s0 = next(start);
+    let s1 = next(s0 + 1);
+    let s2 = next(s1 + 1);
+    if toks.get(s0).is_some_and(|t| t.is_ident("let"))
+        && toks.get(s1).is_some_and(|t| t.is_ident("mut"))
+        && toks.get(s2).is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        let name = toks[s2].text;
+        if toks.get(end).is_some_and(|t| t.is_punct(';')) {
+            let e1 = next(end + 1);
+            let e2 = next(e1 + 1);
+            let e3 = next(e2 + 1);
+            if toks.get(e1).is_some_and(|t| t.is_ident(name))
+                && toks.get(e2).is_some_and(|t| t.is_punct('.'))
+                && toks.get(e3).is_some_and(|t| t.text.contains("sort"))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn range_establishes_order(toks: &[Token<'_>], start: usize, end: usize) -> bool {
+    toks[start..end.min(toks.len())].iter().any(|t| {
+        t.kind == TokenKind::Ident
+            && (t.text.contains("sort") || t.text == "BTreeMap" || t.text == "BTreeSet")
+    })
+}
+
+// --------------------------------------------------------------------
+// R2: unwrap-in-serve
+// --------------------------------------------------------------------
+
+/// Flags `.unwrap()` / `.expect(` / `panic!` on the dial-serve request
+/// path (outside `#[cfg(test)]`): a panic there kills a worker mid-request
+/// instead of producing a structured 5xx.
+pub struct UnwrapInServe;
+
+impl Rule for UnwrapInServe {
+    fn id(&self) -> &'static str {
+        "unwrap-in-serve"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic! on the dial-serve request path"
+    }
+
+    fn applies(&self, file: &FileAnalysis<'_>) -> bool {
+        file.crate_dir.as_deref() == Some("dial-serve")
+            && SERVE_PATH_FILES.contains(&file.file_name.as_str())
+            && !file.aux_file
+    }
+
+    fn check(&self, file: &FileAnalysis<'_>, _facts: &GlobalFacts, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let hit = if t.is_ident("unwrap") || t.is_ident("expect") {
+                i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            } else if t.is_ident("panic") || t.is_ident("unimplemented") || t.is_ident("todo") {
+                toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            } else {
+                false
+            };
+            if hit {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    t,
+                    format!(
+                        "`{}` can panic on the request path; return an error (the engine maps \
+                         them to 5xx envelopes) or justify with lint:allow",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// R3: wall-clock-in-deterministic
+// --------------------------------------------------------------------
+
+/// Flags wall-clock reads (`SystemTime`, `Instant`, `std::time`) in
+/// crates whose outputs must be a pure function of seed + input; time
+/// there must flow through `dial-time`'s simulated clock types.
+pub struct WallClockInDeterministic;
+
+impl Rule for WallClockInDeterministic {
+    fn id(&self) -> &'static str {
+        "wall-clock-in-deterministic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "SystemTime/Instant/std::time in deterministic (seed-replayable) crates"
+    }
+
+    fn applies(&self, file: &FileAnalysis<'_>) -> bool {
+        file.crate_dir.as_deref().is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+            && !file.aux_file
+    }
+
+    fn check(&self, file: &FileAnalysis<'_>, _facts: &GlobalFacts, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let hit = t.is_ident("SystemTime")
+                || t.is_ident("Instant")
+                || (t.is_ident("std")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_ident("time")));
+            if hit {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    t,
+                    format!(
+                        "`{}` reads the wall clock in a deterministic crate; all time must \
+                         flow through dial-time's simulated clock",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// R4: missing-checkpoint
+// --------------------------------------------------------------------
+
+/// Flags `loop`/`while` bodies in dial-serve and dial-par longer than
+/// [`CHECKPOINT_LOOP_LINES`] source lines with no `checkpoint()` call:
+/// long-running loops must cooperate with `dial_fault` deadlines
+/// (DESIGN §12) or a deadline-bounded drain cannot reclaim their slot.
+pub struct MissingCheckpoint;
+
+impl Rule for MissingCheckpoint {
+    fn id(&self) -> &'static str {
+        "missing-checkpoint"
+    }
+
+    fn describe(&self) -> &'static str {
+        "long serve/par loop with no dial_fault deadline checkpoint"
+    }
+
+    fn applies(&self, file: &FileAnalysis<'_>) -> bool {
+        file.crate_dir.as_deref().is_some_and(|c| CHECKPOINT_CRATES.contains(&c)) && !file.aux_file
+    }
+
+    fn check(&self, file: &FileAnalysis<'_>, _facts: &GlobalFacts, out: &mut Vec<Finding>) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) {
+                continue;
+            }
+            let is_loop = toks[i].is_ident("loop");
+            let is_while = toks[i].is_ident("while");
+            if !is_loop && !is_while {
+                continue;
+            }
+            // Find the body `{` at bracket depth 0 after the keyword.
+            let mut open = None;
+            let mut depth = 0i32;
+            for (j, t) in toks.iter().enumerate().skip(i + 1) {
+                match t.text {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            let Some(open) = open else { continue };
+            let Some(close) = file.matching_close(open) else { continue };
+            let span = toks[close].line.saturating_sub(toks[open].line) as usize;
+            if span <= CHECKPOINT_LOOP_LINES {
+                continue;
+            }
+            let has_checkpoint = toks[open..close]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text.contains("checkpoint"));
+            if !has_checkpoint {
+                out.push(finding(
+                    self.id(),
+                    file,
+                    &toks[i],
+                    format!(
+                        "{}-line `{}` body without a dial_fault checkpoint; call \
+                         deadline::checkpoint() so deadline-bounded drains can reclaim the \
+                         thread (DESIGN §12), or justify with lint:allow",
+                        span, toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::ids::{ContractId, ThreadId, UserId};
 use crate::social::{Post, Thread, User};
 use dial_time::{Era, YearMonth};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A complete marketplace dataset: the synthetic analogue of the CrimeBB
 /// HACK FORUMS contract dump.
@@ -212,8 +212,10 @@ impl Dataset {
     }
 
     /// Marketplace post count per user (a cold-start control variable).
-    pub fn marketplace_post_counts(&self) -> HashMap<UserId, usize> {
-        let mut out: HashMap<UserId, usize> = HashMap::new();
+    /// Returned in sorted key order (`BTreeMap`): consumers iterate and
+    /// serialise these counts, and hash order would leak into results.
+    pub fn marketplace_post_counts(&self) -> BTreeMap<UserId, usize> {
+        let mut out: BTreeMap<UserId, usize> = BTreeMap::new();
         for p in &self.posts {
             if p.in_marketplace {
                 *out.entry(p.author).or_default() += 1;
@@ -222,9 +224,10 @@ impl Dataset {
         out
     }
 
-    /// Total post count per user.
-    pub fn post_counts(&self) -> HashMap<UserId, usize> {
-        let mut out: HashMap<UserId, usize> = HashMap::new();
+    /// Total post count per user. Sorted key order, same reasoning as
+    /// [`Dataset::marketplace_post_counts`].
+    pub fn post_counts(&self) -> BTreeMap<UserId, usize> {
+        let mut out: BTreeMap<UserId, usize> = BTreeMap::new();
         for p in &self.posts {
             *out.entry(p.author).or_default() += 1;
         }

@@ -258,6 +258,7 @@ fn worker_loop(weak: &Weak<Pool>, sleep: &Arc<SleepCell>, idx: usize) {
         None => return,
     };
     WORKER.with_borrow_mut(|w| *w = Some((pool_id, idx, weak.clone())));
+    // lint:allow(missing-checkpoint): deadline checkpoints run per chunk inside run_chunk(); this loop only dispatches and parks
     loop {
         // Work phase: the strong handle lives only for this block, so a
         // parked sibling never keeps the pool alive through us.

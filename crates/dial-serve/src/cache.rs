@@ -33,6 +33,7 @@ impl ResultCache {
 
     /// Returns the cached body for `key`, if present.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
         self.map.read().expect("cache lock").get(key).cloned()
     }
 
@@ -42,12 +43,14 @@ impl ResultCache {
     /// both callers end up handing out the same body (the results are
     /// deterministic, so either copy is correct).
     pub fn insert(&self, key: CacheKey, body: String) -> Arc<String> {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
         let mut map = self.map.write().expect("cache lock");
         Arc::clone(map.entry(key).or_insert_with(|| Arc::new(body)))
     }
 
     /// Number of cached results.
     pub fn len(&self) -> usize {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
         self.map.read().expect("cache lock").len()
     }
 

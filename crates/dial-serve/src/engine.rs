@@ -197,7 +197,8 @@ impl Engine {
     /// pinned `Arc`: the snapshot it names stays valid even if a live
     /// seal swaps the engine to a newer one.
     pub fn store(&self) -> Arc<SnapshotStore> {
-        Arc::clone(&self.store.read().unwrap())
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        Arc::clone(&self.store.read().expect("store lock"))
     }
 
     /// Whether this engine accepts `POST /v1/ingest` and serves
@@ -436,7 +437,8 @@ impl Engine {
                 return Err(IngestError::Parse(e));
             }
         };
-        let mut stream = live.stream.lock().unwrap();
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let mut stream = live.stream.lock().expect("stream lock");
         if stream.pending_len() + events.len() > live.max_pending_events {
             self.metrics.ingest_rejected();
             return Err(IngestError::Backpressure { pending: stream.pending_len() });
@@ -473,7 +475,8 @@ impl Engine {
                         self.seed,
                         self.lca_classes,
                     ));
-                    *self.store.write().unwrap() = store;
+                    // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+                    *self.store.write().expect("store lock") = store;
                     self.publish(live, &delta);
                 }
                 Err(gap) => {
@@ -499,7 +502,8 @@ impl Engine {
     pub fn subscribe(&self) -> Option<FeedSubscription> {
         let live = self.live.as_ref()?;
         let (tx, rx) = channel();
-        let mut feed = live.feed.lock().unwrap();
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let mut feed = live.feed.lock().expect("feed lock");
         let history = feed.history.clone();
         feed.subscribers.push(tx);
         Some((history, rx))
@@ -512,13 +516,16 @@ impl Engine {
         if let Some(t) = &delta.era_transition {
             let data = format!(
                 "{{\"month\":{},\"transition\":{}}}",
+                // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
                 serde_json::to_string(&delta.month).expect("months serialise"),
+                // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
                 serde_json::to_string(t).expect("transitions serialise"),
             );
             frames.push(Arc::new(format!("event: era\ndata: {data}\n\n")));
         }
         frames.push(Arc::new(format!("event: seal\ndata: {}\n\n", delta.to_json())));
-        let mut feed = live.feed.lock().unwrap();
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let mut feed = live.feed.lock().expect("feed lock");
         for frame in frames {
             // Dead subscribers (dropped receivers) are pruned on send.
             feed.subscribers.retain(|tx| tx.send(Arc::clone(&frame)).is_ok());
@@ -543,6 +550,7 @@ impl Engine {
 
 /// JSON string literal for `s` (quotes + escaping).
 fn json_str(s: &str) -> String {
+    // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
     serde_json::to_string(&s).expect("strings serialise")
 }
 

@@ -90,6 +90,7 @@ impl Scheduler {
         let job: Job = Box::new(job);
         let id;
         {
+            // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
             let mut st = self.inner.state.lock().expect("scheduler state lock");
             if st.shut {
                 return Err(Saturated);
@@ -122,10 +123,12 @@ impl Scheduler {
     /// pool slots but nobody will collect them — and returns the ids of
     /// everything abandoned, so the caller can log what a hard drain cut.
     pub fn shutdown_within(&self, deadline: Option<Instant>) -> Vec<u64> {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
         let mut st = self.inner.state.lock().expect("scheduler state lock");
         st.shut = true;
         while !st.abandoned && (!st.running.is_empty() || !st.queue.is_empty()) {
             match deadline {
+                // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
                 None => st = self.inner.drained.wait(st).expect("scheduler state lock"),
                 Some(d) => {
                     let now = Instant::now();
@@ -133,6 +136,7 @@ impl Scheduler {
                         break;
                     }
                     let (guard, _timeout) =
+                        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
                         self.inner.drained.wait_timeout(st, d - now).expect("scheduler state lock");
                     st = guard;
                 }
@@ -172,6 +176,7 @@ struct SlotGuard(Arc<Inner>, u64);
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         let next = {
+            // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
             let mut st = self.0.state.lock().expect("scheduler state lock");
             st.running.retain(|id| *id != self.1);
             let next = st.queue.pop_front();

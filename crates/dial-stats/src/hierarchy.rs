@@ -99,11 +99,18 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
         *rows.entry(a[i]).or_default() += 1;
         *cols.entry(b[i]).or_default() += 1;
     }
-    let choose2 = |x: u64| (x * x.saturating_sub(1)) as f64 / 2.0;
-    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum();
-    let sum_rows: f64 = rows.values().map(|&v| choose2(v)).sum();
-    let sum_cols: f64 = cols.values().map(|&v| choose2(v)).sum();
-    let total = choose2(n as u64);
+    // Pair counts are summed exactly in u128 (x*(x-1) is always even, so
+    // the division is exact): integer addition commutes, making the sums
+    // independent of HashMap iteration order. A f64 accumulation here
+    // would wobble in the last ulp between runs.
+    let choose2 = |x: u64| x as u128 * (x as u128).saturating_sub(1) / 2;
+    // lint:allow(nondeterministic-iteration): exact u128 sum; addition commutes so hash order cannot affect the result
+    let sum_table: f64 = table.values().map(|&v| choose2(v)).sum::<u128>() as f64;
+    // lint:allow(nondeterministic-iteration): exact u128 sum; addition commutes so hash order cannot affect the result
+    let sum_rows: f64 = rows.values().map(|&v| choose2(v)).sum::<u128>() as f64;
+    // lint:allow(nondeterministic-iteration): exact u128 sum; addition commutes so hash order cannot affect the result
+    let sum_cols: f64 = cols.values().map(|&v| choose2(v)).sum::<u128>() as f64;
+    let total = choose2(n as u64) as f64;
     let expected = sum_rows * sum_cols / total;
     let max_index = (sum_rows + sum_cols) / 2.0;
     if (max_index - expected).abs() < 1e-12 {

@@ -252,7 +252,11 @@ impl StreamAggregates {
 }
 
 fn key_share<K: std::hash::Hash + Eq + Copy>(counts: &HashMap<K, f64>) -> f64 {
-    let total: f64 = counts.values().sum();
+    // Sum after sorting: a hash-order f64 total would differ in the last
+    // ulp between runs (float addition is not associative).
+    let mut values: Vec<f64> = counts.values().copied().collect();
+    values.sort_by(|a, b| b.total_cmp(a));
+    let total: f64 = values.iter().sum();
     key_share_of(counts, total)
 }
 

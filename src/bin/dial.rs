@@ -36,6 +36,12 @@
 //!     into a live server's /v1/ingest. `--speed` is simulated days
 //!     per wall-clock second (0 = as fast as possible).
 //!
+//! dial lint [--json] [--rule <id>] [path]
+//!     Run the in-tree static-analysis pass (dial-lint) over the
+//!     workspace (default: current directory) or a single file.
+//!     Exits nonzero on any unsuppressed finding. Pointing it at a
+//!     single `.rs` file applies every rule regardless of crate scope.
+//!
 //! dial list
 //!     List the available experiment ids.
 //! ```
@@ -80,6 +86,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("export") => export(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("list") => {
             for e in all_experiments().into_iter().chain(extension_experiments()) {
                 println!("{:<12} {}", e.id, e.title);
@@ -87,7 +94,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: dial <generate|summary|analyze|serve|replay|export|list> [options]");
+            eprintln!(
+                "usage: dial <generate|summary|analyze|serve|replay|export|lint|list> [options]"
+            );
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
             eprintln!(
@@ -98,6 +107,7 @@ fn main() -> ExitCode {
             );
             eprintln!("  dial replay --target 127.0.0.1:8080 [--seed 7] [--scale 0.1] [--speed 0]");
             eprintln!("  dial export market.json --dir csv_out");
+            eprintln!("  dial lint [--json] [--rule <id>] [path]");
             ExitCode::FAILURE
         }
     }
@@ -406,6 +416,48 @@ fn serve(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("bind 127.0.0.1:{}: {e}", cfg.port);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the dial-lint static-analysis pass. Exit codes: 0 clean, 1 on
+/// findings or bad usage — the same contract `ci.sh` gates on.
+fn lint(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let rule = opt(args, "--rule");
+    // First non-flag argument (that isn't a --rule value) is the root.
+    let root = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--rule"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| ".".into());
+
+    let path = std::path::PathBuf::from(&root);
+    let mut config = if path.is_file() {
+        dial_lint::Config::single_file(path)
+    } else {
+        dial_lint::Config::workspace(path)
+    };
+    config.only_rule = rule;
+
+    match dial_lint::run(&config) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dial lint: {e}");
             ExitCode::FAILURE
         }
     }

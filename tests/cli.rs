@@ -196,3 +196,69 @@ fn bad_usage_fails_cleanly() {
     let out = dial().args(["summary"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// `dial lint` over the shipped tree exits 0 — the same gate ci.sh runs.
+#[test]
+fn lint_clean_tree_exits_zero() {
+    let out = dial().args(["lint", env!("CARGO_MANIFEST_DIR")]).output().expect("run dial lint");
+    assert!(
+        out.status.success(),
+        "lint found violations:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("file(s) scanned"), "summary line missing: {stdout}");
+}
+
+/// The machine-readable schema is pinned: version, counters, and per-
+/// finding fields (rule, path, line, col, suppressed). Violating fixture
+/// input also pins the nonzero exit.
+#[test]
+fn lint_json_schema_and_nonzero_exit() {
+    let fixture =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/lint_fixtures/nondeterministic_iteration.rs");
+    let out = dial().args(["lint", "--json", fixture]).output().expect("run dial lint --json");
+    assert!(!out.status.success(), "a violating fixture must exit nonzero");
+
+    let body = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(body.trim()).expect("lint --json is JSON");
+    assert_eq!(v.get("version").as_u64(), Some(1), "schema version");
+    assert_eq!(v.get("files_scanned").as_u64(), Some(1));
+    let active = v.get("active").as_u64().expect("active count");
+    let suppressed = v.get("suppressed").as_u64().expect("suppressed count");
+    assert!(active >= 4, "fixture has 4 violations, got {active}");
+    assert_eq!(suppressed, 0);
+
+    let findings = v.get("findings").as_array().expect("findings array");
+    assert_eq!(findings.len() as u64, active + suppressed);
+    for f in findings {
+        assert_eq!(f.get("rule").as_str(), Some("nondeterministic-iteration"));
+        assert!(f.get("path").as_str().is_some_and(|p| p.ends_with(".rs")), "{f:?}");
+        assert!(f.get("line").as_u64().is_some_and(|l| l >= 1), "{f:?}");
+        assert!(f.get("col").as_u64().is_some_and(|c| c >= 1), "{f:?}");
+        assert_eq!(f.get("suppressed").as_bool(), Some(false));
+        assert!(f.get("snippet").as_str().is_some(), "{f:?}");
+        assert!(f.get("message").as_str().is_some_and(|m| !m.is_empty()), "{f:?}");
+    }
+}
+
+/// `--rule` narrows the run to one rule id and rejects unknown ids.
+#[test]
+fn lint_rule_filter() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/lint_fixtures/unwrap_in_serve.rs");
+    let out = dial()
+        .args(["lint", "--json", "--rule", "wall-clock-in-deterministic", fixture])
+        .output()
+        .expect("run dial lint --rule");
+    // The unwrap fixture has no wall-clock reads, so the filtered run is
+    // clean and exits zero.
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let out = dial()
+        .args(["lint", "--rule", "no-such-rule", fixture])
+        .output()
+        .expect("run dial lint with bad rule");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule"), "stderr: {stderr}");
+}

@@ -49,3 +49,38 @@ fn different_seeds_differ() {
     // streams must differ.
     assert_ne!(a.contracts()[50], b.contracts()[50]);
 }
+
+/// The hash-order regression gate for the `nondeterministic-iteration`
+/// triage: every map-fed result below is serialised on 50 fresh runs and
+/// must come out byte-identical. Each run rebuilds its `HashMap`s, and
+/// each std `HashMap` gets a fresh `RandomState`, so 50 runs genuinely
+/// explore different iteration orders — a single surviving hash-order
+/// dependence shows up as a JSON diff here.
+#[test]
+fn map_fed_results_are_json_identical_across_50_runs() {
+    use dial_market::core::{centralisation, repeat};
+
+    let out = SimConfig::paper_default().with_seed(17).with_scale(0.02).simulate_full();
+    let ds = &out.dataset;
+
+    let render = || {
+        let posts: Vec<_> = ds.post_counts().into_iter().collect();
+        let market_posts: Vec<_> = ds.marketplace_post_counts().into_iter().collect();
+        let curves = centralisation::concentration_curves(ds);
+        let gini = centralisation::involvement_gini(ds, 20, 5);
+        let rep = repeat::repeat_analysis(ds);
+        format!(
+            "{}\n{}\n{}\n{}\n{}",
+            serde_json::to_string(&posts).unwrap(),
+            serde_json::to_string(&market_posts).unwrap(),
+            serde_json::to_string(&curves).unwrap(),
+            serde_json::to_string(&gini).unwrap(),
+            serde_json::to_string(&rep).unwrap(),
+        )
+    };
+
+    let first = render();
+    for i in 1..50 {
+        assert_eq!(render(), first, "hash-order leak on run {i}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: suppression-grammar violations the engine itself reports.
+//! A reasoned allow silences its rule; an unexplained or unknown one is a
+//! `bare-allow` diagnostic and never suppresses anything.
+
+use std::collections::HashMap;
+
+/// Bare allow — names a real rule but gives no reason.
+pub fn no_reason(map: &HashMap<u32, u32>) -> Vec<u32> {
+    // lint:allow(nondeterministic-iteration)
+    map.values().copied().collect()
+}
+
+/// Allow naming a rule that does not exist.
+pub fn unknown_rule(map: &HashMap<u32, u32>) -> Vec<u32> {
+    // lint:allow(made-up-rule): this rule does not exist
+    map.values().copied().collect()
+}
+
+/// A well-formed reasoned allow — suppresses the finding, leaving only
+/// the suppressed record.
+pub fn reasoned(map: &HashMap<u32, u32>) -> u32 {
+    // lint:allow(nondeterministic-iteration): max of exact integers; order-free
+    map.values().copied().max().unwrap_or(0)
+}

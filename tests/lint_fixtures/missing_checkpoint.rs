@@ -1,0 +1,63 @@
+//! Fixture: a long loop body with no deadline checkpoint, the shape
+//! `missing-checkpoint` must catch, plus a checkpointed twin that must
+//! stay clean.
+
+/// A worker loop that can outlive any drain deadline: more than 20 source
+/// lines and nothing in the body ever calls `checkpoint`.
+pub fn spin(work: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    loop {
+        if i >= work.len() {
+            break;
+        }
+        let item = work[i];
+        if item % 2 == 0 {
+            acc = acc.wrapping_add(item);
+        } else {
+            acc = acc.wrapping_mul(3).wrapping_add(1);
+        }
+        if item > 1_000 {
+            acc = acc.rotate_left(1);
+        }
+        if acc == u64::MAX {
+            acc = 0;
+        }
+        let scaled = item.wrapping_mul(7);
+        if scaled > acc {
+            acc = scaled;
+        }
+        i += 1;
+    }
+    acc
+}
+
+/// The same shape with a checkpoint call — must NOT be flagged.
+pub fn spin_checkpointed(work: &[u64], checkpoint: &dyn Fn()) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    loop {
+        checkpoint();
+        if i >= work.len() {
+            break;
+        }
+        let item = work[i];
+        if item % 2 == 0 {
+            acc = acc.wrapping_add(item);
+        } else {
+            acc = acc.wrapping_mul(3).wrapping_add(1);
+        }
+        if item > 1_000 {
+            acc = acc.rotate_left(1);
+        }
+        if acc == u64::MAX {
+            acc = 0;
+        }
+        let scaled = item.wrapping_mul(7);
+        if scaled > acc {
+            acc = scaled;
+        }
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,41 @@
+//! Fixture: every shape `nondeterministic-iteration` must catch.
+//! Linted in single-file (force-all) mode by `tests/lint_gate.rs`; the
+//! workspace walk skips `lint_fixtures/` directories entirely.
+
+use std::collections::{HashMap, HashSet};
+
+/// A `.values()` float sum in hash order — the exact
+/// `extrapolated_total_usd` bug that shipped in the Table 5 pipeline:
+/// float addition is not associative, so the total differed in the last
+/// ulp between runs.
+pub fn extrapolated_total_usd(by_type: &HashMap<u32, f64>) -> f64 {
+    let mut extrapolated = 0.0;
+    for mean in by_type.values() {
+        extrapolated += mean * 2.0;
+    }
+    extrapolated
+}
+
+/// A for-loop straight over a `HashSet`.
+pub fn union_walk(union: &HashSet<usize>, counts: &mut [u64]) {
+    for i in union {
+        counts[*i] += 1;
+    }
+}
+
+/// `.keys().collect()` with no sort before use.
+pub fn unsorted_keys(map: &HashMap<u64, u64>) -> Vec<u64> {
+    map.keys().copied().collect()
+}
+
+/// `.drain()` consumes in hash order too.
+pub fn drain_in_order(mut map: HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    map.drain().collect()
+}
+
+/// Sorted collection is the accepted idiom — must NOT be flagged.
+pub fn sorted_keys(map: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort();
+    keys
+}

@@ -1,0 +1,27 @@
+//! Fixture: shapes `unwrap-in-serve` must catch. Linted in single-file
+//! (force-all) mode, so the dial-serve path scoping does not apply here.
+
+/// `.unwrap()` on the request path.
+pub fn lookup(values: &[u64], idx: usize) -> u64 {
+    values.get(idx).copied().unwrap()
+}
+
+/// `.expect(…)` is the same panic with a nicer epitaph.
+pub fn first(values: &[u64]) -> u64 {
+    *values.first().expect("at least one value")
+}
+
+/// Explicit panics count too.
+pub fn reject(kind: &str) -> ! {
+    panic!("unsupported kind {kind}")
+}
+
+/// `#[cfg(test)]` code is exempt: tests may unwrap freely.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: shapes `wall-clock-in-deterministic` must catch. The live
+//! deterministic crates route all time through `dial-time`, so this rule
+//! currently fires only here — the fixture is what proves it still works.
+
+use std::time::{Instant, SystemTime};
+
+/// Reading the wall clock makes a "deterministic" run unreproducible.
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `Instant` is monotonic but still a hidden input.
+pub fn measure<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_millis()
+}

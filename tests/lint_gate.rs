@@ -1,0 +1,159 @@
+//! The static-analysis gate: the live workspace must lint clean, and the
+//! committed fixtures must keep every rule alive. If a rule stops firing
+//! on its fixture, the rule is broken — a clean tree proves nothing.
+
+use dial_lint::{run, Config, Report};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    workspace_root().join("tests/lint_fixtures").join(name)
+}
+
+fn lint_fixture(name: &str) -> Report {
+    let path = fixture(name);
+    assert!(path.is_file(), "fixture {} missing", path.display());
+    run(&Config::single_file(path)).expect("fixture lint runs")
+}
+
+fn active_rules(report: &Report) -> Vec<&str> {
+    report.active().map(|f| f.rule).collect()
+}
+
+/// The tree this PR ships must be clean: every real finding was either
+/// fixed or carries a reasoned `lint:allow`.
+#[test]
+fn live_workspace_is_clean() {
+    let report = run(&Config::workspace(workspace_root())).expect("workspace lint runs");
+    let active: Vec<String> = report
+        .active()
+        .map(|f| format!("{}:{}:{} [{}] {}", f.path, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(active.is_empty(), "unsuppressed findings:\n{}", active.join("\n"));
+    // Sanity: the walk actually covered the workspace, not an empty dir.
+    assert!(report.files_scanned > 100, "only {} files scanned", report.files_scanned);
+}
+
+/// Suppressions on the live tree are all reasoned: the engine records the
+/// reason on every suppressed finding.
+#[test]
+fn live_suppressions_carry_reasons() {
+    let report = run(&Config::workspace(workspace_root())).expect("workspace lint runs");
+    assert!(report.suppressed_count() > 0, "triage should have left reasoned allows");
+    for f in report.findings.iter().filter(|f| f.suppressed) {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.is_empty()),
+            "suppressed finding without a reason at {}:{}",
+            f.path,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn r1_fires_on_fixture() {
+    let report = lint_fixture("nondeterministic_iteration.rs");
+    let rules = active_rules(&report);
+    let r1 = rules.iter().filter(|r| **r == "nondeterministic-iteration").count();
+    // Four violating shapes: values-sum, for-loop over set, unsorted
+    // keys().collect(), drain(). Exactly four — a fifth would mean the
+    // sorted idiom at the bottom of the fixture got flagged too.
+    assert_eq!(r1, 4, "expected 4 R1 findings, got {rules:?}");
+}
+
+/// The exact `extrapolated_total_usd` unsorted-sum bug that shipped in an
+/// earlier PR is seeded in the fixture; R1 must catch it so it can never
+/// ship quietly again.
+#[test]
+fn r1_catches_the_extrapolated_total_regression() {
+    let report = lint_fixture("nondeterministic_iteration.rs");
+    assert!(
+        report
+            .active()
+            .any(|f| f.rule == "nondeterministic-iteration"
+                && f.snippet.contains("by_type.values()")),
+        "the extrapolated_total_usd pattern must trip R1: {:?}",
+        active_rules(&report)
+    );
+}
+
+#[test]
+fn r2_fires_on_fixture() {
+    let report = lint_fixture("unwrap_in_serve.rs");
+    let snippets: Vec<(&str, &str)> =
+        report.active().map(|f| (f.rule, f.snippet.as_str())).collect();
+    for needle in ["unwrap()", "expect(", "panic!"] {
+        assert!(
+            snippets.iter().any(|(r, s)| *r == "unwrap-in-serve" && s.contains(needle)),
+            "R2 must flag `{needle}`: {snippets:?}"
+        );
+    }
+    // The #[cfg(test)] unwrap is exempt.
+    assert!(
+        !snippets.iter().any(|(_, s)| s.contains("v.first()")),
+        "test-module unwraps must be exempt: {snippets:?}"
+    );
+}
+
+#[test]
+fn r3_fires_on_fixture() {
+    let report = lint_fixture("wall_clock.rs");
+    let snippets: Vec<&str> = report
+        .active()
+        .filter(|f| f.rule == "wall-clock-in-deterministic")
+        .map(|f| f.snippet.as_str())
+        .collect();
+    assert!(
+        snippets.iter().any(|s| s.contains("SystemTime::now")),
+        "R3 must flag SystemTime::now: {snippets:?}"
+    );
+    assert!(
+        snippets.iter().any(|s| s.contains("Instant::now")),
+        "R3 must flag Instant::now: {snippets:?}"
+    );
+}
+
+#[test]
+fn r4_fires_on_fixture() {
+    let report = lint_fixture("missing_checkpoint.rs");
+    let findings: Vec<(&str, u32)> = report.active().map(|f| (f.rule, f.line)).collect();
+    let hits = findings.iter().filter(|(r, _)| *r == "missing-checkpoint").count();
+    assert_eq!(hits, 1, "only the checkpoint-free loop may fire: {findings:?}");
+}
+
+#[test]
+fn bare_and_unknown_allows_are_diagnostics() {
+    let report = lint_fixture("bare_allow.rs");
+    let bare: Vec<&str> =
+        report.active().filter(|f| f.rule == "bare-allow").map(|f| f.message.as_str()).collect();
+    assert_eq!(bare.len(), 2, "one reasonless + one unknown-rule allow: {bare:?}");
+    assert!(bare.iter().any(|m| m.contains("without a reason")), "{bare:?}");
+    assert!(bare.iter().any(|m| m.contains("unknown rule")), "{bare:?}");
+    // The bare allow does not suppress: its finding stays active.
+    let active_r1 = report.active().filter(|f| f.rule == "nondeterministic-iteration").count();
+    assert_eq!(active_r1, 2, "bare/unknown allows must not suppress");
+    // The reasoned allow does suppress, and keeps its reason.
+    let suppressed: Vec<_> = report.findings.iter().filter(|f| f.suppressed).collect();
+    assert_eq!(suppressed.len(), 1, "exactly the reasoned site is suppressed");
+    assert_eq!(suppressed[0].reason.as_deref(), Some("max of exact integers; order-free"));
+}
+
+/// The engine never walks into `target/`, `vendor/`, or the fixtures dir:
+/// fixtures would otherwise fail the clean gate they exist to test.
+#[test]
+fn workspace_walk_skips_fixtures_and_vendor() {
+    let report = run(&Config::workspace(workspace_root())).expect("workspace lint runs");
+    for f in &report.findings {
+        let p = Path::new(&f.path);
+        assert!(
+            !p.components().any(|c| {
+                matches!(c.as_os_str().to_str(), Some("lint_fixtures" | "vendor" | "target"))
+            }),
+            "walk entered a skipped dir: {}",
+            f.path
+        );
+    }
+}

@@ -69,6 +69,14 @@ impl Value {
         }
     }
 
+    /// The bool payload of a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string payload of a string value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
