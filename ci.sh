@@ -27,6 +27,9 @@ cargo clippy -p dial-fault --all-targets -- -D warnings
 echo "==> cargo clippy -p dial-stream (warnings are errors)"
 cargo clippy -p dial-stream --all-targets -- -D warnings
 
+echo "==> cargo clippy -p dial-store (warnings are errors)"
+cargo clippy -p dial-store --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -44,5 +47,8 @@ cargo test -q --test stream_equivalence
 
 echo "==> chaos suite (fault injection, deadlines, graceful drain)"
 cargo test -q --test chaos
+
+echo "==> crash-recovery suite (SIGKILL + torn-write store recovery)"
+cargo test -q --test store_recovery
 
 echo "==> ci.sh: all green"

@@ -17,7 +17,34 @@ use dial_serve::Engine;
 use dial_sim::SimConfig;
 use dial_stream::{encode_ndjson, segments, Event, StreamEngine};
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Headline figures collected across bench functions, flushed to
+/// `BENCH_stream.json` at the repo root by the final group member so the
+/// ingest-throughput trajectory is tracked in-tree (ROADMAP item 3).
+static HEADLINES: Mutex<Vec<(&'static str, f64)>> = Mutex::new(Vec::new());
+
+fn record(name: &'static str, value: f64) {
+    HEADLINES.lock().expect("headline lock").push((name, value));
+}
+
+/// Serialises the collected `(name, value)` rows as a flat JSON object.
+/// Values are rates, so fixed two-decimal formatting is plenty.
+fn headline_json() -> String {
+    let rows = HEADLINES.lock().expect("headline lock");
+    let body: Vec<String> =
+        rows.iter().map(|(name, value)| format!("\"{name}\":{value:.2}")).collect();
+    format!("{{{}}}\n", body.join(","))
+}
+
+fn write_bench_json(file: &str, body: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file);
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("write {}: {e}", path.display()),
+    }
+}
 
 /// One mid-sized market's watermarked event log (25 months).
 fn bench_segments() -> Vec<Vec<Event>> {
@@ -61,10 +88,9 @@ fn bench_ingest_raw(c: &mut Criterion) {
         }
     }
     let elapsed = started.elapsed();
-    println!(
-        "stream_ingest/raw: {n_events} events in {elapsed:?} ({:.0} events/sec)",
-        n_events as f64 / elapsed.as_secs_f64()
-    );
+    let rate = n_events as f64 / elapsed.as_secs_f64();
+    record("raw_events_per_sec", rate);
+    println!("stream_ingest/raw: {n_events} events in {elapsed:?} ({rate:.0} events/sec)");
 }
 
 /// Served replay: the same log through `Engine::ingest`, NDJSON and
@@ -80,9 +106,10 @@ fn bench_ingest_served(_c: &mut Criterion) {
         engine.ingest(body).expect("replay ingests");
     }
     let elapsed = started.elapsed();
+    let rate = n_events as f64 / elapsed.as_secs_f64();
+    record("served_events_per_sec", rate);
     println!(
-        "stream_ingest/served: {n_events} events in {elapsed:?} ({:.0} events/sec, {} seals)",
-        n_events as f64 / elapsed.as_secs_f64(),
+        "stream_ingest/served: {n_events} events in {elapsed:?} ({rate:.0} events/sec, {} seals)",
         engine.metrics().snapshot().seals_total
     );
 }
@@ -115,5 +142,11 @@ fn bench_sse_fanout(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(stream, bench_ingest_raw, bench_ingest_served, bench_sse_fanout);
+/// Flushes the headline figures. Listed last in the group, so every
+/// recording function has already run.
+fn bench_emit_json(_c: &mut Criterion) {
+    write_bench_json("BENCH_stream.json", &headline_json());
+}
+
+criterion_group!(stream, bench_ingest_raw, bench_ingest_served, bench_sse_fanout, bench_emit_json);
 criterion_main!(stream);

@@ -62,10 +62,18 @@ pub enum FaultPoint {
     IngestStall = 6,
     /// dial-stream: inside a watermark seal, before the commit (panics).
     SealPanic = 7,
+    /// dial-store: while appending a sealed batch (writes only a prefix
+    /// of the batch and skips the fsync — a simulated power cut).
+    TornWrite = 8,
+    /// dial-store: before the fsync that makes a sealed batch durable.
+    FsyncStall = 9,
+    /// dial-store: at the top of a checkpoint write, before any state is
+    /// touched (panics).
+    CheckpointPanic = 10,
 }
 
 /// Number of distinct [`FaultPoint`]s (sizes the counter arrays).
-const POINTS: usize = 8;
+const POINTS: usize = 11;
 
 impl FaultPoint {
     /// Stable name used by the `--chaos` spec and in event logs.
@@ -79,6 +87,9 @@ impl FaultPoint {
             FaultPoint::QueueStall => "queue_stall",
             FaultPoint::IngestStall => "ingest_stall",
             FaultPoint::SealPanic => "seal_panic",
+            FaultPoint::TornWrite => "torn_write",
+            FaultPoint::FsyncStall => "fsync_stall",
+            FaultPoint::CheckpointPanic => "ckpt_panic",
         }
     }
 
@@ -92,6 +103,9 @@ impl FaultPoint {
             "queue_stall" => FaultPoint::QueueStall,
             "ingest_stall" => FaultPoint::IngestStall,
             "seal_panic" => FaultPoint::SealPanic,
+            "torn_write" => FaultPoint::TornWrite,
+            "fsync_stall" => FaultPoint::FsyncStall,
+            "ckpt_panic" => FaultPoint::CheckpointPanic,
             _ => return None,
         })
     }
@@ -262,9 +276,14 @@ impl Chaos {
             FaultPoint::SlowRead
             | FaultPoint::HandlerStall
             | FaultPoint::QueueStall
-            | FaultPoint::IngestStall => FaultAction::Delay(Duration::from_millis(rule.delay_ms)),
-            FaultPoint::TruncWrite => FaultAction::Truncate(rule.keep_bytes),
-            FaultPoint::WorkerPanic | FaultPoint::SealPanic => FaultAction::Panic,
+            | FaultPoint::IngestStall
+            | FaultPoint::FsyncStall => FaultAction::Delay(Duration::from_millis(rule.delay_ms)),
+            FaultPoint::TruncWrite | FaultPoint::TornWrite => {
+                FaultAction::Truncate(rule.keep_bytes)
+            }
+            FaultPoint::WorkerPanic | FaultPoint::SealPanic | FaultPoint::CheckpointPanic => {
+                FaultAction::Panic
+            }
             FaultPoint::CachePoison => FaultAction::Poison,
         };
         self.events.lock().expect("chaos event log lock").push(FaultEvent { point, hit, action });

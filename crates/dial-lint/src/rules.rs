@@ -20,7 +20,8 @@ const RESULT_CRATES: &[&str] = &["core", "dial-stats", "dial-stream", "dial-mode
 
 /// Crates that must be replayable from seeds alone: wall-clock reads are
 /// hidden inputs.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "dial-stats", "dial-stream", "dial-sim"];
+const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "dial-stats", "dial-stream", "dial-sim", "dial-store"];
 
 /// dial-serve modules on the request path; a panic here kills a worker
 /// mid-request instead of answering 5xx.

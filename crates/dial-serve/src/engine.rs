@@ -19,6 +19,7 @@ use crate::metrics::Metrics;
 use crate::scheduler::Scheduler;
 use crate::store::SnapshotStore;
 use crate::{EraScope, ServeExperiment};
+use dial_store::{Checkpoint, RecoveryReport, SegmentLog};
 use dial_stream::{Event, SealDelta, StreamEngine};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -87,9 +88,23 @@ pub struct IngestReport {
 /// holds every frame ever published so a late subscriber replays the
 /// whole story before going live.
 struct Live {
-    stream: Mutex<StreamEngine>,
+    stream: Mutex<LiveStream>,
     feed: Mutex<Feed>,
     max_pending_events: usize,
+    /// What startup recovery replayed, kept for `GET /v1/store`.
+    recovery: Option<RecoveryReport>,
+}
+
+/// Everything that must stay mutually consistent under the stream mutex:
+/// the engine, an arrival-order mirror of its unsealed events, and the
+/// durable log those events flush to when a watermark seals. The mirror
+/// only fills when a store is attached; on a gap or a panicked seal it is
+/// left exactly as the engine's pending buffers are — a later retry of
+/// the same watermark persists the same batch.
+struct LiveStream {
+    engine: StreamEngine,
+    unsealed: Vec<Event>,
+    store: Option<SegmentLog>,
 }
 
 #[derive(Default)]
@@ -177,18 +192,83 @@ impl Engine {
         queue_capacity: usize,
         max_pending_events: usize,
     ) -> Self {
-        let stream = StreamEngine::new();
-        let store = SnapshotStore::from_parts(
+        Self::live_engine(
+            seed,
+            lca_classes,
+            experiments,
+            threads,
+            queue_capacity,
+            max_pending_events,
+            StreamEngine::new(),
+            None,
+            None,
+        )
+    }
+
+    /// Assembles a live engine whose stream is durably mirrored into
+    /// `store`: the engine starts from the recovered sealed prefix (its
+    /// snapshot, seal history, and `/v1/stream` replay history are all
+    /// rebuilt from it) and every future seal appends to the log. The
+    /// recovery report stays visible via `GET /v1/store`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_live_durable(
+        seed: u64,
+        lca_classes: usize,
+        experiments: Vec<ServeExperiment>,
+        threads: usize,
+        queue_capacity: usize,
+        max_pending_events: usize,
+        store: SegmentLog,
+        recovered: StreamEngine,
+        report: RecoveryReport,
+    ) -> Self {
+        Self::live_engine(
+            seed,
+            lca_classes,
+            experiments,
+            threads,
+            queue_capacity,
+            max_pending_events,
+            recovered,
+            Some(store),
+            Some(report),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn live_engine(
+        seed: u64,
+        lca_classes: usize,
+        experiments: Vec<ServeExperiment>,
+        threads: usize,
+        queue_capacity: usize,
+        max_pending_events: usize,
+        stream: StreamEngine,
+        store: Option<SegmentLog>,
+        recovery: Option<RecoveryReport>,
+    ) -> Self {
+        let snapshot = SnapshotStore::from_parts(
             stream.dataset().clone(),
             stream.ledger().clone(),
             seed,
             lca_classes,
         );
-        let mut engine = Self::new(store, experiments, threads, queue_capacity);
+        let mut engine = Self::new(snapshot, experiments, threads, queue_capacity);
+        if let Some(report) = &recovery {
+            engine.metrics.store_recovered(report.replayed_seals, report.replayed_events);
+        }
+        // A late subscriber must replay recovered history too: rebuild
+        // the feed from the sealed deltas exactly as publishing them
+        // live would have.
+        let mut feed = Feed::default();
+        for delta in stream.seals() {
+            feed.history.extend(seal_frames(delta));
+        }
         engine.live = Some(Live {
-            stream: Mutex::new(stream),
-            feed: Mutex::new(Feed::default()),
+            stream: Mutex::new(LiveStream { engine: stream, unsealed: Vec::new(), store }),
+            feed: Mutex::new(feed),
             max_pending_events,
+            recovery,
         });
         engine
     }
@@ -438,21 +518,26 @@ impl Engine {
             }
         };
         // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
-        let mut stream = live.stream.lock().expect("stream lock");
-        if stream.pending_len() + events.len() > live.max_pending_events {
+        let mut guard = live.stream.lock().expect("stream lock");
+        let ls = &mut *guard;
+        if ls.engine.pending_len() + events.len() > live.max_pending_events {
             self.metrics.ingest_rejected();
-            return Err(IngestError::Backpressure { pending: stream.pending_len() });
+            return Err(IngestError::Backpressure { pending: ls.engine.pending_len() });
         }
         self.metrics.ingest_batch();
         let mut seals = 0usize;
         let mut applied = 0usize;
         for event in events {
             let sealing = matches!(event, Event::Watermark { .. });
+            // Mirror events for the durable log: the mirror and the
+            // engine's pending buffers move in lockstep, so a failed seal
+            // leaves both ready for the retry.
+            let mirror = ls.store.is_some().then(|| event.clone());
             let outcome = if sealing {
                 // The `seal_panic` fault point fires before the seal's
                 // commit stage; catching it here leaves the stream state
                 // untouched and the engine fully usable.
-                match catch_unwind(AssertUnwindSafe(|| stream.apply(event))) {
+                match catch_unwind(AssertUnwindSafe(|| ls.engine.apply(event))) {
                     Ok(outcome) => outcome,
                     Err(_) => {
                         self.metrics.panic_recovered();
@@ -462,16 +547,26 @@ impl Engine {
                     }
                 }
             } else {
-                stream.apply(event)
+                ls.engine.apply(event)
             };
             match outcome {
-                Ok(None) => {}
+                Ok(None) => {
+                    if let Some(ev) = mirror {
+                        ls.unsealed.push(ev);
+                    }
+                }
                 Ok(Some(delta)) => {
                     seals += 1;
                     self.metrics.seal();
+                    if let Some(ev) = mirror {
+                        // The watermark rides at the end of its own batch
+                        // so a recovery replay re-seals on it.
+                        ls.unsealed.push(ev);
+                    }
+                    self.persist_seal(ls, &delta);
                     let store = Arc::new(SnapshotStore::from_parts(
-                        stream.dataset().clone(),
-                        stream.ledger().clone(),
+                        ls.engine.dataset().clone(),
+                        ls.engine.ledger().clone(),
                         self.seed,
                         self.lca_classes,
                     ));
@@ -491,9 +586,77 @@ impl Engine {
         Ok(IngestReport {
             events: applied,
             seals,
-            pending: stream.pending_len(),
+            pending: ls.engine.pending_len(),
             snapshot: self.store().fingerprint().to_string(),
         })
+    }
+
+    /// Flushes the just-sealed batch to the durable log (commit-then-log:
+    /// the engine already owns the seal) and writes a checkpoint when the
+    /// policy asks. Neither failure mode fails the ingest — the answer
+    /// stays correct from memory — but both are counted, logged, and the
+    /// log flips to degraded so `/v1/store` shows durability is gone.
+    fn persist_seal(&self, ls: &mut LiveStream, delta: &SealDelta) {
+        let Some(store) = ls.store.as_mut() else { return };
+        let batch = std::mem::take(&mut ls.unsealed);
+        match store.append_seal(&batch, delta) {
+            Ok(()) => self.metrics.store_append(),
+            Err(e) => {
+                self.metrics.store_append_failure();
+                eprintln!(
+                    "store append failed at seal {}: {e}; serving from memory, durability degraded",
+                    delta.seq
+                );
+            }
+        }
+        if store.should_checkpoint(delta.seq) {
+            let Some(ckpt) = Checkpoint::from_engine(&ls.engine) else { return };
+            // The `ckpt_panic` fault fires before the write mutates
+            // anything, so a panicked checkpoint is a clean no-op and the
+            // next interval simply retries.
+            match catch_unwind(AssertUnwindSafe(|| store.write_checkpoint(&ckpt))) {
+                Ok(Ok(())) => self.metrics.store_checkpoint(),
+                Ok(Err(e)) => {
+                    self.metrics.store_checkpoint_failure();
+                    eprintln!("store checkpoint failed at seal {}: {e}", delta.seq);
+                }
+                Err(_) => {
+                    self.metrics.panic_recovered();
+                    self.metrics.store_checkpoint_failure();
+                    eprintln!(
+                        "store checkpoint panicked at seal {}; retrying next interval",
+                        delta.seq
+                    );
+                }
+            }
+        }
+    }
+
+    /// Events buffered but unsealed on the live stream — what a drain
+    /// reports as *not* persisted (seal-or-nothing durability). `None` on
+    /// a snapshot engine.
+    pub fn pending_events(&self) -> Option<usize> {
+        let live = self.live.as_ref()?;
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        Some(live.stream.lock().expect("stream lock").engine.pending_len())
+    }
+
+    /// JSON body for `GET /v1/store`: live store stats plus what startup
+    /// recovery replayed. `None` when no durable store is attached.
+    pub fn store_status(&self) -> Option<String> {
+        let live = self.live.as_ref()?;
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let guard = live.stream.lock().expect("stream lock");
+        let stats = guard.store.as_ref()?.stats();
+        drop(guard);
+        // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+        let stats_json = serde_json::to_string(&stats).expect("store stats serialise");
+        let recovery_json = match &live.recovery {
+            // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+            Some(report) => serde_json::to_string(report).expect("recovery report serialises"),
+            None => "null".to_string(),
+        };
+        Some(format!("{{\"stats\":{stats_json},\"recovery\":{recovery_json}}}"))
     }
 
     /// Subscribes to the live feed: returns every frame published so far
@@ -512,18 +675,7 @@ impl Engine {
     /// Publishes a seal's SSE frames: an `era` frame when the seal
     /// crossed an era boundary, then the `seal` delta itself.
     fn publish(&self, live: &Live, delta: &SealDelta) {
-        let mut frames: Vec<Arc<String>> = Vec::with_capacity(2);
-        if let Some(t) = &delta.era_transition {
-            let data = format!(
-                "{{\"month\":{},\"transition\":{}}}",
-                // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
-                serde_json::to_string(&delta.month).expect("months serialise"),
-                // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
-                serde_json::to_string(t).expect("transitions serialise"),
-            );
-            frames.push(Arc::new(format!("event: era\ndata: {data}\n\n")));
-        }
-        frames.push(Arc::new(format!("event: seal\ndata: {}\n\n", delta.to_json())));
+        let frames = seal_frames(delta);
         // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
         let mut feed = live.feed.lock().expect("feed lock");
         for frame in frames {
@@ -546,6 +698,26 @@ impl Engine {
         self.metrics.drain_abandoned(abandoned.len() as u64);
         abandoned
     }
+}
+
+/// The SSE frames one seal publishes: an `era` frame when it crossed an
+/// era boundary, then the `seal` delta. Shared by live publishing and by
+/// feed-history reconstruction after recovery, so a subscriber cannot
+/// tell whether history was witnessed or replayed.
+fn seal_frames(delta: &SealDelta) -> Vec<Arc<String>> {
+    let mut frames: Vec<Arc<String>> = Vec::with_capacity(2);
+    if let Some(t) = &delta.era_transition {
+        let data = format!(
+            "{{\"month\":{},\"transition\":{}}}",
+            // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+            serde_json::to_string(&delta.month).expect("months serialise"),
+            // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+            serde_json::to_string(t).expect("transitions serialise"),
+        );
+        frames.push(Arc::new(format!("event: era\ndata: {data}\n\n")));
+    }
+    frames.push(Arc::new(format!("event: seal\ndata: {}\n\n", delta.to_json())));
+    frames
 }
 
 /// JSON string literal for `s` (quotes + escaping).

@@ -727,6 +727,18 @@ fn route(
             engine.metrics().request("/v1/metrics");
             Response::json(200, to_json(&engine.metrics().snapshot()))
         }
+        "/v1/store" => {
+            engine.metrics().request("/v1/store");
+            match engine.store_status() {
+                Some(body) => Response::json(200, body),
+                None => Response::error(
+                    409,
+                    "no_store",
+                    "this server has no durable store; start with --live --data-dir".to_string(),
+                    None,
+                ),
+            }
+        }
         // GETs to the ingest endpoint (POSTs dispatch before routing).
         "/v1/ingest" => Response::error(
             405,

@@ -57,6 +57,12 @@ pub struct Metrics {
     seal_failures: AtomicU64,
     sse_clients: AtomicU64,
     sse_frames: AtomicU64,
+    store_appends: AtomicU64,
+    store_append_failures: AtomicU64,
+    store_checkpoints: AtomicU64,
+    store_checkpoint_failures: AtomicU64,
+    store_recovered_seals: AtomicU64,
+    store_recovered_events: AtomicU64,
     by_endpoint: Mutex<BTreeMap<String, u64>>,
     faults_by_point: Mutex<BTreeMap<String, u64>>,
     latency: Mutex<BTreeMap<String, Histogram>>,
@@ -107,6 +113,20 @@ pub struct MetricsSnapshot {
     pub sse_clients: u64,
     /// SSE frames written to stream clients (history and live).
     pub sse_frames: u64,
+    /// Sealed batches appended to the durable store.
+    pub store_appends: u64,
+    /// Store appends that failed (the store is degraded: memory is ahead
+    /// of disk until a restart).
+    pub store_append_failures: u64,
+    /// Checkpoint snapshots written to the durable store.
+    pub store_checkpoints: u64,
+    /// Checkpoint writes that failed or panicked (`ckpt_panic` chaos
+    /// included); the next interval retries.
+    pub store_checkpoint_failures: u64,
+    /// Seals replayed from the store at startup.
+    pub store_recovered_seals: u64,
+    /// Events replayed from the store at startup.
+    pub store_recovered_events: u64,
     /// Requests per normalised endpoint (`/analyze/{id}` collapses to
     /// `/analyze`).
     pub by_endpoint: BTreeMap<String, u64>,
@@ -224,6 +244,32 @@ impl Metrics {
         self.sse_frames.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one sealed batch appended to the durable store.
+    pub fn store_append(&self) {
+        self.store_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed store append (the store is now degraded).
+    pub fn store_append_failure(&self) {
+        self.store_append_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one checkpoint written to the durable store.
+    pub fn store_checkpoint(&self) {
+        self.store_checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed or panicked checkpoint write.
+    pub fn store_checkpoint_failure(&self) {
+        self.store_checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records what startup recovery replayed from the durable store.
+    pub fn store_recovered(&self, seals: u64, events: u64) {
+        self.store_recovered_seals.fetch_add(seals, Ordering::Relaxed);
+        self.store_recovered_events.fetch_add(events, Ordering::Relaxed);
+    }
+
     /// Records one experiment run's wall-clock latency.
     pub fn observe_latency(&self, experiment: &str, ms: f64) {
         let mut map = self.latency.lock().expect("metrics lock");
@@ -252,6 +298,12 @@ impl Metrics {
             seal_failures: self.seal_failures.load(Ordering::Relaxed),
             sse_clients: self.sse_clients.load(Ordering::Relaxed),
             sse_frames: self.sse_frames.load(Ordering::Relaxed),
+            store_appends: self.store_appends.load(Ordering::Relaxed),
+            store_append_failures: self.store_append_failures.load(Ordering::Relaxed),
+            store_checkpoints: self.store_checkpoints.load(Ordering::Relaxed),
+            store_checkpoint_failures: self.store_checkpoint_failures.load(Ordering::Relaxed),
+            store_recovered_seals: self.store_recovered_seals.load(Ordering::Relaxed),
+            store_recovered_events: self.store_recovered_events.load(Ordering::Relaxed),
             by_endpoint: self.by_endpoint.lock().expect("metrics lock").clone(),
             faults_by_point: self.faults_by_point.lock().expect("metrics lock").clone(),
             latency_ms: self.latency.lock().expect("metrics lock").clone(),

@@ -1,0 +1,145 @@
+//! CRC-framed record codec for segment files.
+//!
+//! Every record on disk is `[magic u8][kind u8][len u32 LE][crc u32 LE]`
+//! followed by `len` payload bytes; the CRC-32 (IEEE) covers the kind byte
+//! plus the payload. A torn tail — a partial header, short payload, or a
+//! mismatched checksum — is *detected*, never misparsed: the decoder stops
+//! at the first frame that fails to verify and recovery truncates there.
+
+/// First byte of every frame; anything else means the reader is lost.
+pub const MAGIC: u8 = 0xD5;
+/// Record kind: one NDJSON-encoded [`dial_stream::Event`].
+pub const KIND_EVENT: u8 = 1;
+/// Record kind: one JSON-encoded [`dial_stream::SealDelta`], closing a batch.
+pub const KIND_SEAL: u8 = 2;
+/// Fixed frame header size: magic + kind + len + crc.
+pub const HEADER_BYTES: usize = 10;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// CRC-32 (IEEE 802.3) over `kind` followed by `payload` — the exact bytes
+/// the checksum field in a frame header protects.
+pub fn record_crc(kind: u8, payload: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in std::iter::once(&kind).chain(payload.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends one framed record to `out`.
+pub fn encode(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+    out.push(MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record_crc(kind, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Why decoding stopped at a given offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than a complete header + payload needs.
+    Truncated,
+    /// The byte at the frame boundary is not [`MAGIC`].
+    BadMagic,
+    /// The kind byte is not a known record kind.
+    BadKind,
+    /// The stored checksum does not match the payload.
+    BadCrc,
+}
+
+/// Decodes the frame starting at `off`; returns `(kind, payload, next_off)`.
+pub fn decode(buf: &[u8], off: usize) -> Result<(u8, &[u8], usize), FrameError> {
+    let rest = &buf[off..];
+    if rest.len() < HEADER_BYTES {
+        return Err(FrameError::Truncated);
+    }
+    if rest[0] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let kind = rest[1];
+    if kind != KIND_EVENT && kind != KIND_SEAL {
+        return Err(FrameError::BadKind);
+    }
+    let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]) as usize;
+    let crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
+    let Some(payload) = rest.get(HEADER_BYTES..HEADER_BYTES + len) else {
+        return Err(FrameError::Truncated);
+    };
+    if record_crc(kind, payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok((kind, payload, off + HEADER_BYTES + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926; our record CRC prefixes
+        // the kind byte, so check the raw polynomial via a kindless probe.
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in b"123456789" {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        assert_eq!(!crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn round_trip_multiple_records() {
+        let mut buf = Vec::new();
+        encode(KIND_EVENT, b"{\"a\":1}", &mut buf);
+        encode(KIND_SEAL, b"{\"seq\":0}", &mut buf);
+        let (k1, p1, off) = decode(&buf, 0).unwrap();
+        assert_eq!((k1, p1), (KIND_EVENT, b"{\"a\":1}".as_slice()));
+        let (k2, p2, end) = decode(&buf, off).unwrap();
+        assert_eq!((k2, p2), (KIND_SEAL, b"{\"seq\":0}".as_slice()));
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn torn_tails_are_detected() {
+        let mut buf = Vec::new();
+        encode(KIND_EVENT, b"payload-bytes", &mut buf);
+        // Short header.
+        assert_eq!(decode(&buf[..4], 0), Err(FrameError::Truncated));
+        // Complete header, short payload.
+        assert_eq!(decode(&buf[..HEADER_BYTES + 3], 0), Err(FrameError::Truncated));
+        // Flipped payload byte fails the checksum.
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(decode(&flipped, 0), Err(FrameError::BadCrc));
+        // Garbage at the boundary.
+        let mut garbage = buf;
+        garbage[0] = 0x00;
+        assert_eq!(decode(&garbage, 0), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = Vec::new();
+        encode(KIND_EVENT, b"x", &mut buf);
+        buf[1] = 9;
+        assert_eq!(decode(&buf, 0), Err(FrameError::BadKind));
+    }
+}

@@ -1,0 +1,289 @@
+//! dial-store: durable storage for the live event stream.
+//!
+//! `dial serve --live` previously kept every ingested event in RAM — a
+//! restart lost the whole stream. This crate gives the stream a durable
+//! home: an append-only segment log of CRC-framed records (the same
+//! NDJSON event encoding the wire uses, plus seal records carrying each
+//! watermark's [`dial_stream::SealDelta`]) and periodic checkpoint
+//! snapshots keyed by the sealed-prefix fingerprint.
+//!
+//! Layering, bottom-up:
+//!
+//! - [`frame`](crate::frame) — the record codec. CRC-32 framing makes a
+//!   torn tail detectable instead of misparseable.
+//! - [`StoreEngine`] — byte-level backends: [`FsBackend`] (segment files,
+//!   atomic manifest/checkpoint writes, fsync'd seal appends) and
+//!   [`MemBackend`] (volatile, for tests). Both run the *same* log logic.
+//! - [`SegmentLog`] — framing, recovery, rotation, checkpoints, and the
+//!   fault-injection hooks (`torn_write`, `fsync_stall`, `ckpt_panic`).
+//!
+//! Durability is seal-or-nothing: a batch of events is durable exactly
+//! when the seal record that closes it is fully on disk. Recovery replays
+//! the log from the last checkpoint and proves itself by recomputing
+//! every seal's prefix fingerprint — byte-identical or the store is
+//! rejected. See DESIGN §15 for the full state machine.
+
+mod backend;
+pub mod frame;
+mod log;
+
+pub use backend::{FsBackend, MemBackend, StoreEngine};
+pub use log::{Checkpoint, CompactReport, RecoveryReport, SegmentLog, StoreStats};
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A backend read/write failed (context includes the OS error).
+    Io {
+        /// What the store was doing, plus the underlying error.
+        context: String,
+    },
+    /// The on-disk state is internally inconsistent: a fingerprint proof
+    /// failed, a control file does not parse, or seals have holes.
+    Corrupt {
+        /// What exactly did not line up.
+        detail: String,
+    },
+    /// The store belongs to a different stream identity than the one it
+    /// was opened for (seed / LCA class count disagree).
+    Mismatch {
+        /// Stored vs requested identity.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context } => write!(f, "store io error: {context}"),
+            StoreError::Corrupt { detail } => write!(f, "store corrupt: {detail}"),
+            StoreError::Mismatch { detail } => write!(f, "store identity mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Identity and policy for one open of the log.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Simulation seed the stream identity is bound to.
+    pub seed: u64,
+    /// LCA class count bound into the same identity.
+    pub lca_classes: usize,
+    /// Fsync each seal append (`false` trades durability for throughput;
+    /// the bench measures the delta).
+    pub fsync: bool,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Write a checkpoint every this many seals (0 disables).
+    pub checkpoint_interval: u64,
+}
+
+impl StoreOptions {
+    /// Default policy bound to a stream identity: fsync on, ~4 MiB
+    /// segments, a checkpoint every 6 seals.
+    pub fn new(seed: u64, lca_classes: usize) -> Self {
+        Self { seed, lca_classes, fsync: true, segment_bytes: 4 << 20, checkpoint_interval: 6 }
+    }
+
+    /// Overrides the fsync policy.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Overrides the segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Overrides the checkpoint interval (0 disables checkpoints).
+    pub fn with_checkpoint_interval(mut self, seals: u64) -> Self {
+        self.checkpoint_interval = seals;
+        self
+    }
+}
+
+/// Opens (creating if needed) a filesystem store at `dir` and runs
+/// recovery: the one-call entry point `dial serve --live --data-dir`
+/// uses.
+pub fn open_fs(
+    dir: impl AsRef<std::path::Path>,
+    opts: StoreOptions,
+) -> Result<(SegmentLog, dial_stream::StreamEngine, RecoveryReport), StoreError> {
+    SegmentLog::open(Box::new(FsBackend::open(dir)?), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dial_sim::{SimConfig, SimOutput};
+    use dial_stream::{segments, Event, StreamEngine};
+
+    fn simulate() -> SimOutput {
+        SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full()
+    }
+
+    fn opts() -> StoreOptions {
+        // Tiny segments force rotation even at 0.01 scale.
+        StoreOptions::new(9, 3).with_segment_bytes(64 << 10).with_checkpoint_interval(0)
+    }
+
+    /// Streams the whole sim through an engine while mirroring every
+    /// sealed batch into the log, checkpointing per the log's policy.
+    fn mirror_ingest(log: &mut SegmentLog, engine: &mut StreamEngine, out: &SimOutput) {
+        let mut batch: Vec<Event> = Vec::new();
+        for seg in segments(out) {
+            for ev in seg {
+                batch.push(ev.clone());
+                if let Some(delta) = engine.apply(ev).expect("replay is gap-free") {
+                    log.append_seal(&batch, &delta).expect("append succeeds");
+                    batch.clear();
+                    if log.should_checkpoint(delta.seq) {
+                        let ckpt = Checkpoint::from_engine(engine).expect("sealed engine");
+                        log.write_checkpoint(&ckpt).expect("checkpoint succeeds");
+                    }
+                }
+            }
+        }
+        assert!(batch.is_empty(), "every month must end in a watermark");
+    }
+
+    fn reopen(
+        log: SegmentLog,
+        options: StoreOptions,
+    ) -> (SegmentLog, StreamEngine, RecoveryReport) {
+        SegmentLog::open(log.into_backend(), options).expect("reopen recovers")
+    }
+
+    #[test]
+    fn mem_round_trip_recovers_identical_state() {
+        let out = simulate();
+        let (mut log, mut engine, fresh) =
+            SegmentLog::open(Box::new(MemBackend::new()), opts()).unwrap();
+        assert_eq!(fresh.sealed_seq, None);
+        mirror_ingest(&mut log, &mut engine, &out);
+        assert!(log.stats().segments > 1, "rotation must have happened");
+
+        let (relog, rengine, report) = reopen(log, opts());
+        assert_eq!(report.replayed_seals, out.marks.len() as u64);
+        assert_eq!(report.sealed_seq, Some(out.marks.len() as u64 - 1));
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(rengine.dataset().fingerprint(), engine.dataset().fingerprint());
+        assert_eq!(rengine.ledger().fingerprint(), engine.ledger().fingerprint());
+        assert_eq!(rengine.seals(), engine.seals());
+        assert_eq!(relog.stats().sealed_fingerprint, report.sealed_fingerprint);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_last_seal() {
+        let out = simulate();
+        let (mut log, mut engine, _) =
+            SegmentLog::open(Box::new(MemBackend::new()), opts()).unwrap();
+        mirror_ingest(&mut log, &mut engine, &out);
+        let mut backend = log.into_backend();
+        // The last non-empty segment holds the final sealed batch (a
+        // fresh active segment may trail it after a rotation).
+        let (tail, len) = backend
+            .segments()
+            .unwrap()
+            .into_iter()
+            .rev()
+            .find_map(|name| {
+                let len = backend.read_segment(&name).unwrap().len();
+                (len > 0).then_some((name, len))
+            })
+            .expect("the log holds batches");
+
+        // Chop into the middle of the final seal record: the final month
+        // must roll back, everything before it must survive.
+        backend.truncate_segment(&tail, (len - 7) as u64).unwrap();
+        let (_, rengine, report) = SegmentLog::open(backend, opts()).unwrap();
+        assert_eq!(report.sealed_seq, Some(out.marks.len() as u64 - 2));
+        assert!(report.truncated_bytes > 0, "the torn tail must be counted");
+        let expect = engine.seals()[out.marks.len() - 2].fingerprint.clone();
+        assert_eq!(report.sealed_fingerprint, Some(expect));
+        assert_eq!(rengine.seals().len(), out.marks.len() - 1);
+    }
+
+    #[test]
+    fn bit_rot_mid_log_drops_everything_after_it() {
+        let out = simulate();
+        let (mut log, mut engine, _) =
+            SegmentLog::open(Box::new(MemBackend::new()), opts()).unwrap();
+        mirror_ingest(&mut log, &mut engine, &out);
+        let segments_before = log.stats().segments;
+        assert!(segments_before >= 3, "need a middle segment to corrupt");
+
+        let mut backend = log.into_backend();
+        // Garble segment 2 from its midpoint: recovery must keep only its
+        // leading sealed batches and drop every later segment.
+        let name = "seg-00000002.log";
+        let len = backend.read_segment(name).unwrap().len();
+        backend.truncate_segment(name, (len / 2) as u64).unwrap();
+        backend.append_segment(name, b"garbage-where-a-frame-should-be", false).unwrap();
+        let (relog, rengine, report) = SegmentLog::open(backend, opts()).unwrap();
+        assert_eq!(report.dropped_segments, segments_before - 2);
+        assert!(report.truncated_bytes > 0);
+        let sealed = report.sealed_seq.expect("segment 1 holds sealed batches");
+        assert!((sealed as usize) < out.marks.len() - 1);
+        assert_eq!(
+            rengine.seals().last().map(|s| s.fingerprint.clone()),
+            report.sealed_fingerprint
+        );
+        assert_eq!(relog.stats().segments as usize, 2, "seg 2 truncated, later dropped");
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_compact_removes_covered_segments() {
+        let out = simulate();
+        let options = opts().with_checkpoint_interval(5);
+        let (mut log, mut engine, _) =
+            SegmentLog::open(Box::new(MemBackend::new()), options.clone()).unwrap();
+        mirror_ingest(&mut log, &mut engine, &out);
+        let stats = log.stats();
+        assert!(stats.checkpoints_written >= 1);
+        let ckpt_seq = stats.checkpoint_seq.expect("interval 5 checkpointed");
+
+        let compacted = log.compact().expect("compact succeeds");
+        let (_, rengine, report) = reopen(log, options);
+        assert_eq!(report.checkpoint_seq, Some(ckpt_seq));
+        assert_eq!(
+            report.replayed_seals,
+            out.marks.len() as u64 - (ckpt_seq + 1),
+            "replay must start after the checkpoint"
+        );
+        assert_eq!(rengine.dataset().fingerprint(), engine.dataset().fingerprint());
+        assert_eq!(rengine.seals(), engine.seals());
+        // Compaction only ever removes whole checkpoint-covered segments.
+        if compacted.removed_segments > 0 {
+            assert!(compacted.removed_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn identity_mismatch_is_rejected() {
+        let (log, _, _) = SegmentLog::open(Box::new(MemBackend::new()), opts()).unwrap();
+        let err = SegmentLog::open(log.into_backend(), StoreOptions::new(10, 3)).unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn fs_round_trip_survives_a_real_reopen() {
+        let dir = std::env::temp_dir().join(format!("dial-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = simulate();
+        let options = opts().with_checkpoint_interval(4);
+        let (mut log, mut engine, _) = open_fs(&dir, options.clone()).unwrap();
+        mirror_ingest(&mut log, &mut engine, &out);
+        drop(log); // no clean shutdown step exists, and none is needed
+
+        let (_, rengine, report) = open_fs(&dir, options).unwrap();
+        assert_eq!(report.sealed_seq, Some(out.marks.len() as u64 - 1));
+        assert_eq!(rengine.dataset().fingerprint(), engine.dataset().fingerprint());
+        assert_eq!(rengine.seals(), engine.seals());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

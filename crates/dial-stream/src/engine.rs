@@ -25,7 +25,7 @@ use crate::event::Event;
 use dial_chain::{ChainTx, Ledger};
 use dial_model::{Contract, Dataset, Post, Thread, User};
 use dial_time::{Era, YearMonth};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Why an event batch (or a seal) was rejected. The engine state is
 /// unchanged when any of these is returned.
@@ -54,7 +54,7 @@ impl std::fmt::Display for StreamError {
 }
 
 /// Entity counts, used for both per-seal deltas and running totals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SealCounts {
     /// Members.
     pub users: u64,
@@ -69,7 +69,7 @@ pub struct SealCounts {
 }
 
 /// An era boundary crossed by a seal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EraTransition {
     /// The era the previous seal closed in (`None` for the first seal).
     pub from: Option<Era>,
@@ -77,8 +77,9 @@ pub struct EraTransition {
     pub to: Option<Era>,
 }
 
-/// Everything one seal changed — the payload of a `/v1/stream` frame.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// Everything one seal changed — the payload of a `/v1/stream` frame,
+/// and (via `Deserialize`) the seal record dial-store replays from disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SealDelta {
     /// Seal index, 0-based and contiguous.
     pub seq: u64,
@@ -151,6 +152,31 @@ impl StreamEngine {
             pend_txs: Vec::new(),
             aggregates: StreamAggregates::new(),
             seals: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an engine around a recovered sealed prefix: the dataset
+    /// and ledger exactly as last sealed, plus the seal history that
+    /// produced them. The incremental aggregates are replayed from the
+    /// sealed contracts in id order — the same order every live seal
+    /// applied them in — so the rebuilt engine is history-equivalent to
+    /// one that ingested the stream from the start: the next watermark
+    /// seals the same delta, with the same fingerprint, either way.
+    pub fn from_sealed(dataset: Dataset, ledger: Ledger, seals: Vec<SealDelta>) -> Self {
+        let mut aggregates = StreamAggregates::new();
+        for contract in dataset.contracts() {
+            aggregates.apply(&Event::ContractCreated { contract: contract.clone() });
+        }
+        Self {
+            dataset,
+            ledger,
+            pend_users: Vec::new(),
+            pend_threads: Vec::new(),
+            pend_contracts: Vec::new(),
+            pend_posts: Vec::new(),
+            pend_txs: Vec::new(),
+            aggregates,
+            seals,
         }
     }
 

@@ -30,6 +30,22 @@
 //!     grows it through `POST /v1/ingest`; `GET /v1/stream` feeds
 //!     sealed deltas to subscribers as server-sent events.
 //!
+//! dial serve --live --data-dir store/ [--checkpoint-interval 6] ...
+//!     Durable live mode: every sealed month is appended to a
+//!     crash-recoverable segment log under --data-dir (plus periodic
+//!     checkpoint snapshots). On startup the server replays the log
+//!     from the last checkpoint and proves recovery by re-deriving
+//!     every sealed-prefix fingerprint; `GET /v1/store` reports the
+//!     store's stats and what recovery replayed.
+//!
+//! dial store <inspect|verify|compact> --data-dir store/
+//!           [--seed 7] [--classes 12]
+//!     Operate on a durable store offline. `inspect` prints stats and
+//!     the recovery report as JSON; `verify` runs the full recovery
+//!     state machine (CRC scan + fingerprint proof) and reports any
+//!     torn tail it repaired; `compact` drops whole segments already
+//!     covered by the latest checkpoint.
+//!
 //! dial replay --target 127.0.0.1:8080 [--seed 7] [--scale 0.1]
 //!            [--speed 0]
 //!     Re-simulate a market and feed its event log, month by month,
@@ -84,6 +100,7 @@ fn main() -> ExitCode {
         Some("summary") => summary(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("store") => store_cmd(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("export") => export(&args[1..]),
         Some("lint") => lint(&args[1..]),
@@ -95,7 +112,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: dial <generate|summary|analyze|serve|replay|export|lint|list> [options]"
+                "usage: dial <generate|summary|analyze|serve|store|replay|export|lint|list> [options]"
             );
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
@@ -104,6 +121,9 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "  dial serve --snapshot market.json | --live [--port 8080] [--threads N] [--queue 64]"
+            );
+            eprintln!(
+                "  dial store <inspect|verify|compact> --data-dir store/ [--seed 7] [--classes 12]"
             );
             eprintln!("  dial replay --target 127.0.0.1:8080 [--seed 7] [--scale 0.1] [--speed 0]");
             eprintln!("  dial export market.json --dir csv_out");
@@ -360,19 +380,65 @@ fn serve(args: &[String]) -> ExitCode {
     let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
     let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
 
+    let data_dir = opt(args, "--data-dir");
+    if data_dir.is_some() && !live {
+        eprintln!("--data-dir requires --live: snapshot servers are read-only and need no store");
+        return ExitCode::FAILURE;
+    }
+
     let engine = if live {
         // A month-sized NDJSON segment easily exceeds the 64 KiB default
         // body cap meant for query traffic; give ingest real headroom.
         cfg.max_body_bytes = cfg.max_body_bytes.max(32 << 20);
-        eprintln!("live mode: starting from an empty snapshot (seed {seed})");
-        std::sync::Arc::new(Engine::new_live(
-            seed,
-            classes,
-            dial_serve::registry_experiments(),
-            cfg.threads,
-            cfg.queue_capacity,
-            cfg.max_pending_events,
-        ))
+        if let Some(dir) = &data_dir {
+            let mut opts = dial_store::StoreOptions::new(seed, classes);
+            if let Some(n) = opt(args, "--checkpoint-interval").and_then(|v| v.parse().ok()) {
+                opts = opts.with_checkpoint_interval(n);
+            }
+            if args.iter().any(|a| a == "--no-fsync") {
+                opts = opts.with_fsync(false);
+            }
+            eprintln!("live mode: opening durable store at {dir} (seed {seed})");
+            let (log, recovered, report) = match dial_store::open_fs(dir, opts) {
+                Ok(opened) => opened,
+                Err(e) => {
+                    eprintln!("open store {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "store recovered: sealed seq {}, {} seal(s) / {} event(s) replayed, {} byte(s) truncated, {} segment(s) dropped",
+                report
+                    .sealed_seq
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "none".into()),
+                report.replayed_seals,
+                report.replayed_events,
+                report.truncated_bytes,
+                report.dropped_segments,
+            );
+            std::sync::Arc::new(Engine::new_live_durable(
+                seed,
+                classes,
+                dial_serve::registry_experiments(),
+                cfg.threads,
+                cfg.queue_capacity,
+                cfg.max_pending_events,
+                log,
+                recovered,
+                report,
+            ))
+        } else {
+            eprintln!("live mode: starting from an empty snapshot (seed {seed})");
+            std::sync::Arc::new(Engine::new_live(
+                seed,
+                classes,
+                dial_serve::registry_experiments(),
+                cfg.threads,
+                cfg.queue_capacity,
+                cfg.max_pending_events,
+            ))
+        }
     } else {
         let path = path.expect("checked above");
         eprintln!("loading snapshot {path}...");
@@ -396,6 +462,7 @@ fn serve(args: &[String]) -> ExitCode {
         ))
     };
     install_signal_handlers();
+    let drain_probe = std::sync::Arc::clone(&engine);
     match Server::start(engine, &cfg) {
         Ok(server) => {
             eprintln!(
@@ -410,8 +477,25 @@ fn serve(args: &[String]) -> ExitCode {
                 std::thread::sleep(Duration::from_millis(25));
             }
             eprintln!("signal received: draining (up to {:?})...", cfg.drain_timeout);
+            // Seal-or-nothing: events past the last watermark were never
+            // written to the store, so a drain abandons them by design.
+            // Count them before the drain so operators see what is lost.
+            let unsealed = drain_probe.pending_events();
+            if let Some(n) = unsealed {
+                if n > 0 {
+                    eprintln!(
+                        "warning: {n} pending event(s) are unsealed and will not be persisted (seal-or-nothing durability)"
+                    );
+                }
+            }
             let abandoned = server.graceful_shutdown();
-            eprintln!("drained ({} job(s) abandoned)", abandoned.len());
+            match unsealed {
+                Some(n) => eprintln!(
+                    "drained ({} job(s) abandoned, {n} unsealed event(s) discarded)",
+                    abandoned.len()
+                ),
+                None => eprintln!("drained ({} job(s) abandoned)", abandoned.len()),
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -419,6 +503,89 @@ fn serve(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Offline operations on a durable store directory.
+///
+/// Opening a store *is* the recovery state machine — CRC scan, torn-tail
+/// truncation, checkpoint load, and the per-seal fingerprint proof — so
+/// `verify` simply opens the store and reports what recovery found and
+/// repaired. `inspect` prints the stats and recovery report as JSON;
+/// `compact` additionally drops whole segments the latest checkpoint
+/// already covers. All three require an existing `manifest.json`
+/// (opening a blank directory would silently create a fresh store).
+fn store_cmd(args: &[String]) -> ExitCode {
+    let usage =
+        "usage: dial store <inspect|verify|compact> --data-dir <path> [--seed N] [--classes N]";
+    let action = match args.first().map(String::as_str) {
+        Some(a @ ("inspect" | "verify" | "compact")) => a,
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(dir) = opt(args, "--data-dir") else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = opt(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD1A1);
+    let classes: usize = opt(args, "--classes").and_then(|v| v.parse().ok()).unwrap_or(12);
+    if !std::path::Path::new(&dir).join("manifest.json").is_file() {
+        eprintln!("no store at {dir}: manifest.json not found (a durable server creates one via --data-dir)");
+        return ExitCode::FAILURE;
+    }
+    let (mut log, _engine, report) =
+        match dial_store::open_fs(&dir, dial_store::StoreOptions::new(seed, classes)) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    match action {
+        "inspect" => {
+            let stats = serde_json::to_string(&log.stats()).expect("stats serialize");
+            let recovery = serde_json::to_string(&report).expect("report serialize");
+            println!("{{\"stats\":{stats},\"recovery\":{recovery}}}");
+        }
+        "verify" => {
+            if report.truncated_bytes > 0 || report.dropped_segments > 0 {
+                eprintln!(
+                    "repaired: {} torn byte(s) truncated, {} unreachable segment(s) dropped",
+                    report.truncated_bytes, report.dropped_segments
+                );
+            }
+            println!(
+                "verify OK: sealed seq {}, {} seal(s) / {} event(s) replayed from checkpoint {}, fingerprints proven",
+                report
+                    .sealed_seq
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "none".into()),
+                report.replayed_seals,
+                report.replayed_events,
+                report
+                    .checkpoint_seq
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "none".into()),
+            );
+        }
+        _ => {
+            let before = log.stats();
+            match log.compact() {
+                Ok(c) => println!(
+                    "compacted: {} segment(s) / {} byte(s) removed ({} segment(s) remain)",
+                    c.removed_segments,
+                    c.removed_bytes,
+                    before.segments - c.removed_segments
+                ),
+                Err(e) => {
+                    eprintln!("compact {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the dial-lint static-analysis pass. Exit codes: 0 clean, 1 on

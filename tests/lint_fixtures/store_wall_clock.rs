@@ -1,0 +1,27 @@
+//! Fixture: store-path shapes `wall-clock-in-deterministic` must catch.
+//! `dial-store` joined DETERMINISTIC_CRATES when the segment log landed:
+//! recovery replays a log byte-for-byte, so a wall-clock read anywhere on
+//! the append or recovery path is a hidden input that would make two
+//! replays of the same log disagree. The real crate routes the one timed
+//! behaviour it has (fsync-stall injection) through `dial_fault` without
+//! ever naming `std::time`; this fixture proves the rule still guards
+//! that property.
+
+use std::time::{Instant, SystemTime};
+
+/// Stamping a segment seal record with the wall clock would make the
+/// on-disk bytes differ across replays of the same event log.
+pub fn seal_stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Timing recovery with `Instant` inside the store (rather than in the
+/// bench harness) is still a hidden input to a deterministic crate.
+pub fn timed_recovery<F: FnOnce() -> usize>(replay: F) -> (usize, u128) {
+    let start = Instant::now();
+    let seals = replay();
+    (seals, start.elapsed().as_millis())
+}

@@ -116,6 +116,28 @@ fn r3_fires_on_fixture() {
     );
 }
 
+/// `dial-store` is in DETERMINISTIC_CRATES: replaying the same log twice
+/// must produce identical bytes, so wall-clock reads on the store path
+/// are R3 violations. The store-flavoured fixture keeps that coverage
+/// alive independently of the generic one.
+#[test]
+fn r3_fires_on_store_fixture() {
+    let report = lint_fixture("store_wall_clock.rs");
+    let snippets: Vec<&str> = report
+        .active()
+        .filter(|f| f.rule == "wall-clock-in-deterministic")
+        .map(|f| f.snippet.as_str())
+        .collect();
+    assert!(
+        snippets.iter().any(|s| s.contains("SystemTime::now")),
+        "R3 must flag the seal-stamp shape: {snippets:?}"
+    );
+    assert!(
+        snippets.iter().any(|s| s.contains("Instant::now")),
+        "R3 must flag the timed-recovery shape: {snippets:?}"
+    );
+}
+
 #[test]
 fn r4_fires_on_fixture() {
     let report = lint_fixture("missing_checkpoint.rs");
