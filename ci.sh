@@ -30,6 +30,9 @@ cargo clippy -p dial-stream --all-targets -- -D warnings
 echo "==> cargo clippy -p dial-store (warnings are errors)"
 cargo clippy -p dial-store --all-targets -- -D warnings
 
+echo "==> cargo clippy -p dial-replicate (warnings are errors)"
+cargo clippy -p dial-replicate --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -50,5 +53,8 @@ cargo test -q --test chaos
 
 echo "==> crash-recovery suite (SIGKILL + torn-write store recovery)"
 cargo test -q --test store_recovery
+
+echo "==> replication suite (leader/follower sync, router, stale serving)"
+cargo test -q --test replication
 
 echo "==> ci.sh: all green"

@@ -70,10 +70,17 @@ pub enum FaultPoint {
     /// dial-store: at the top of a checkpoint write, before any state is
     /// touched (panics).
     CheckpointPanic = 10,
+    /// dial-replicate: before a follower fetches a sync batch from its
+    /// leader (delays the fetch — a slow or congested leader).
+    SyncStall = 11,
+    /// dial-store: while exporting a sealed batch for replication (flips
+    /// one byte so the follower's CRC/fingerprint verification must
+    /// reject the fetch).
+    SegmentCorrupt = 12,
 }
 
 /// Number of distinct [`FaultPoint`]s (sizes the counter arrays).
-const POINTS: usize = 11;
+const POINTS: usize = 13;
 
 impl FaultPoint {
     /// Stable name used by the `--chaos` spec and in event logs.
@@ -90,6 +97,8 @@ impl FaultPoint {
             FaultPoint::TornWrite => "torn_write",
             FaultPoint::FsyncStall => "fsync_stall",
             FaultPoint::CheckpointPanic => "ckpt_panic",
+            FaultPoint::SyncStall => "sync_stall",
+            FaultPoint::SegmentCorrupt => "segment_corrupt",
         }
     }
 
@@ -106,6 +115,8 @@ impl FaultPoint {
             "torn_write" => FaultPoint::TornWrite,
             "fsync_stall" => FaultPoint::FsyncStall,
             "ckpt_panic" => FaultPoint::CheckpointPanic,
+            "sync_stall" => FaultPoint::SyncStall,
+            "segment_corrupt" => FaultPoint::SegmentCorrupt,
             _ => return None,
         })
     }
@@ -147,6 +158,9 @@ pub enum FaultAction {
     Truncate(usize),
     /// Attempt a tampered cache insert (the cache must reject it).
     Poison,
+    /// Flip one byte at this offset in an outgoing sealed batch (the
+    /// receiver's CRC verification must catch it).
+    Corrupt(usize),
 }
 
 /// One recorded fire, in process-global order.
@@ -277,10 +291,13 @@ impl Chaos {
             | FaultPoint::HandlerStall
             | FaultPoint::QueueStall
             | FaultPoint::IngestStall
-            | FaultPoint::FsyncStall => FaultAction::Delay(Duration::from_millis(rule.delay_ms)),
+            | FaultPoint::FsyncStall
+            | FaultPoint::SyncStall => FaultAction::Delay(Duration::from_millis(rule.delay_ms)),
             FaultPoint::TruncWrite | FaultPoint::TornWrite => {
                 FaultAction::Truncate(rule.keep_bytes)
             }
+            // `bytes=` doubles as the corruption offset for this point.
+            FaultPoint::SegmentCorrupt => FaultAction::Corrupt(rule.keep_bytes),
             FaultPoint::WorkerPanic | FaultPoint::SealPanic | FaultPoint::CheckpointPanic => {
                 FaultAction::Panic
             }

@@ -1,0 +1,140 @@
+//! A minimal blocking HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! The sync runner and the router both speak to `dial serve` nodes,
+//! whose front-end closes the connection after every response. That
+//! lets the client stay tiny: one request per connection, `Connection:
+//! close`, read status line + headers, then read the body to EOF
+//! (bounded by `Content-Length` when the server declares one). No
+//! keep-alive, no chunked encoding, no TLS — exactly what the in-tree
+//! server emits and nothing more.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long a single request may take end to end. Sync fetches move at
+/// most one sealed batch (a few hundred KiB at paper scale), so a slow
+/// leader is indistinguishable from a dead one well before this.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP response: status code, headers in arrival order, raw
+/// body bytes.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the response line.
+    pub status: u16,
+    /// `(name, value)` pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The response body, raw.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First header value matching `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy) — for JSON endpoints.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET {path}` against `addr` (a `host:port` string).
+pub fn get(addr: &str, path: &str) -> Result<HttpReply, String> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST {path}` with a body against `addr`.
+pub fn post(addr: &str, path: &str, body: &[u8]) -> Result<HttpReply, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// One request/response exchange on a fresh connection.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<HttpReply, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
+        .map_err(|e| format!("socket timeouts on {addr}: {e}"))?;
+
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(payload) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", payload.len()));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.unwrap_or(&[])))
+        .map_err(|e| format!("write to {addr}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
+    parse(&raw).map_err(|e| format!("response from {addr}: {e}"))
+}
+
+/// Splits raw response bytes into status, headers, and body.
+fn parse(raw: &[u8]) -> Result<HttpReply, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "no header terminator".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|e| format!("non-UTF-8 header block: {e}"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| "empty response".to_string())?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    // The server closes after each response, so EOF normally bounds the
+    // body; Content-Length still wins when declared, guarding against
+    // trailing bytes from a confused upstream.
+    let declared = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    if let Some(len) = declared {
+        if body.len() < len {
+            return Err(format!("truncated body: {} of {len} byte(s)", body.len()));
+        }
+        body.truncate(len);
+    }
+    Ok(HttpReply { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_bounded_body() {
+        let raw = b"HTTP/1.1 421 Misdirected Request\r\nContent-Type: application/json\r\nLocation: http://h:1/v1/ingest\r\nContent-Length: 4\r\n\r\nbodyJUNK";
+        let reply = parse(raw).unwrap();
+        assert_eq!(reply.status, 421);
+        assert_eq!(reply.header("location"), Some("http://h:1/v1/ingest"));
+        assert_eq!(reply.header("CONTENT-TYPE"), Some("application/json"));
+        assert_eq!(reply.body, b"body");
+    }
+
+    #[test]
+    fn rejects_truncated_and_malformed_responses() {
+        assert!(parse(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nshort").is_err());
+        assert!(parse(b"garbage").is_err());
+        assert!(parse(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! `dial route`: a thin scatter-gather front over one leader and a set
+//! of read replicas.
+//!
+//! The router holds no market state and runs no experiments — it only
+//! decides *which node answers*:
+//!
+//! - `POST /v1/ingest` goes to the leader. If the cached leader answers
+//!   `421 not_leader` (it was demoted, or the operator pointed the
+//!   router at a follower), the router follows the `Location` header
+//!   once, updates its cached leader, and retries — so a stale
+//!   `--leader` flag self-heals on the first write.
+//! - `GET /v1/analyze/*` rendezvous-hashes the request path across the
+//!   read replicas, so each experiment's repeated queries land on the
+//!   same node and reuse its warm cache; a dead replica fails over to
+//!   the next-ranked one without remapping the rest.
+//! - `GET /v1/stream` fans out round-robin across followers, keeping
+//!   long-lived feed connections off the leader's ingest path.
+//! - `GET /v1/cluster` answers locally with `role: "router"`; all other
+//!   reads go to the leader.
+//!
+//! Every proxied exchange is one fresh upstream connection — the same
+//! close-delimited HTTP/1.1 the in-tree server speaks.
+
+use crate::httpc::{self, HttpReply};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the router is wired at startup.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
+    pub port: u16,
+    /// The write node. May be stale: a 421 redirect corrects it.
+    pub leader: String,
+    /// Read replicas (`host:port`). Empty means the leader serves reads
+    /// too — a single-node cluster behind a stable front address.
+    pub followers: Vec<String>,
+}
+
+struct RouterState {
+    leader: Mutex<String>,
+    followers: Vec<String>,
+    round_robin: AtomicUsize,
+}
+
+/// A running router; [`Router::stop`] shuts the accept loop down.
+pub struct Router {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds and starts serving in a background accept loop.
+    pub fn start(cfg: RouterConfig) -> Result<Self, String> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+            .map_err(|e| format!("bind 127.0.0.1:{}: {e}", cfg.port))?;
+        let addr = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking listener: {e}"))?;
+        let state = Arc::new(RouterState {
+            leader: Mutex::new(cfg.leader),
+            followers: cfg.followers,
+            round_robin: AtomicUsize::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dial-route".into())
+            .spawn(move || accept_loop(&listener, &state, &flag))
+            .map_err(|e| format!("spawn router thread: {e}"))?;
+        Ok(Self { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. In-flight proxied
+    /// requests finish on their own threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<RouterState>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(state);
+                std::thread::spawn(move || handle_conn(stream, &st));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, state: &RouterState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let (method, path, body) = match read_request(&mut stream) {
+        Ok(parts) => parts,
+        Err(detail) => {
+            respond_error(&mut stream, 400, "bad_request", &detail);
+            return;
+        }
+    };
+    match (method.as_str(), path.as_str()) {
+        ("POST", "/v1/ingest") => match forward_ingest(state, &body) {
+            Ok(reply) => relay(&mut stream, &reply),
+            Err(detail) => respond_error(&mut stream, 502, "bad_upstream", &detail),
+        },
+        ("GET", "/v1/cluster") => {
+            let leader = lock_leader(state).clone();
+            let body = format!(
+                "{{\"version\":2,\"role\":\"router\",\"leader\":{},\"peers\":{}}}",
+                json_str(&leader),
+                serde_json::to_string(&state.followers).unwrap_or_else(|_| "[]".into()),
+            );
+            respond(&mut stream, 200, "application/json", None, body.as_bytes());
+        }
+        ("GET", p) if p == "/v1/stream" || p.starts_with("/v1/stream?") => {
+            proxy_stream(&mut stream, state, &path);
+        }
+        ("GET", p) if p.starts_with("/v1/analyze") => {
+            let replicas = read_replicas(state);
+            match forward_read(&rank_replicas(&replicas, &path), &path) {
+                Ok(reply) => relay(&mut stream, &reply),
+                Err(detail) => respond_error(&mut stream, 502, "bad_upstream", &detail),
+            }
+        }
+        ("GET", _) => {
+            let leader = lock_leader(state).clone();
+            match httpc::get(&leader, &path) {
+                Ok(reply) => relay(&mut stream, &reply),
+                Err(detail) => respond_error(&mut stream, 502, "bad_upstream", &detail),
+            }
+        }
+        _ => respond_error(
+            &mut stream,
+            405,
+            "method_not_allowed",
+            "router accepts GET, and POST /v1/ingest",
+        ),
+    }
+}
+
+fn lock_leader(state: &RouterState) -> std::sync::MutexGuard<'_, String> {
+    state.leader.lock().expect("leader lock")
+}
+
+/// The nodes that answer reads: followers when present, else the leader.
+fn read_replicas(state: &RouterState) -> Vec<String> {
+    if state.followers.is_empty() {
+        vec![lock_leader(state).clone()]
+    } else {
+        state.followers.clone()
+    }
+}
+
+/// Writes go to the cached leader; one `421 Location` hop re-aims them.
+fn forward_ingest(state: &RouterState, body: &[u8]) -> Result<HttpReply, String> {
+    let leader = lock_leader(state).clone();
+    let reply = httpc::post(&leader, "/v1/ingest", body)?;
+    if reply.status != 421 {
+        return Ok(reply);
+    }
+    let Some(corrected) = reply.header("location").and_then(addr_of_url) else {
+        return Ok(reply); // 421 without a usable Location: relay as-is
+    };
+    let retry = httpc::post(&corrected, "/v1/ingest", body)?;
+    *lock_leader(state) = corrected;
+    Ok(retry)
+}
+
+/// Tries replicas in rendezvous order; transport failures fail over,
+/// any HTTP response (including errors) is the answer.
+fn forward_read(ranked: &[&str], path: &str) -> Result<HttpReply, String> {
+    let mut last = "no read replicas configured".to_string();
+    for addr in ranked {
+        match httpc::get(addr, path) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Pipes a long-lived `/v1/stream` feed from a round-robin-chosen
+/// follower straight through to the client, byte for byte.
+fn proxy_stream(client: &mut TcpStream, state: &RouterState, path: &str) {
+    let replicas = read_replicas(state);
+    let pick = state.round_robin.fetch_add(1, Ordering::Relaxed) % replicas.len();
+    let upstream_addr = &replicas[pick];
+    let mut upstream = match TcpStream::connect(upstream_addr) {
+        Ok(s) => s,
+        Err(e) => {
+            respond_error(client, 502, "bad_upstream", &format!("connect {upstream_addr}: {e}"));
+            return;
+        }
+    };
+    let head = format!("GET {path} HTTP/1.1\r\nHost: {upstream_addr}\r\nConnection: close\r\n\r\n");
+    if upstream.write_all(head.as_bytes()).is_err() {
+        respond_error(client, 502, "bad_upstream", &format!("write to {upstream_addr} failed"));
+        return;
+    }
+    // Feeds idle between seals; only a dead upstream should cut the pipe.
+    let _ = upstream.set_read_timeout(Some(Duration::from_secs(300)));
+    let mut buf = [0u8; 8192];
+    loop {
+        match upstream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if client.write_all(&buf[..n]).is_err() {
+                    break; // client went away; drop the upstream too
+                }
+                let _ = client.flush();
+            }
+        }
+    }
+}
+
+/// Extracts `host:port` from an `http://host:port/...` URL.
+fn addr_of_url(url: &str) -> Option<String> {
+    let rest = url.strip_prefix("http://")?;
+    let addr = rest.split('/').next()?;
+    (!addr.is_empty()).then(|| addr.to_string())
+}
+
+// ---- rendezvous hashing ------------------------------------------------
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0x9e37_79b9_7f4a_7c15, |h, b| splitmix64(h ^ u64::from(b)))
+}
+
+/// Ranks replicas for `key` by highest rendezvous score. Every node
+/// scores each (replica, key) pair independently, so removing one
+/// replica remaps only the keys it owned — the property that keeps the
+/// other replicas' caches warm through a failover.
+pub fn rank_replicas<'a>(replicas: &'a [String], key: &str) -> Vec<&'a str> {
+    let k = hash_str(key);
+    let mut scored: Vec<(u64, &str)> =
+        replicas.iter().map(|r| (splitmix64(hash_str(r) ^ k), r.as_str())).collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+    scored.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---- request/response plumbing ----------------------------------------
+
+/// Reads one request: method, path (with query), body per Content-Length.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, Vec<u8>), String> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if raw.len() > 16 * 1024 {
+            return Err("request head too large".into());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|e| format!("non-UTF-8 request head: {e}"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line without a path")?.to_string();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > 64 * 1024 * 1024 {
+        return Err("declared body too large".into());
+    }
+    let mut body = raw[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(format!("read body: {e}")),
+        }
+    }
+    body.truncate(content_length);
+    Ok((method, path, body))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        308 => "Permanent Redirect",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        421 => "Misdirected Request",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).unwrap_or_else(|_| "\"\"".into())
+}
+
+/// Relays an upstream reply to the client, preserving the headers that
+/// carry meaning across the hop (Content-Type, Location).
+fn relay(stream: &mut TcpStream, reply: &HttpReply) {
+    let ctype = reply.header("content-type").unwrap_or("application/json").to_string();
+    let location = reply.header("location").map(str::to_string);
+    respond(stream, reply.status, &ctype, location.as_deref(), &reply.body);
+}
+
+fn respond(stream: &mut TcpStream, status: u16, ctype: &str, location: Option<&str>, body: &[u8]) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    if let Some(loc) = location {
+        head.push_str(&format!("Location: {loc}\r\n"));
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body));
+}
+
+/// The same `{"error":{...}}` envelope the serve nodes use, so router
+/// failures read identically to node failures downstream.
+fn respond_error(stream: &mut TcpStream, status: u16, code: &str, detail: &str) {
+    let body = format!(
+        "{{\"error\":{{\"code\":{},\"message\":{},\"detail\":null}}}}",
+        json_str(code),
+        json_str(detail)
+    );
+    respond(stream, status, "application/json", None, body.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicas(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn rendezvous_ranking_is_deterministic_and_total() {
+        let reps = replicas(4);
+        let a = rank_replicas(&reps, "/v1/analyze/table1");
+        let b = rank_replicas(&reps, "/v1/analyze/table1");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "ranking must be a permutation");
+    }
+
+    #[test]
+    fn rendezvous_spreads_keys_and_survives_replica_loss() {
+        let reps = replicas(4);
+        let keys: Vec<String> = (0..200).map(|i| format!("/v1/analyze/exp-{i}")).collect();
+        let mut owners = std::collections::BTreeMap::new();
+        for key in &keys {
+            *owners.entry(rank_replicas(&reps, key)[0].to_string()).or_insert(0u32) += 1;
+        }
+        assert_eq!(owners.len(), 4, "all replicas should own some keys: {owners:?}");
+
+        // Drop one replica: only its keys may move.
+        let lost = rank_replicas(&reps, &keys[0])[0].to_string();
+        let survivors: Vec<String> = reps.iter().filter(|r| **r != lost).cloned().collect();
+        for key in &keys {
+            let before = rank_replicas(&reps, key)[0];
+            let after = rank_replicas(&survivors, key)[0];
+            if before != lost {
+                assert_eq!(before, after, "key {key} moved although its owner survived");
+            } else {
+                assert_ne!(after, lost);
+            }
+        }
+    }
+
+    #[test]
+    fn location_urls_resolve_to_host_port() {
+        assert_eq!(addr_of_url("http://127.0.0.1:8080/v1/ingest"), Some("127.0.0.1:8080".into()));
+        assert_eq!(addr_of_url("http://h:1"), Some("h:1".into()));
+        assert_eq!(addr_of_url("https://h:1/x"), None);
+        assert_eq!(addr_of_url("http:///x"), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Follower-side segment sync: a background runner that tails a
+//! leader's sealed batches over `/v1/sync/*` and replays them through
+//! the local [`Engine`].
+//!
+//! The unit of transfer is one sealed batch, exactly as dial-store laid
+//! it down: CRC-framed event records, the watermark, then the seal
+//! record carrying the leader's `SealDelta` with its sealed-prefix
+//! fingerprint. [`Engine::apply_synced`] refuses the whole batch if any
+//! frame fails its checksum and refuses the seal if the locally
+//! recomputed fingerprint disagrees with the leader's — so a follower
+//! that reports `synced_seq = N` is *provably* byte-identical to the
+//! leader at seal `N`, not just hopefully so.
+//!
+//! Progress is resumable by construction: a durable follower recovers
+//! its sealed prefix at startup ([`Engine::set_role`] seeds the sync
+//! status from it) and the runner fetches only `synced_seq + 1`
+//! onwards. Losing the leader is not an error state, just staleness:
+//! after [`STALE_AFTER_FAILURES`] consecutive failed polls the runner
+//! flags `stale: true` in `/v1/cluster` and keeps serving the sealed
+//! prefix it has.
+
+use crate::httpc;
+use dial_fault::{inject, FaultAction, FaultPoint};
+use dial_serve::{Engine, SyncApplied, SyncApplyError};
+use dial_store::{SyncManifest, SYNC_MANIFEST_VERSION};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Consecutive failed leader polls before the follower marks itself
+/// stale in `/v1/cluster`. One failure is a blip; three in a row with
+/// nothing applied in between is a dead or unreachable leader.
+pub const STALE_AFTER_FAILURES: u32 = 3;
+
+/// A blocking client for a leader's `/v1/sync/*` endpoints.
+pub struct SyncClient {
+    leader: String,
+}
+
+impl SyncClient {
+    /// A client for the leader at `addr` (`host:port`).
+    pub fn new(addr: &str) -> Self {
+        Self { leader: addr.to_string() }
+    }
+
+    /// Fetches and parses `GET /v1/sync/manifest`.
+    pub fn manifest(&self) -> Result<SyncManifest, String> {
+        let reply = httpc::get(&self.leader, "/v1/sync/manifest")?;
+        if reply.status != 200 {
+            return Err(format!("manifest: HTTP {} from {}", reply.status, self.leader));
+        }
+        let manifest: SyncManifest = serde_json::from_str(&reply.text())
+            .map_err(|e| format!("manifest from {}: {e:?}", self.leader))?;
+        if manifest.version != SYNC_MANIFEST_VERSION {
+            return Err(format!(
+                "manifest version {} from {}, this build speaks {}",
+                manifest.version, self.leader, SYNC_MANIFEST_VERSION
+            ));
+        }
+        Ok(manifest)
+    }
+
+    /// Fetches one sealed batch's raw frame bytes via
+    /// `GET /v1/sync/segment/{seq}`.
+    pub fn fetch(&self, seq: u64) -> Result<Vec<u8>, String> {
+        let reply = httpc::get(&self.leader, &format!("/v1/sync/segment/{seq}"))?;
+        if reply.status != 200 {
+            return Err(format!("batch {seq}: HTTP {} from {}", reply.status, self.leader));
+        }
+        Ok(reply.body)
+    }
+}
+
+/// The background sync thread a follower runs for its lifetime.
+pub struct SyncRunner {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SyncRunner {
+    /// Spawns the runner: every `poll` it fetches the leader's manifest
+    /// and applies any batches the local engine is missing.
+    pub fn start(engine: Arc<Engine>, leader: String, poll: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dial-sync".into())
+            .spawn(move || run_loop(&engine, &leader, poll, &flag))
+            .expect("spawn sync runner thread");
+        Self { stop, handle: Some(handle) }
+    }
+
+    /// Signals the runner to stop and joins it — called on drain so the
+    /// exit counters are final when printed.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_loop(engine: &Engine, leader: &str, poll: Duration, stop: &AtomicBool) {
+    let client = SyncClient::new(leader);
+    let mut failures = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        match sync_once(engine, &client, stop) {
+            Ok(()) => {
+                failures = 0;
+                engine.with_sync_status(|s| {
+                    s.stale = false;
+                    s.last_error = None;
+                });
+            }
+            Err(e) => {
+                failures += 1;
+                let stale = failures >= STALE_AFTER_FAILURES;
+                engine.with_sync_status(|s| {
+                    s.last_error = Some(e);
+                    if stale {
+                        s.stale = true;
+                    }
+                });
+            }
+        }
+        // Sleep in slices so a drain doesn't wait out a full poll.
+        let slice = Duration::from_millis(10);
+        let mut slept = Duration::ZERO;
+        while slept < poll && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// One poll cycle: manifest, identity check, then fetch-and-apply every
+/// batch past the local tip.
+fn sync_once(engine: &Engine, client: &SyncClient, stop: &AtomicBool) -> Result<(), String> {
+    let manifest = client.manifest()?;
+    let (seed, classes) = engine.identity();
+    if manifest.seed != seed || manifest.lca_classes != classes {
+        return Err(format!(
+            "leader identity mismatch: leader is seed={} classes={}, local is seed={seed} classes={classes}",
+            manifest.seed, manifest.lca_classes
+        ));
+    }
+    engine.with_sync_status(|s| s.leader_seq = manifest.sealed_seq);
+    let Some(leader_seq) = manifest.sealed_seq else {
+        return Ok(()); // empty leader: in sync by definition
+    };
+    let mut next = engine.sync_status().synced_seq.map_or(0, |s| s + 1);
+    while next <= leader_seq && !stop.load(Ordering::SeqCst) {
+        // Chaos hook: `sync_stall` paces individual batch transfers, so
+        // a kill-mid-sync test can land between two applied batches.
+        if let Some(FaultAction::Delay(d)) = inject(FaultPoint::SyncStall) {
+            std::thread::sleep(d);
+        }
+        let bytes = client.fetch(next)?;
+        match engine.apply_synced(&bytes) {
+            Ok(SyncApplied::Applied(seq)) => {
+                engine.metrics().sync_fetched(bytes.len() as u64);
+                next = seq + 1;
+            }
+            Ok(SyncApplied::Skipped(_)) => {
+                // Already had it (e.g. a racing restart recovered it);
+                // still a successful transfer.
+                engine.metrics().sync_fetched(bytes.len() as u64);
+                next += 1;
+            }
+            Err(SyncApplyError::Corrupt(detail)) => {
+                // Damaged in flight or at rest on the leader — reject
+                // the whole batch, refetch on the next poll.
+                engine.metrics().fingerprint_reject();
+                engine.metrics().sync_retry();
+                return Err(format!("batch {next} rejected: {detail}"));
+            }
+            Err(SyncApplyError::Diverged(detail)) => {
+                // The leader's events replayed to a *different*
+                // fingerprint locally: not a transfer error, a split
+                // history. Refetching cannot fix it; surface loudly.
+                engine.metrics().fingerprint_reject();
+                return Err(format!("batch {next} diverged: {detail}"));
+            }
+            Err(SyncApplyError::Gap { expected, .. }) => {
+                // Local tip moved under us (startup recovery finishing
+                // late); realign and continue.
+                engine.metrics().sync_retry();
+                next = expected;
+            }
+            Err(SyncApplyError::NotLive) => {
+                return Err("local engine is not live; cannot apply sync batches".into());
+            }
+        }
+    }
+    Ok(())
+}

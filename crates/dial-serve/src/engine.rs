@@ -47,6 +47,124 @@ pub enum AnalyzeError {
 /// frame published so far, plus the channel future frames arrive on.
 pub type FeedSubscription = (Vec<Arc<String>>, Receiver<Arc<String>>);
 
+/// Which part this server plays in a replication cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// No replication configured — the single-node default.
+    #[default]
+    Standalone,
+    /// Accepts writes and serves the `/v1/sync/*` endpoints.
+    Leader,
+    /// Syncs sealed batches from a leader and refuses writes with 421.
+    Follower,
+}
+
+impl Role {
+    /// Stable lowercase name used across the `/v1` surface.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Leader => "leader",
+            Role::Follower => "follower",
+        }
+    }
+}
+
+/// A follower's view of its own replication progress, serialised into
+/// `/v1/cluster`, `/v1/healthz`, and `/v1/store`.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct SyncStatus {
+    /// Last seal seq applied from the leader (or recovered locally).
+    pub synced_seq: Option<u64>,
+    /// Prefix fingerprint at that seal.
+    pub synced_fingerprint: Option<String>,
+    /// The leader's sealed tip as of the last manifest poll.
+    pub leader_seq: Option<u64>,
+    /// True once the leader has been unreachable long enough that served
+    /// results must be assumed behind the cluster tip. The follower keeps
+    /// serving — every body is still fingerprint-proven for the prefix it
+    /// names — but readers can see the staleness here.
+    pub stale: bool,
+    /// The most recent sync failure, cleared on the next success.
+    pub last_error: Option<String>,
+}
+
+/// Replication identity: fixed at construction, status mutates under its
+/// own lock (the sync runner writes it from a background thread).
+struct Replication {
+    role: Role,
+    leader: Option<String>,
+    peers: Vec<String>,
+    sync: Mutex<SyncStatus>,
+}
+
+impl Default for Replication {
+    fn default() -> Self {
+        Self {
+            role: Role::Standalone,
+            leader: None,
+            peers: Vec::new(),
+            sync: Mutex::new(SyncStatus::default()),
+        }
+    }
+}
+
+/// What [`Engine::apply_synced`] did with a fetched batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncApplied {
+    /// The batch extended the local prefix to this seal seq.
+    Applied(u64),
+    /// The batch's seal was already in the local prefix (a resume
+    /// re-fetch); nothing changed.
+    Skipped(u64),
+}
+
+/// Why a fetched batch was not applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncApplyError {
+    /// This engine serves a fixed snapshot; it cannot apply batches.
+    NotLive,
+    /// A frame failed CRC or did not parse — the bytes were damaged in
+    /// flight (or by `segment_corrupt`); refetch the same seq.
+    Corrupt(String),
+    /// The batch seals further ahead than the local prefix; fetch the
+    /// missing seqs first.
+    Gap {
+        /// The seal seq this engine needs next.
+        expected: u64,
+        /// The seal seq the batch carried.
+        got: u64,
+    },
+    /// The locally replayed seal disagreed with the leader's recorded
+    /// one — the prefixes have diverged and only a resync from scratch
+    /// recovers. Fatal for the sync loop.
+    Diverged(String),
+}
+
+impl std::fmt::Display for SyncApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncApplyError::NotLive => write!(f, "engine is not live"),
+            SyncApplyError::Corrupt(d) => write!(f, "batch corrupt: {d}"),
+            SyncApplyError::Gap { expected, got } => {
+                write!(f, "sync gap: need seal {expected}, batch carries {got}")
+            }
+            SyncApplyError::Diverged(d) => write!(f, "prefix diverged: {d}"),
+        }
+    }
+}
+
+/// Why a leader could not export a sync batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncExportError {
+    /// No durable store attached (sync requires `--data-dir`).
+    NoStore,
+    /// The seq is not in the log: never sealed, or compacted away.
+    NotFound,
+    /// The store failed to read the batch.
+    Store(String),
+}
+
 /// Why an ingest batch was refused. Each maps to one HTTP status in the
 /// front-end: 409, 400, 400, 429, 500 in declaration order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +269,7 @@ pub struct Engine {
     seed: u64,
     lca_classes: usize,
     live: Option<Live>,
+    replication: Replication,
 }
 
 impl Engine {
@@ -175,6 +294,7 @@ impl Engine {
             seed,
             lca_classes,
             live: None,
+            replication: Replication::default(),
         }
     }
 
@@ -632,6 +752,178 @@ impl Engine {
         }
     }
 
+    /// Configures this engine's replication role before it is shared.
+    /// A follower's sync status starts at the locally recovered sealed
+    /// tip, so a restarted follower resumes instead of refetching. For
+    /// any other role the block stays empty: it reports *follower
+    /// progress*, and a seeded value on a leader would freeze at the
+    /// startup tip while ingestion moves on (the live tip is already in
+    /// `/v1/cluster`'s `sealed_seq`).
+    pub fn set_role(&mut self, role: Role, leader: Option<String>, peers: Vec<String>) {
+        let mut sync = SyncStatus::default();
+        if let (Role::Follower, Some(live)) = (role, &self.live) {
+            // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+            let guard = live.stream.lock().expect("stream lock");
+            if let Some(last) = guard.engine.seals().last() {
+                sync.synced_seq = Some(last.seq);
+                sync.synced_fingerprint = Some(last.fingerprint.clone());
+            }
+        }
+        self.replication = Replication { role, leader, peers, sync: Mutex::new(sync) };
+    }
+
+    /// This engine's replication role.
+    pub fn role(&self) -> Role {
+        self.replication.role
+    }
+
+    /// The simulation identity this engine serves: `(seed, lca_classes)`.
+    /// A follower refuses to sync from a leader with a different one —
+    /// replaying someone else's events would fingerprint-diverge anyway,
+    /// but the mismatch should be named before any state is touched.
+    pub fn identity(&self) -> (u64, usize) {
+        (self.seed, self.lca_classes)
+    }
+
+    /// The leader address a follower syncs from (and redirects writes to).
+    pub fn leader_addr(&self) -> Option<&str> {
+        self.replication.leader.as_deref()
+    }
+
+    /// A copy of the current sync status.
+    pub fn sync_status(&self) -> SyncStatus {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        self.replication.sync.lock().expect("sync lock").clone()
+    }
+
+    /// Mutates the sync status under its lock — how the sync runner
+    /// reports leader polls, failures, and staleness.
+    pub fn with_sync_status<R>(&self, f: impl FnOnce(&mut SyncStatus) -> R) -> R {
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        f(&mut self.replication.sync.lock().expect("sync lock"))
+    }
+
+    /// Serves `GET /v1/sync/manifest`: what this leader's store can offer
+    /// a follower. `None` without a durable store.
+    pub fn sync_manifest_json(&self) -> Option<String> {
+        let live = self.live.as_ref()?;
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let guard = live.stream.lock().expect("stream lock");
+        let manifest = guard.store.as_ref()?.sync_manifest();
+        // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+        Some(serde_json::to_string(&manifest).expect("sync manifest serialises"))
+    }
+
+    /// Serves `GET /v1/sync/segment/{seq}`: one sealed batch as the
+    /// CRC-framed bytes it occupies on disk.
+    pub fn export_sync_batch(&self, seq: u64) -> Result<Vec<u8>, SyncExportError> {
+        let live = self.live.as_ref().ok_or(SyncExportError::NoStore)?;
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let guard = live.stream.lock().expect("stream lock");
+        let store = guard.store.as_ref().ok_or(SyncExportError::NoStore)?;
+        match store.export_batch(seq) {
+            Ok(Some(bytes)) => Ok(bytes),
+            Ok(None) => Err(SyncExportError::NotFound),
+            Err(e) => Err(SyncExportError::Store(e.to_string())),
+        }
+    }
+
+    /// Applies one fetched sync batch: decodes the CRC frames (rejecting
+    /// the whole batch before any state is touched if a frame is
+    /// damaged), replays the events through the stream engine under the
+    /// fingerprint proof, persists the batch to this follower's own store
+    /// (if one is attached), swaps in the sealed snapshot, and publishes
+    /// the seal to `/v1/stream` subscribers — a synced seal is
+    /// indistinguishable from an ingested one downstream.
+    pub fn apply_synced(&self, bytes: &[u8]) -> Result<SyncApplied, SyncApplyError> {
+        let live = self.live.as_ref().ok_or(SyncApplyError::NotLive)?;
+        let corrupt = |d: String| SyncApplyError::Corrupt(d);
+        let mut events: Vec<Event> = Vec::new();
+        let mut recorded: Option<SealDelta> = None;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let (kind, payload, next) = dial_store::frame::decode(bytes, off)
+                .map_err(|e| corrupt(format!("frame at byte {off}: {e}")))?;
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| corrupt(format!("frame payload at byte {off}: {e}")))?;
+            if recorded.is_some() {
+                return Err(corrupt("frames after the seal record".into()));
+            }
+            if kind == dial_store::frame::KIND_EVENT {
+                let ev = serde_json::from_str::<Event>(text)
+                    .map_err(|e| corrupt(format!("event record: {e}")))?;
+                events.push(ev);
+            } else {
+                let delta = serde_json::from_str::<SealDelta>(text)
+                    .map_err(|e| corrupt(format!("seal record: {e}")))?;
+                recorded = Some(delta);
+            }
+            off = next;
+        }
+        let recorded = recorded.ok_or_else(|| corrupt("batch carries no seal record".into()))?;
+
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        let mut guard = live.stream.lock().expect("stream lock");
+        let ls = &mut *guard;
+        let local = ls.engine.seals().len() as u64;
+        if recorded.seq < local {
+            return Ok(SyncApplied::Skipped(recorded.seq));
+        }
+        if recorded.seq > local {
+            return Err(SyncApplyError::Gap { expected: local, got: recorded.seq });
+        }
+        let mirror = ls.store.is_some().then(|| events.clone());
+        let delta = ls.engine.apply_sealed(events, &recorded).map_err(SyncApplyError::Diverged)?;
+        self.metrics.seal();
+        if let Some(evs) = mirror {
+            ls.unsealed.extend(evs);
+        }
+        self.persist_seal(ls, &delta);
+        let store = Arc::new(SnapshotStore::from_parts(
+            ls.engine.dataset().clone(),
+            ls.engine.ledger().clone(),
+            self.seed,
+            self.lca_classes,
+        ));
+        // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+        *self.store.write().expect("store lock") = store;
+        drop(guard);
+        self.publish(live, &delta);
+        self.with_sync_status(|s| {
+            s.synced_seq = Some(delta.seq);
+            s.synced_fingerprint = Some(delta.fingerprint.clone());
+        });
+        Ok(SyncApplied::Applied(delta.seq))
+    }
+
+    /// The sealed tip: last seal seq (live engines only) and the current
+    /// store fingerprint.
+    pub fn sealed_tip(&self) -> (Option<u64>, String) {
+        let seq = self.live.as_ref().and_then(|live| {
+            // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
+            live.stream.lock().expect("stream lock").engine.seals().last().map(|s| s.seq)
+        });
+        (seq, self.store().fingerprint().to_string())
+    }
+
+    /// JSON body for `GET /v1/cluster`: this node's role, its peers, and
+    /// its replication progress.
+    pub fn cluster_json(&self) -> String {
+        let (sealed_seq, fingerprint) = self.sealed_tip();
+        let sync = self.sync_status();
+        format!(
+            "{{\"version\":2,\"role\":{},\"leader\":{},\"peers\":{},\"sealed_seq\":{},\"sealed_fingerprint\":{},\"sync\":{}}}",
+            json_str(self.replication.role.name()),
+            self.replication.leader.as_deref().map_or("null".to_string(), json_str),
+            // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+            serde_json::to_string(&self.replication.peers).expect("peers serialise"),
+            sealed_seq.map_or("null".to_string(), |s| s.to_string()),
+            json_str(&fingerprint),
+            // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+            serde_json::to_string(&sync).expect("sync status serialises"),
+        )
+    }
+
     /// Events buffered but unsealed on the live stream — what a drain
     /// reports as *not* persisted (seal-or-nothing durability). `None` on
     /// a snapshot engine.
@@ -641,8 +933,10 @@ impl Engine {
         Some(live.stream.lock().expect("stream lock").engine.pending_len())
     }
 
-    /// JSON body for `GET /v1/store`: live store stats plus what startup
-    /// recovery replayed. `None` when no durable store is attached.
+    /// JSON body for `GET /v1/store` (schema v2): live store stats plus
+    /// what startup recovery replayed — the v1 fields — joined by the
+    /// node's role and sync status. `None` when no durable store is
+    /// attached.
     pub fn store_status(&self) -> Option<String> {
         let live = self.live.as_ref()?;
         // lint:allow(unwrap-in-serve): lock poisoning means a sibling already panicked; propagating is the designed failure mode
@@ -656,7 +950,12 @@ impl Engine {
             Some(report) => serde_json::to_string(report).expect("recovery report serialises"),
             None => "null".to_string(),
         };
-        Some(format!("{{\"stats\":{stats_json},\"recovery\":{recovery_json}}}"))
+        // lint:allow(unwrap-in-serve): serialising an in-memory value; failure is a serde bug, not a request error
+        let sync_json = serde_json::to_string(&self.sync_status()).expect("sync serialises");
+        Some(format!(
+            "{{\"version\":2,\"role\":{},\"stats\":{stats_json},\"recovery\":{recovery_json},\"sync\":{sync_json}}}",
+            json_str(self.replication.role.name()),
+        ))
     }
 
     /// Subscribes to the live feed: returns every frame published so far
@@ -1013,6 +1312,90 @@ mod tests {
         let after = engine.metrics().snapshot();
         assert_eq!(after.cache_misses, warm.cache_misses + 1, "setup entry must miss");
         assert_eq!(after.cache_hits, warm.cache_hits + 1, "covid entry must survive");
+    }
+
+    #[test]
+    fn synced_follower_reproduces_leader_bodies_byte_for_byte() {
+        use dial_store::{MemBackend, SegmentLog, StoreOptions, SyncManifest};
+
+        // Leader: live + durable (sync needs a store to export from).
+        let opts = StoreOptions::new(9, 3).with_checkpoint_interval(0);
+        let (log, stream, report) = SegmentLog::open(Box::new(MemBackend::new()), opts).unwrap();
+        let mut leader = Engine::new_live_durable(
+            9,
+            3,
+            crate::registry_experiments(),
+            2,
+            8,
+            1 << 20,
+            log,
+            stream,
+            report,
+        );
+        leader.set_role(Role::Leader, None, vec!["f1:0".into()]);
+        let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+        for seg in dial_stream::segments(&out) {
+            leader.ingest(&dial_stream::encode_ndjson(&seg)).unwrap();
+        }
+
+        let manifest: SyncManifest =
+            serde_json::from_str(&leader.sync_manifest_json().unwrap()).unwrap();
+        assert_eq!(manifest.base_seq, Some(0));
+        let tip = manifest.sealed_seq.unwrap();
+        assert_eq!(tip as usize, out.marks.len() - 1);
+
+        // Follower: volatile live engine fed only exported batches.
+        let mut follower = Engine::new_live(9, 3, crate::registry_experiments(), 2, 8, 1 << 20);
+        follower.set_role(Role::Follower, Some("leader:0".into()), Vec::new());
+        for seq in 0..=tip {
+            let bytes = leader.export_sync_batch(seq).unwrap();
+            assert_eq!(follower.apply_synced(&bytes), Ok(SyncApplied::Applied(seq)));
+        }
+
+        // Byte-identical serving at the same watermark.
+        assert_eq!(
+            leader.analyze("table1").unwrap().as_str(),
+            follower.analyze("table1").unwrap().as_str()
+        );
+        assert_eq!(leader.store().fingerprint(), follower.store().fingerprint());
+
+        // A resume re-fetch is skipped, not re-applied.
+        let bytes = leader.export_sync_batch(0).unwrap();
+        assert_eq!(follower.apply_synced(&bytes), Ok(SyncApplied::Skipped(0)));
+
+        // A damaged fetch is rejected before any state is touched.
+        let mut bad = leader.export_sync_batch(tip).unwrap();
+        bad[3] ^= 0xFF;
+        assert!(matches!(follower.apply_synced(&bad), Err(SyncApplyError::Corrupt(_))));
+
+        // A batch from the future is a gap.
+        let mut fresh = Engine::new_live(9, 3, Vec::new(), 1, 4, 1 << 20);
+        fresh.set_role(Role::Follower, Some("leader:0".into()), Vec::new());
+        let ahead = leader.export_sync_batch(1).unwrap();
+        assert_eq!(fresh.apply_synced(&ahead), Err(SyncApplyError::Gap { expected: 0, got: 1 }));
+
+        // /v1/cluster reflects role and progress.
+        let v: serde_json::Value = serde_json::from_str(&follower.cluster_json()).unwrap();
+        assert_eq!(v.get("role").as_str(), Some("follower"));
+        assert_eq!(v.get("leader").as_str(), Some("leader:0"));
+        assert_eq!(v.get("sealed_seq").as_u64(), Some(tip));
+        assert_eq!(v.get("sync").get("synced_seq").as_u64(), Some(tip));
+        assert_eq!(v.get("sync").get("stale").as_bool(), Some(false));
+        let lv: serde_json::Value = serde_json::from_str(&leader.cluster_json()).unwrap();
+        assert_eq!(lv.get("role").as_str(), Some("leader"));
+        let peers = lv.get("peers").as_array().expect("peers is an array");
+        assert_eq!(peers.first().and_then(|p| p.as_str()), Some("f1:0"));
+
+        // Metrics for the sync loop live on the follower's engine.
+        follower.metrics().sync_fetched(bytes.len() as u64);
+        assert_eq!(follower.metrics().snapshot().sync_segments_fetched, 1);
+
+        // /v1/store carries the v2 role + sync blocks, old fields intact.
+        let sv: serde_json::Value = serde_json::from_str(&leader.store_status().unwrap()).unwrap();
+        assert_eq!(sv.get("version").as_u64(), Some(2));
+        assert_eq!(sv.get("role").as_str(), Some("leader"));
+        assert!(sv.get("stats").get("sealed_seq").as_u64().is_some());
+        assert!(sv.as_object().is_some_and(|o| o.contains_key("sync")));
     }
 
     #[test]

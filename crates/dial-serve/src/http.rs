@@ -36,7 +36,7 @@
 //! connection thread. During a graceful drain every request answers
 //! `503` + `Retry-After` while in-flight work finishes.
 
-use crate::engine::{AnalyzeError, Engine, IngestError};
+use crate::engine::{AnalyzeError, Engine, IngestError, Role, SyncExportError};
 use crate::store::StoreSummary;
 use serde::Serialize;
 use serde_json::Value;
@@ -240,13 +240,6 @@ struct ErrorBody {
 }
 
 #[derive(Serialize)]
-struct HealthBody {
-    status: String,
-    mode: String,
-    snapshot: String,
-}
-
-#[derive(Serialize)]
 struct ExperimentRow {
     id: String,
     title: String,
@@ -261,18 +254,33 @@ struct SummaryBody {
     counts: StoreSummary,
 }
 
-/// One routed reply: status, JSON body, and optional `Location` (308) /
-/// `Retry-After` (drain 503) headers.
+/// One routed reply: status, JSON body (or raw octets for sync segment
+/// fetches), and optional `Location` (308/421) / `Retry-After` (drain
+/// 503) headers.
 struct Response {
     status: u16,
     body: String,
+    /// When set, the reply is `application/octet-stream` of these bytes
+    /// and `body` is ignored — the sync segment wire format.
+    raw: Option<Vec<u8>>,
     location: Option<String>,
     retry_after: Option<u64>,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Self {
-        Self { status, body, location: None, retry_after: None }
+        Self { status, body, raw: None, location: None, retry_after: None }
+    }
+
+    /// A 200 of raw bytes (CRC-framed sync batches).
+    fn octets(bytes: Vec<u8>) -> Self {
+        Self {
+            status: 200,
+            body: String::new(),
+            raw: Some(bytes),
+            location: None,
+            retry_after: None,
+        }
     }
 
     /// The uniform error envelope; `detail` is `{}` when `None`.
@@ -494,6 +502,21 @@ fn handle_ingest(
     mut body: Vec<u8>,
 ) -> std::io::Result<()> {
     engine.metrics().request("/v1/ingest");
+    // A follower never takes writes: 421 + `Location` naming the leader,
+    // before any body bytes are consumed (the drain below mops them up).
+    if engine.role() == Role::Follower {
+        let leader = engine.leader_addr().unwrap_or("unknown").to_string();
+        let mut detail = BTreeMap::new();
+        detail.insert("leader".to_string(), Value::String(leader.clone()));
+        let mut r = Response::error(
+            421,
+            "not_leader",
+            format!("this node is a follower; send writes to the leader at {leader}"),
+            Some(Value::Object(detail)),
+        );
+        r.location = Some(format!("http://{leader}/v1/ingest"));
+        return respond_and_drain(stream, engine, &r);
+    }
     let Some(len) = content_length(head) else {
         let r = Response::error(
             411,
@@ -656,6 +679,17 @@ fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
     stream.flush()
 }
 
+/// The 409 answered when a sync endpoint is hit on a node without a
+/// durable store.
+fn no_sync_store_response() -> Response {
+    Response::error(
+        409,
+        "no_store",
+        "sync requires a durable store; start the leader with --live --data-dir".to_string(),
+        None,
+    )
+}
+
 /// The 409 answered when a live-only endpoint is hit on a snapshot
 /// server.
 fn not_live_response() -> Response {
@@ -693,12 +727,47 @@ fn route(
     match path {
         "/v1/healthz" => {
             engine.metrics().request("/v1/healthz");
-            let body = HealthBody {
-                status: "ok".to_string(),
-                mode: if engine.is_live() { "live" } else { "snapshot" }.to_string(),
-                snapshot: engine.store().fingerprint().to_string(),
-            };
-            Response::json(200, to_json(&body))
+            // Schema v2: the v1 fields (status, mode, snapshot) keep
+            // their names and order; role + sync join them.
+            let body = format!(
+                "{{\"version\":2,\"status\":\"ok\",\"mode\":{},\"snapshot\":{},\"role\":{},\"sync\":{}}}",
+                json_str(if engine.is_live() { "live" } else { "snapshot" }),
+                json_str(engine.store().fingerprint()),
+                json_str(engine.role().name()),
+                to_json(&engine.sync_status()),
+            );
+            Response::json(200, body)
+        }
+        "/v1/cluster" => {
+            engine.metrics().request("/v1/cluster");
+            Response::json(200, engine.cluster_json())
+        }
+        "/v1/sync/manifest" => {
+            engine.metrics().request("/v1/sync/manifest");
+            match engine.sync_manifest_json() {
+                Some(body) => Response::json(200, body),
+                None => no_sync_store_response(),
+            }
+        }
+        _ if path.starts_with("/v1/sync/segment/") => {
+            engine.metrics().request("/v1/sync/segment");
+            let seq = &path["/v1/sync/segment/".len()..];
+            match seq.parse::<u64>() {
+                Err(_) => {
+                    Response::error(400, "bad_seq", format!("`{seq}` is not a seal seq"), None)
+                }
+                Ok(seq) => match engine.export_sync_batch(seq) {
+                    Ok(bytes) => Response::octets(bytes),
+                    Err(SyncExportError::NoStore) => no_sync_store_response(),
+                    Err(SyncExportError::NotFound) => Response::error(
+                        404,
+                        "unknown_segment",
+                        format!("seal {seq} is not in the log (never sealed, or compacted away)"),
+                        None,
+                    ),
+                    Err(SyncExportError::Store(e)) => Response::error(500, "store_error", e, None),
+                },
+            }
         }
         "/v1/experiments" => {
             engine.metrics().request("/v1/experiments");
@@ -917,20 +986,25 @@ fn respond(stream: &mut TcpStream, engine: &Engine, response: &Response) -> std:
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
+    let (ctype, payload): (&str, &[u8]) = match &response.raw {
+        Some(bytes) => ("application/octet-stream", bytes.as_slice()),
+        None => ("application/json", response.body.as_bytes()),
+    };
     let location =
         response.location.as_ref().map(|l| format!("Location: {l}\r\n")).unwrap_or_default();
     let retry_after =
         response.retry_after.map(|s| format!("Retry-After: {s}\r\n")).unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\n{location}{retry_after}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {ctype}\r\n{location}{retry_after}Content-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
-        response.body.len()
+        payload.len()
     );
     // Chaos hook: a truncated write simulates the peer (or a middlebox)
     // cutting the stream mid-response; the client sees a short read and
@@ -940,12 +1014,12 @@ fn respond(stream: &mut TcpStream, engine: &Engine, response: &Response) -> std:
     {
         engine.metrics().fault("trunc_write");
         let mut wire = head.into_bytes();
-        wire.extend_from_slice(response.body.as_bytes());
+        wire.extend_from_slice(payload);
         wire.truncate(keep);
         stream.write_all(&wire)?;
         return stream.flush();
     }
     stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    stream.write_all(payload)?;
     stream.flush()
 }

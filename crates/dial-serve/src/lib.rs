@@ -25,7 +25,10 @@ pub mod metrics;
 pub mod scheduler;
 pub mod store;
 
-pub use engine::{AnalyzeError, Engine, IngestError, IngestReport};
+pub use engine::{
+    AnalyzeError, Engine, IngestError, IngestReport, Role, SyncApplied, SyncApplyError,
+    SyncExportError, SyncStatus,
+};
 pub use http::{ServeConfig, Server};
 pub use store::{Snapshot, SnapshotStore};
 

@@ -63,6 +63,10 @@ pub struct Metrics {
     store_checkpoint_failures: AtomicU64,
     store_recovered_seals: AtomicU64,
     store_recovered_events: AtomicU64,
+    sync_segments_fetched: AtomicU64,
+    sync_bytes: AtomicU64,
+    sync_retries: AtomicU64,
+    fingerprint_rejects: AtomicU64,
     by_endpoint: Mutex<BTreeMap<String, u64>>,
     faults_by_point: Mutex<BTreeMap<String, u64>>,
     latency: Mutex<BTreeMap<String, Histogram>>,
@@ -127,6 +131,16 @@ pub struct MetricsSnapshot {
     pub store_recovered_seals: u64,
     /// Events replayed from the store at startup.
     pub store_recovered_events: u64,
+    /// Sealed batches a follower fetched from its leader and applied.
+    pub sync_segments_fetched: u64,
+    /// Batch bytes fetched over the sync protocol.
+    pub sync_bytes: u64,
+    /// Sync fetch/apply attempts that failed and were retried (network
+    /// errors, stalls, and rejected batches alike).
+    pub sync_retries: u64,
+    /// Fetched batches rejected before apply because a frame failed CRC
+    /// or the replayed fingerprint disagreed with the recorded seal.
+    pub fingerprint_rejects: u64,
     /// Requests per normalised endpoint (`/analyze/{id}` collapses to
     /// `/analyze`).
     pub by_endpoint: BTreeMap<String, u64>,
@@ -270,6 +284,23 @@ impl Metrics {
         self.store_recovered_events.fetch_add(events, Ordering::Relaxed);
     }
 
+    /// Counts one sealed batch fetched from the leader and applied,
+    /// plus the bytes it came in as.
+    pub fn sync_fetched(&self, bytes: u64) {
+        self.sync_segments_fetched.fetch_add(1, Ordering::Relaxed);
+        self.sync_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one failed sync attempt that will be retried.
+    pub fn sync_retry(&self) {
+        self.sync_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one fetched batch rejected by CRC or fingerprint check.
+    pub fn fingerprint_reject(&self) {
+        self.fingerprint_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one experiment run's wall-clock latency.
     pub fn observe_latency(&self, experiment: &str, ms: f64) {
         let mut map = self.latency.lock().expect("metrics lock");
@@ -304,6 +335,10 @@ impl Metrics {
             store_checkpoint_failures: self.store_checkpoint_failures.load(Ordering::Relaxed),
             store_recovered_seals: self.store_recovered_seals.load(Ordering::Relaxed),
             store_recovered_events: self.store_recovered_events.load(Ordering::Relaxed),
+            sync_segments_fetched: self.sync_segments_fetched.load(Ordering::Relaxed),
+            sync_bytes: self.sync_bytes.load(Ordering::Relaxed),
+            sync_retries: self.sync_retries.load(Ordering::Relaxed),
+            fingerprint_rejects: self.fingerprint_rejects.load(Ordering::Relaxed),
             by_endpoint: self.by_endpoint.lock().expect("metrics lock").clone(),
             faults_by_point: self.faults_by_point.lock().expect("metrics lock").clone(),
             latency_ms: self.latency.lock().expect("metrics lock").clone(),
@@ -378,6 +413,20 @@ mod tests {
         assert_eq!(s.seal_failures, 1);
         assert_eq!(s.sse_clients, 1);
         assert_eq!(s.sse_frames, 3);
+    }
+
+    #[test]
+    fn sync_counters_accumulate() {
+        let m = Metrics::new();
+        m.sync_fetched(1024);
+        m.sync_fetched(512);
+        m.sync_retry();
+        m.fingerprint_reject();
+        let s = m.snapshot();
+        assert_eq!(s.sync_segments_fetched, 2);
+        assert_eq!(s.sync_bytes, 1536);
+        assert_eq!(s.sync_retries, 1);
+        assert_eq!(s.fingerprint_rejects, 1);
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub enum FrameError {
     BadCrc,
 }
 
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            FrameError::Truncated => "truncated frame",
+            FrameError::BadMagic => "bad frame magic",
+            FrameError::BadKind => "unknown record kind",
+            FrameError::BadCrc => "checksum mismatch",
+        };
+        f.write_str(what)
+    }
+}
+
 /// Decodes the frame starting at `off`; returns `(kind, payload, next_off)`.
 pub fn decode(buf: &[u8], off: usize) -> Result<(u8, &[u8], usize), FrameError> {
     let rest = &buf[off..];

@@ -28,7 +28,10 @@ pub mod frame;
 mod log;
 
 pub use backend::{FsBackend, MemBackend, StoreEngine};
-pub use log::{Checkpoint, CompactReport, RecoveryReport, SegmentLog, StoreStats};
+pub use log::{
+    Checkpoint, CompactReport, RecoveryReport, SegmentLog, StoreStats, SyncManifest,
+    SYNC_MANIFEST_VERSION,
+};
 
 /// Why a store operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +161,65 @@ mod tests {
         SegmentLog::open(log.into_backend(), options).expect("reopen recovers")
     }
 
+    /// Decodes one exported batch and applies it: event records first,
+    /// the closing seal record last, with the replayed fingerprint
+    /// checked against the recorded one — a follower in miniature.
+    fn replay_exported(engine: &mut StreamEngine, bytes: &[u8], seq: u64) {
+        let mut off = 0usize;
+        let mut sealed = None;
+        while off < bytes.len() {
+            let (kind, payload, next) =
+                frame::decode(bytes, off).expect("exported frames are valid");
+            let text = std::str::from_utf8(payload).expect("payloads are JSON");
+            if kind == frame::KIND_EVENT {
+                let ev: Event = serde_json::from_str(text).expect("event parses");
+                sealed = engine.apply(ev).expect("replay is gap-free");
+            } else {
+                let recorded: dial_stream::SealDelta =
+                    serde_json::from_str(text).expect("seal parses");
+                let delta = sealed.as_ref().expect("seal record follows a watermark");
+                assert_eq!(delta.seq, seq);
+                assert_eq!(delta.fingerprint, recorded.fingerprint);
+            }
+            off = next;
+        }
+    }
+
+    #[test]
+    fn export_batch_serves_replayable_frames_and_survives_reopen() {
+        let out = simulate();
+        let (mut log, mut engine, _) =
+            SegmentLog::open(Box::new(MemBackend::new()), opts()).unwrap();
+        mirror_ingest(&mut log, &mut engine, &out);
+        let total = out.marks.len() as u64;
+
+        let manifest = log.sync_manifest();
+        assert_eq!(manifest.version, SYNC_MANIFEST_VERSION);
+        assert_eq!((manifest.seed, manifest.lca_classes), (9, 3));
+        assert_eq!(manifest.base_seq, Some(0));
+        assert_eq!(manifest.sealed_seq, Some(total - 1));
+        assert_eq!(manifest.sealed_fingerprint, log.stats().sealed_fingerprint);
+
+        // A fresh engine fed nothing but exported batches must rebuild
+        // the exact sealed prefix.
+        let mut follower = StreamEngine::new();
+        for seq in 0..total {
+            let bytes = log.export_batch(seq).unwrap().expect("sealed batch exports");
+            replay_exported(&mut follower, &bytes, seq);
+        }
+        assert_eq!(follower.seals(), engine.seals());
+        assert_eq!(log.export_batch(total).unwrap(), None, "beyond the sealed tip");
+
+        // The batch index is rebuilt by the recovery scan, not persisted.
+        let (relog, _, _) = reopen(log, opts());
+        let mut again = StreamEngine::new();
+        for seq in 0..total {
+            let bytes = relog.export_batch(seq).unwrap().expect("exports after reopen");
+            replay_exported(&mut again, &bytes, seq);
+        }
+        assert_eq!(again.seals(), engine.seals());
+    }
+
     #[test]
     fn mem_round_trip_recovers_identical_state() {
         let out = simulate();
@@ -248,7 +310,7 @@ mod tests {
         let ckpt_seq = stats.checkpoint_seq.expect("interval 5 checkpointed");
 
         let compacted = log.compact().expect("compact succeeds");
-        let (_, rengine, report) = reopen(log, options);
+        let (relog, rengine, report) = reopen(log, options);
         assert_eq!(report.checkpoint_seq, Some(ckpt_seq));
         assert_eq!(
             report.replayed_seals,
@@ -257,9 +319,20 @@ mod tests {
         );
         assert_eq!(rengine.dataset().fingerprint(), engine.dataset().fingerprint());
         assert_eq!(rengine.seals(), engine.seals());
-        // Compaction only ever removes whole checkpoint-covered segments.
+        // Compaction only ever removes whole checkpoint-covered segments,
+        // and the sync window shrinks with them: a follower can no longer
+        // fetch batches whose bytes are gone.
         if compacted.removed_segments > 0 {
             assert!(compacted.removed_bytes > 0);
+            match relog.sync_manifest().base_seq {
+                // The checkpoint may cover every batch, leaving nothing
+                // to export at all — only an empty active segment.
+                None => assert_eq!(relog.export_batch(0).unwrap(), None),
+                Some(base) => {
+                    assert!(base > 0, "compaction advances the sync base");
+                    assert_eq!(relog.export_batch(base - 1).unwrap(), None, "compacted batch gone");
+                }
+            }
         }
     }
 

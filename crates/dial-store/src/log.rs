@@ -144,6 +144,42 @@ pub struct StoreStats {
     pub degraded: bool,
 }
 
+/// What `GET /v1/sync/manifest` advertises: the store's stream identity
+/// and the window of sealed batches a follower can fetch. Followers check
+/// the identity, then pull `base_seq ..= sealed_seq` one batch at a time
+/// (each batch carries its own seal record, so every fetch is
+/// self-verifying).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncManifest {
+    /// Sync protocol version.
+    pub version: u32,
+    /// Simulation seed the log's stream identity is bound to.
+    pub seed: u64,
+    /// LCA class count bound into the same identity.
+    pub lca_classes: usize,
+    /// Last durable seal seq (`None` for a virgin store).
+    pub sealed_seq: Option<u64>,
+    /// Prefix fingerprint at that seal.
+    pub sealed_fingerprint: Option<String>,
+    /// First seal seq still present in the log (compaction may have
+    /// removed earlier ones; a follower behind `base_seq` cannot sync
+    /// from this leader).
+    pub base_seq: Option<u64>,
+}
+
+/// Sync protocol version served in [`SyncManifest`].
+pub const SYNC_MANIFEST_VERSION: u32 = 1;
+
+/// Where one sealed batch lives on disk: the frames from the end of the
+/// previous seal record through this batch's own seal record.
+#[derive(Debug, Clone)]
+struct BatchLoc {
+    seq: u64,
+    segment: String,
+    offset: u64,
+    len: u64,
+}
+
 /// What `compact` removed.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct CompactReport {
@@ -175,6 +211,9 @@ pub struct SegmentLog {
     backend: Box<dyn StoreEngine>,
     opts: StoreOptions,
     segments: Vec<SegmentMeta>,
+    /// Every sealed batch still on disk, ascending by seq — the index
+    /// `export_batch` serves replication fetches from.
+    batches: Vec<BatchLoc>,
     next_segment: u64,
     sealed_seq: Option<u64>,
     sealed_fingerprint: Option<String>,
@@ -264,9 +303,12 @@ impl SegmentLog {
             names.push(first);
         }
 
-        // 3. Scan: collect post-checkpoint batches, cut torn tails.
+        // 3. Scan: collect post-checkpoint batches, cut torn tails. The
+        // same pass indexes every durable batch (pre-checkpoint ones
+        // included, while they remain on disk) for replication export.
         let mut segments: Vec<SegmentMeta> = Vec::new();
         let mut batches: Vec<(Vec<Event>, SealDelta)> = Vec::new();
+        let mut batch_index: Vec<BatchLoc> = Vec::new();
         let mut current: Vec<Event> = Vec::new();
         let mut last_seal: Option<(u64, String)> = None;
         let mut truncated_bytes = 0u64;
@@ -275,6 +317,9 @@ impl SegmentLog {
             let bytes = backend.read_segment(name)?;
             let mut off = 0usize;
             let mut durable_end = 0usize;
+            // Segments rotate on batch boundaries, so each batch's frames
+            // start where the previous seal record in this segment ended.
+            let mut batch_start = 0usize;
             let mut seg_last_seal = None;
             let mut torn = false;
             while off < bytes.len() {
@@ -302,10 +347,17 @@ impl SegmentLog {
                             let batch = std::mem::take(&mut current);
                             seg_last_seal = Some(delta.seq);
                             last_seal = Some((delta.seq, delta.fingerprint.clone()));
+                            batch_index.push(BatchLoc {
+                                seq: delta.seq,
+                                segment: name.clone(),
+                                offset: batch_start as u64,
+                                len: (next - batch_start) as u64,
+                            });
                             if ckpt_seq.is_none_or(|c| delta.seq > c) {
                                 batches.push((batch, delta));
                             }
                             durable_end = next;
+                            batch_start = next;
                         }
                         Err(_) => {
                             torn = true;
@@ -380,6 +432,7 @@ impl SegmentLog {
             backend,
             opts,
             segments,
+            batches: batch_index,
             next_segment,
             sealed_seq: report.sealed_seq,
             sealed_fingerprint: report.sealed_fingerprint.clone(),
@@ -431,6 +484,15 @@ impl SegmentLog {
         }
 
         let active = self.segments.last_mut().expect("log always has an active segment");
+        // Indexed at the pre-write offset. A torn write makes this entry
+        // a lie, exactly like `active.bytes` — recovery is what exposes
+        // it, and recovery rebuilds the index from the surviving frames.
+        self.batches.push(BatchLoc {
+            seq: delta.seq,
+            segment: active.name.clone(),
+            offset: active.bytes,
+            len: buf.len() as u64,
+        });
         active.bytes += buf.len() as u64;
         active.last_seal = Some(delta.seq);
         self.appended_events += events.len() as u64;
@@ -503,6 +565,7 @@ impl SegmentLog {
                 Some(s) if s <= ckpt => {
                     let meta = self.segments.remove(0);
                     self.backend.remove_segment(&meta.name)?;
+                    self.batches.retain(|b| b.segment != meta.name);
                     report.removed_segments += 1;
                     report.removed_bytes += meta.bytes;
                 }
@@ -530,6 +593,48 @@ impl SegmentLog {
             checkpoints_written: self.checkpoints_written,
             degraded: self.degraded,
         }
+    }
+
+    /// What this log can offer a syncing follower.
+    pub fn sync_manifest(&self) -> SyncManifest {
+        SyncManifest {
+            version: SYNC_MANIFEST_VERSION,
+            seed: self.opts.seed,
+            lca_classes: self.opts.lca_classes,
+            sealed_seq: self.sealed_seq,
+            sealed_fingerprint: self.sealed_fingerprint.clone(),
+            base_seq: self.batches.first().map(|b| b.seq),
+        }
+    }
+
+    /// Exports one sealed batch as the CRC-framed bytes it occupies on
+    /// disk — event records in arrival order, then the seal record. The
+    /// receiver re-validates every frame and replays the batch under the
+    /// fingerprint proof, so these bytes need no extra envelope. Returns
+    /// `None` when `seq` is not in the log (never sealed, or compacted
+    /// away). The `segment_corrupt` fault flips one byte of the export so
+    /// chaos runs can prove the receiver rejects a damaged fetch.
+    pub fn export_batch(&self, seq: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let Ok(i) = self.batches.binary_search_by_key(&seq, |b| b.seq) else {
+            return Ok(None);
+        };
+        let loc = &self.batches[i];
+        let bytes = self.backend.read_segment(&loc.segment)?;
+        let (start, end) = (loc.offset as usize, (loc.offset + loc.len) as usize);
+        if end > bytes.len() {
+            return Err(corrupt(format!(
+                "batch {seq} indexed at {start}..{end} but segment {} holds {} byte(s)",
+                loc.segment,
+                bytes.len()
+            )));
+        }
+        let mut out = bytes[start..end].to_vec();
+        if let Some(FaultAction::Corrupt(at)) = inject(FaultPoint::SegmentCorrupt) {
+            if let Some(byte) = out.get_mut(at.min(end - start - 1)) {
+                *byte ^= 0xFF;
+            }
+        }
+        Ok(Some(out))
     }
 
     /// True once a backend write failed under this open.

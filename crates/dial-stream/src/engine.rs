@@ -194,6 +194,54 @@ impl StreamEngine {
         Ok(None)
     }
 
+    /// Applies one replicated batch — the events a leader sealed as
+    /// `recorded`, watermark last — and proves the local commit
+    /// reproduced the leader's seal byte-for-byte. This is the follower
+    /// resume path: after a restart, a follower rebuilt from its own
+    /// store calls this for each seq past its sealed prefix.
+    ///
+    /// Preconditions checked up front (engine untouched on error): the
+    /// engine must be exactly at `recorded.seq` with nothing pending —
+    /// skipping already-applied batches is the caller's job. After the
+    /// events apply, the sealed fingerprint must match the recorded one;
+    /// a mismatch there is fatal for the follower (its prefix has
+    /// diverged and only a resync from scratch recovers), which is why
+    /// the error is a plain string and not a retryable [`StreamError`].
+    pub fn apply_sealed(
+        &mut self,
+        events: Vec<Event>,
+        recorded: &SealDelta,
+    ) -> Result<SealDelta, String> {
+        if self.seals.len() as u64 != recorded.seq {
+            return Err(format!(
+                "sync gap: engine is at seal {}, batch carries seal {}",
+                self.seals.len(),
+                recorded.seq
+            ));
+        }
+        if self.pending_len() != 0 {
+            return Err(format!(
+                "{} unsealed event(s) pending; a synced batch must land on a sealed boundary",
+                self.pending_len()
+            ));
+        }
+        let mut outcome = None;
+        for ev in events {
+            outcome = self
+                .apply(ev)
+                .map_err(|e| format!("replicated batch for seal {} rejected: {e}", recorded.seq))?;
+        }
+        let delta = outcome
+            .ok_or_else(|| format!("batch for seal {} did not end in a watermark", recorded.seq))?;
+        if delta.fingerprint != recorded.fingerprint {
+            return Err(format!(
+                "fingerprint diverged at seal {}: local {}, leader {}",
+                recorded.seq, delta.fingerprint, recorded.fingerprint
+            ));
+        }
+        Ok(delta)
+    }
+
     /// Events buffered but not yet sealed (the ingest backpressure gauge).
     pub fn pending_len(&self) -> usize {
         self.pend_users.len()
@@ -362,6 +410,46 @@ mod tests {
         // Exactly three era transitions: into SET-UP, STABLE, COVID-19.
         let transitions: Vec<_> = deltas.iter().filter_map(|d| d.era_transition).collect();
         assert_eq!(transitions.len(), 3, "{transitions:?}");
+    }
+
+    #[test]
+    fn apply_sealed_replays_leader_batches_and_rejects_gaps() {
+        let out = SimConfig::paper_default().with_seed(9).with_scale(0.01).simulate_full();
+        let segs = segments(&out);
+
+        // Leader: seal every month the normal way, keeping each batch.
+        let mut leader = StreamEngine::new();
+        let mut batches: Vec<(Vec<Event>, SealDelta)> = Vec::new();
+        for seg in &segs {
+            let mut batch = Vec::new();
+            let mut sealed = None;
+            for ev in seg {
+                batch.push(ev.clone());
+                sealed = leader.apply(ev.clone()).expect("replay is gap-free");
+            }
+            batches.push((batch, sealed.expect("month ends in a watermark")));
+        }
+
+        // Follower: a batch from the future is a gap, refused untouched.
+        let mut follower = StreamEngine::new();
+        let (events, recorded) = batches[1].clone();
+        let err = follower.apply_sealed(events, &recorded).unwrap_err();
+        assert!(err.contains("sync gap"), "{err}");
+        assert_eq!(follower.pending_len(), 0);
+
+        // In order, every batch lands and reproduces the leader's seal.
+        for (events, recorded) in &batches {
+            let delta = follower.apply_sealed(events.clone(), recorded).expect("batch applies");
+            assert_eq!(&delta, recorded);
+        }
+        assert_eq!(follower.seals(), leader.seals());
+        assert_eq!(follower.dataset().fingerprint(), leader.dataset().fingerprint());
+
+        // A replayed (already-applied) batch is also a gap: skipping
+        // applied seqs is the sync loop's job, not the engine's.
+        let (events, recorded) = batches[0].clone();
+        let err = follower.apply_sealed(events, &recorded).unwrap_err();
+        assert!(err.contains("sync gap"), "{err}");
     }
 
     #[test]

@@ -36,7 +36,25 @@
 //!     checkpoint snapshots). On startup the server replays the log
 //!     from the last checkpoint and proves recovery by re-deriving
 //!     every sealed-prefix fingerprint; `GET /v1/store` reports the
-//!     store's stats and what recovery replayed.
+//!     store's stats and what recovery replayed. A durable live
+//!     server is the cluster *leader*: it exports its sealed batches
+//!     via `GET /v1/sync/manifest` + `GET /v1/sync/segment/{seq}`.
+//!
+//! dial serve --live --follow <host:port> [--data-dir store/]
+//!           [--sync-interval 100] [--peers a:1,b:2] ...
+//!     Follower mode: a background runner tails the leader's sealed
+//!     batches and replays them through the local engine, so this
+//!     node's `/v1/analyze` bodies are byte-identical to the leader's
+//!     at the same watermark. Writes answer `421 not_leader` with a
+//!     `Location` naming the leader. With `--data-dir` the follower
+//!     persists what it syncs and resumes from its recovered tip
+//!     after a restart. `GET /v1/cluster` reports role + sync lag.
+//!
+//! dial route --leader <host:port> [--followers a:1,b:2] [--port 8080]
+//!     A thin routing front: forwards writes to the leader (following
+//!     421 redirects if the leader moved), rendezvous-hashes
+//!     /v1/analyze reads across the followers, and fans /v1/stream
+//!     out round-robin. Holds no state of its own.
 //!
 //! dial store <inspect|verify|compact> --data-dir store/
 //!           [--seed 7] [--classes 12]
@@ -64,7 +82,8 @@
 
 use dial_market::core::experiments::{all_experiments, extension_experiments, ExperimentContext};
 use dial_market::prelude::*;
-use dial_serve::{Engine, ServeConfig, Server, Snapshot, SnapshotStore};
+use dial_replicate::{Router, RouterConfig, SyncRunner};
+use dial_serve::{Engine, Role, ServeConfig, Server, Snapshot, SnapshotStore};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -100,6 +119,7 @@ fn main() -> ExitCode {
         Some("summary") => summary(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("route") => route(&args[1..]),
         Some("store") => store_cmd(&args[1..]),
         Some("replay") => replay(&args[1..]),
         Some("export") => export(&args[1..]),
@@ -112,7 +132,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: dial <generate|summary|analyze|serve|store|replay|export|lint|list> [options]"
+                "usage: dial <generate|summary|analyze|serve|route|store|replay|export|lint|list> [options]"
             );
             eprintln!("  dial generate --scale 0.1 --seed 7 --out market.json");
             eprintln!("  dial summary market.json");
@@ -122,6 +142,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "  dial serve --snapshot market.json | --live [--port 8080] [--threads N] [--queue 64]"
             );
+            eprintln!(
+                "  dial serve --live --follow <host:port> [--data-dir store/] [--sync-interval 100]"
+            );
+            eprintln!("  dial route --leader <host:port> [--followers a:1,b:2] [--port 8080]");
             eprintln!(
                 "  dial store <inspect|verify|compact> --data-dir store/ [--seed 7] [--classes 12]"
             );
@@ -386,7 +410,21 @@ fn serve(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let engine = if live {
+    // Replication wiring: --follow makes this node a follower of the
+    // named leader; a durable live node without --follow is a leader
+    // (it can export sync batches); anything else is standalone.
+    let follow = opt(args, "--follow");
+    if follow.is_some() && !live {
+        eprintln!("--follow requires --live: a follower replays the leader's sealed batches");
+        return ExitCode::FAILURE;
+    }
+    let peers: Vec<String> = opt(args, "--peers")
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
+        .unwrap_or_default();
+    let sync_interval: u64 =
+        opt(args, "--sync-interval").and_then(|v| v.parse().ok()).unwrap_or(100);
+
+    let mut engine = if live {
         // A month-sized NDJSON segment easily exceeds the 64 KiB default
         // body cap meant for query traffic; give ingest real headroom.
         cfg.max_body_bytes = cfg.max_body_bytes.max(32 << 20);
@@ -417,7 +455,7 @@ fn serve(args: &[String]) -> ExitCode {
                 report.truncated_bytes,
                 report.dropped_segments,
             );
-            std::sync::Arc::new(Engine::new_live_durable(
+            Engine::new_live_durable(
                 seed,
                 classes,
                 dial_serve::registry_experiments(),
@@ -427,17 +465,17 @@ fn serve(args: &[String]) -> ExitCode {
                 log,
                 recovered,
                 report,
-            ))
+            )
         } else {
             eprintln!("live mode: starting from an empty snapshot (seed {seed})");
-            std::sync::Arc::new(Engine::new_live(
+            Engine::new_live(
                 seed,
                 classes,
                 dial_serve::registry_experiments(),
                 cfg.threads,
                 cfg.queue_capacity,
                 cfg.max_pending_events,
-            ))
+            )
         }
     } else {
         let path = path.expect("checked above");
@@ -454,29 +492,44 @@ fn serve(args: &[String]) -> ExitCode {
             store.fingerprint(),
             store.summary().contracts
         );
-        std::sync::Arc::new(Engine::new(
-            store,
-            dial_serve::registry_experiments(),
-            cfg.threads,
-            cfg.queue_capacity,
-        ))
+        Engine::new(store, dial_serve::registry_experiments(), cfg.threads, cfg.queue_capacity)
     };
+    match &follow {
+        Some(leader) => engine.set_role(Role::Follower, Some(leader.clone()), peers),
+        None if live && data_dir.is_some() => engine.set_role(Role::Leader, None, peers),
+        None => {} // standalone: the default role
+    }
+    let engine = std::sync::Arc::new(engine);
     install_signal_handlers();
     let drain_probe = std::sync::Arc::clone(&engine);
     match Server::start(engine, &cfg) {
         Ok(server) => {
             eprintln!(
-                "serving on http://{} ({} workers, queue {})",
+                "serving on http://{} ({} workers, queue {}, role {})",
                 server.addr(),
                 cfg.threads,
-                cfg.queue_capacity
+                cfg.queue_capacity,
+                drain_probe.role().name(),
             );
+            let runner = follow.as_ref().map(|leader| {
+                eprintln!("follower: syncing from http://{leader} every {sync_interval}ms");
+                SyncRunner::start(
+                    std::sync::Arc::clone(&drain_probe),
+                    leader.clone(),
+                    Duration::from_millis(sync_interval),
+                )
+            });
             // Park until a signal asks for the drain; the accept loop
             // runs on its own thread the whole time.
             while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(25));
             }
             eprintln!("signal received: draining (up to {:?})...", cfg.drain_timeout);
+            // Stop the sync runner first so the exit counters are final
+            // when printed below.
+            if let Some(runner) = runner {
+                runner.stop();
+            }
             // Seal-or-nothing: events past the last watermark were never
             // written to the store, so a drain abandons them by design.
             // Count them before the drain so operators see what is lost.
@@ -496,10 +549,53 @@ fn serve(args: &[String]) -> ExitCode {
                 ),
                 None => eprintln!("drained ({} job(s) abandoned)", abandoned.len()),
             }
+            let m = drain_probe.metrics().snapshot();
+            eprintln!(
+                "replication [{}]: sync_segments_fetched {} sync_bytes {} sync_retries {} fingerprint_rejects {}",
+                drain_probe.role().name(),
+                m.sync_segments_fetched,
+                m.sync_bytes,
+                m.sync_retries,
+                m.fingerprint_rejects,
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("bind 127.0.0.1:{}: {e}", cfg.port);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Boots the stateless routing front over a leader and its followers
+/// and blocks until killed.
+fn route(args: &[String]) -> ExitCode {
+    let Some(leader) = opt(args, "--leader") else {
+        eprintln!("usage: dial route --leader <host:port> [--followers a:1,b:2] [--port 8080]");
+        return ExitCode::FAILURE;
+    };
+    let followers: Vec<String> = opt(args, "--followers")
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
+        .unwrap_or_default();
+    let port: u16 = opt(args, "--port").and_then(|v| v.parse().ok()).unwrap_or(8080);
+    install_signal_handlers();
+    match Router::start(RouterConfig { port, leader: leader.clone(), followers: followers.clone() })
+    {
+        Ok(router) => {
+            eprintln!(
+                "routing on http://{} (leader {leader}, {} follower(s))",
+                router.addr(),
+                followers.len()
+            );
+            while !SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            eprintln!("signal received: stopping router");
+            router.stop();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dial route: {e}");
             ExitCode::FAILURE
         }
     }

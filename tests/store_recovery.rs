@@ -14,9 +14,9 @@
 //!   truncate back to the last provable seal, and resume from there.
 //!
 //! Both runs finish by re-ingesting the missing months and comparing
-//! `/v1/healthz` (the sealed-prefix fingerprint) and `/v1/analyze`
-//! bodies byte-for-byte against an uninterrupted in-memory run of the
-//! same event log.
+//! `/v1/healthz` (the sealed-prefix fingerprint plus the v2 role/sync
+//! block) and `/v1/analyze` bodies byte-for-byte against an
+//! uninterrupted durable run of the same event log.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -114,15 +114,21 @@ fn sealed_seq(addr: &str) -> Option<u64> {
     v.get("stats").get("sealed_seq").as_u64()
 }
 
-/// The byte-exact end state every run must reach: healthz (fingerprint)
-/// plus two analyze bodies, from an uninterrupted in-memory live server.
-fn baseline_state(months: &[String]) -> [String; 3] {
-    let srv = LiveServer::spawn(&[]);
+/// The byte-exact end state every run must reach: healthz (fingerprint
+/// plus the leader role/sync block) and two analyze bodies, from an
+/// uninterrupted durable run on a scratch store. The baseline must be
+/// durable like the recovered runs: a durable live server reports
+/// itself as a replication leader in `/v1/healthz` v2, a volatile one
+/// as standalone.
+fn baseline_state(tag: &str, months: &[String]) -> [String; 3] {
+    let dir = scratch_dir(tag);
+    let srv = LiveServer::spawn(&["--data-dir", &dir]);
     for body in months {
         ingest(&srv.addr, body);
     }
     let state = end_state(&srv.addr);
     srv.kill9();
+    std::fs::remove_dir_all(&dir).ok();
     state
 }
 
@@ -167,7 +173,11 @@ fn kill9_mid_ingest_recovers_byte_identical_state() {
     let recovered = end_state(&srv.addr);
     srv.kill9();
 
-    assert_eq!(recovered, baseline_state(&months), "recovered run diverged from baseline");
+    assert_eq!(
+        recovered,
+        baseline_state("clean-baseline", &months),
+        "recovered run diverged from baseline"
+    );
 
     // The offline verifier agrees the store is sound (it must be told
     // the store's identity; the defaults belong to `dial serve`).
@@ -229,7 +239,11 @@ fn kill9_after_torn_write_truncates_and_resumes() {
     let recovered = end_state(&srv.addr);
     srv.kill9();
 
-    assert_eq!(recovered, baseline_state(&months), "torn-write recovery diverged from baseline");
+    assert_eq!(
+        recovered,
+        baseline_state("torn-baseline", &months),
+        "torn-write recovery diverged from baseline"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
